@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Runs every paper experiment in one process (studies are cached, so
+ * each workload simulates once): Table 1, Figures 1–5, Tables 2–3,
+ * plus the mappability diagnostic.  This is the one-shot
+ * "reproduce the evaluation section" binary.
+ */
+
+#include "bench_common.hh"
+
+using namespace xbsp;
+
+int
+main(int argc, char** argv)
+{
+    Options options = bench::makeOptions(
+        "bench_all: reproduce every table and figure of the paper");
+    if (!options.parse(argc, argv))
+        return 0;
+    harness::ExperimentConfig config = bench::makeConfig(options);
+    harness::ExperimentSuite suite(config);
+
+    bench::emit(harness::ExperimentSuite::table1(config.study.memory),
+                options);
+    bench::emit(suite.figure1(), options);
+    bench::emit(suite.figure2(), options);
+    bench::emit(suite.figure3(), options);
+    bench::emit(suite.figure4(), options);
+    bench::emit(suite.figure5(), options);
+
+    const auto& names = suite.workloads();
+    auto has = [&names](const std::string& workload) {
+        for (const auto& name : names) {
+            if (name == workload)
+                return true;
+        }
+        return false;
+    };
+    if (has("gcc"))
+        bench::emit(suite.table2(), options);
+    if (has("apsi"))
+        bench::emit(suite.table3(), options);
+    bench::emit(suite.mappabilityReport(), options);
+    return 0;
+}

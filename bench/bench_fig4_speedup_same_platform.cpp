@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Regenerates the paper's Figure 4 (see DESIGN.md for the
+ * experiment index).  Runs the cross-binary SimPoint pipeline on the
+ * selected workloads and prints the figure's series as a table.
+ */
+
+#include "bench_common.hh"
+
+using namespace xbsp;
+
+int
+main(int argc, char** argv)
+{
+    Options options = bench::makeOptions(
+        "bench_fig4: reproduce paper Figure 4");
+    if (!options.parse(argc, argv))
+        return 0;
+    harness::ExperimentSuite suite(bench::makeConfig(options));
+    bench::emit(suite.figure4(), options);
+    return 0;
+}

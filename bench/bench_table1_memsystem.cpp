@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates the paper's Table 1 (the memory-system configuration)
+ * and validates it behaviourally: a pointer-chase microbenchmark per
+ * footprint measures the average load-to-use cost at each level of
+ * the hierarchy, which should approach the configured hit latencies.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "cache/hierarchy.hh"
+#include "util/rng.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+/** Average cycles/ref for random accesses within `footprint` bytes. */
+double
+measure(cache::Hierarchy& hierarchy, u64 footprint, u64 refs)
+{
+    Rng rng(0xBEEF);
+    const u64 lines = footprint / 64;
+    // Warm.
+    for (u64 i = 0; i < lines * 4; ++i)
+        hierarchy.access((i % lines) * 64, false);
+    Cycles total = 0;
+    for (u64 i = 0; i < refs; ++i) {
+        const Addr addr = rng.nextBelow(lines) * 64;
+        total += hierarchy.latency(hierarchy.access(addr, false));
+    }
+    return static_cast<double>(total) / static_cast<double>(refs);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options options = bench::makeOptions(
+        "bench_table1: paper Table 1 memory-system configuration + "
+        "behavioural latency check");
+    if (!options.parse(argc, argv))
+        return 0;
+
+    const cache::HierarchyConfig config =
+        cache::HierarchyConfig::paperTable1();
+    bench::emit(harness::ExperimentSuite::table1(config), options);
+
+    Table check("Behavioural check: measured avg cycles per reference "
+                "for random accesses within a footprint",
+                {"footprint", "expected level", "configured latency",
+                 "measured avg"});
+    struct Case
+    {
+        u64 footprint;
+        const char* level;
+        Cycles latency;
+    };
+    const Case cases[] = {
+        {16 * 1024, "L1D", config.l1.hitLatency},
+        {256 * 1024, "L2D", config.l2.hitLatency},
+        {900 * 1024, "L3D", config.l3.hitLatency},
+        {64ull * 1024 * 1024, "DRAM", config.dramLatency},
+    };
+    for (const Case& c : cases) {
+        cache::Hierarchy hierarchy(config);
+        check.startRow();
+        check.addCell(format("{}KB", c.footprint / 1024));
+        check.addCell(c.level);
+        check.addInteger(static_cast<long long>(c.latency));
+        check.addNumber(measure(hierarchy, c.footprint, 400000), 2);
+    }
+    bench::emit(check, options);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Regenerates the paper's Table 2: per-phase weight/true-CPI/
+ * SimPoint-CPI/bias comparison for gcc across two binaries, under
+ * both the per-binary (FLI) and mappable (VLI) schemes.
+ */
+
+#include "bench_common.hh"
+
+using namespace xbsp;
+
+int
+main(int argc, char** argv)
+{
+    Options options = bench::makeOptions(
+        "bench_table2: reproduce paper Table 2 (gcc)");
+    if (!options.parse(argc, argv))
+        return 0;
+    harness::ExperimentConfig config = bench::makeConfig(options);
+    config.workloads = {"gcc"};
+    harness::ExperimentSuite suite(config);
+    bench::emit(suite.table2(), options);
+    return 0;
+}

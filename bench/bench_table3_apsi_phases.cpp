@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Regenerates the paper's Table 3: per-phase weight/true-CPI/
+ * SimPoint-CPI/bias comparison for apsi across two binaries, under
+ * both the per-binary (FLI) and mappable (VLI) schemes.
+ */
+
+#include "bench_common.hh"
+
+using namespace xbsp;
+
+int
+main(int argc, char** argv)
+{
+    Options options = bench::makeOptions(
+        "bench_table3: reproduce paper Table 3 (apsi)");
+    if (!options.parse(argc, argv))
+        return 0;
+    harness::ExperimentConfig config = bench::makeConfig(options);
+    config.workloads = {"apsi"};
+    harness::ExperimentSuite suite(config);
+    bench::emit(suite.table3(), options);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: run the complete cross-binary SimPoint pipeline on one
+ * workload and print what the library found — mappable points, the
+ * VLI partition, the chosen simulation points, and the accuracy of
+ * both sampling schemes against full simulation.
+ *
+ *   ./quickstart --workload swim --scale 0.5
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiments.hh"
+#include "sim/report.hh"
+#include "sim/study.hh"
+#include "util/options.hh"
+#include "workloads/workloads.hh"
+
+using namespace xbsp;
+
+int
+main(int argc, char** argv)
+{
+    Options options("quickstart: one-workload cross-binary SimPoint "
+                    "walkthrough");
+    options.addString("workload", "workload name", "swim");
+    options.addDouble("scale", "work scale", 1.0);
+    options.addUint("interval", "interval target (instructions)",
+                    250000);
+    options.addBool("stats", "dump gem5-style statistics at the end",
+                    false);
+    if (!options.parse(argc, argv))
+        return 0;
+
+    const std::string name = options.getString("workload");
+    ir::Program program =
+        workloads::makeWorkload(name, options.getDouble("scale"));
+
+    sim::StudyConfig config = harness::defaultStudyConfig();
+    config.intervalTarget = options.getUint("interval");
+
+    std::printf("Running cross-binary SimPoint study for '%s'...\n",
+                name.c_str());
+    const sim::CrossBinaryStudy study =
+        sim::CrossBinaryStudy::run(program, config);
+
+    std::printf("\nMappable points: %zu accepted, %zu rejected\n",
+                study.mappable().points.size(),
+                study.mappable().rejected.size());
+    std::printf("VLI partition: %zu intervals (target %llu instrs)\n",
+                study.partition().intervalCount(),
+                static_cast<unsigned long long>(config.intervalTarget));
+    std::printf("VLI clustering: %zu phases (maxK %u)\n\n",
+                study.vliClustering().phases.size(),
+                config.simpoint.maxK);
+
+    Table summary("Per-binary results",
+                  {"binary", "instrs(M)", "true CPI", "FLI k",
+                   "FLI est CPI", "FLI err", "VLI est CPI",
+                   "VLI err"});
+    for (const sim::BinaryStudy& bs : study.perBinary()) {
+        summary.startRow();
+        summary.addCell(bin::targetName(bs.target));
+        summary.addNumber(
+            static_cast<double>(bs.totalInstrs) / 1e6, 1);
+        summary.addNumber(bs.fliEstimate.trueCpi, 3);
+        summary.addInteger(
+            static_cast<long long>(bs.fliClustering.phases.size()));
+        summary.addNumber(bs.fliEstimate.estCpi, 3);
+        summary.addPercent(bs.fliEstimate.cpiError, 2);
+        summary.addNumber(bs.vliEstimate.estCpi, 3);
+        summary.addPercent(bs.vliEstimate.cpiError, 2);
+    }
+    summary.print(std::cout);
+
+    Table speedups("Speedup estimation",
+                   {"pair", "true", "FLI est", "FLI err", "VLI est",
+                    "VLI err"});
+    auto pairs = sim::samePlatformPairs();
+    for (const auto& pair : sim::crossPlatformPairs())
+        pairs.push_back(pair);
+    for (const auto& pair : pairs) {
+        speedups.startRow();
+        speedups.addCell(pair.label);
+        speedups.addNumber(study.trueSpeedup(pair.a, pair.b), 3);
+        speedups.addNumber(
+            study.estimatedSpeedup(sim::Method::PerBinaryFli, pair.a,
+                                   pair.b), 3);
+        speedups.addPercent(
+            study.speedupError(sim::Method::PerBinaryFli, pair.a,
+                               pair.b), 2);
+        speedups.addNumber(
+            study.estimatedSpeedup(sim::Method::MappableVli, pair.a,
+                                   pair.b), 3);
+        speedups.addPercent(
+            study.speedupError(sim::Method::MappableVli, pair.a,
+                               pair.b), 2);
+    }
+    std::printf("\n");
+    speedups.print(std::cout);
+
+    if (options.getBool("stats")) {
+        std::printf("\n");
+        sim::dumpStudyStats(std::cout, study);
+    }
+    return 0;
+}

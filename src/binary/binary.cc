@@ -1,0 +1,218 @@
+#include "binary/binary.hh"
+
+#include "util/format.hh"
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace xbsp::bin
+{
+
+std::string
+targetName(const Target& target)
+{
+    std::string name = target.arch == Arch::X32 ? "32" : "64";
+    name += target.opt == OptLevel::Unoptimized ? "u" : "o";
+    return name;
+}
+
+std::string
+markerKindName(MarkerKind kind)
+{
+    switch (kind) {
+      case MarkerKind::ProcEntry:
+        return "proc-entry";
+      case MarkerKind::LoopEntry:
+        return "loop-entry";
+      case MarkerKind::LoopBranch:
+        return "loop-branch";
+    }
+    panic("unknown MarkerKind {}", static_cast<int>(kind));
+}
+
+u32
+Binary::findProc(const std::string& name) const
+{
+    for (u32 i = 0; i < procs.size(); ++i) {
+        if (procs[i].name == name)
+            return i;
+    }
+    return invalidId;
+}
+
+std::string
+Binary::displayName() const
+{
+    return programName + "/" + targetName(target);
+}
+
+namespace
+{
+
+struct Checker
+{
+    const Binary& binary;
+
+    void
+    checkBlockId(u32 id) const
+    {
+        if (id >= binary.blocks.size())
+            panic("binary {}: block id {} out of range",
+                  binary.displayName(), id);
+    }
+
+    void
+    checkMarkerId(u32 id, MarkerKind kind, u32 procId) const
+    {
+        if (id >= binary.markers.size())
+            panic("binary {}: marker id {} out of range",
+                  binary.displayName(), id);
+        const Marker& m = binary.markers[id];
+        if (m.kind != kind)
+            panic("binary {}: marker {} has kind {}, expected {}",
+                  binary.displayName(), id, markerKindName(m.kind),
+                  markerKindName(kind));
+        if (m.procId != procId)
+            panic("binary {}: marker {} owned by proc {}, referenced "
+                  "from proc {}", binary.displayName(), id, m.procId,
+                  procId);
+    }
+
+    void
+    checkStmts(const std::vector<MachineStmt>& stmts, u32 procId) const
+    {
+        for (const auto& stmt : stmts) {
+            if (const auto* ref = std::get_if<BlockRef>(&stmt)) {
+                checkBlockId(ref->blockId);
+                if (binary.blocks[ref->blockId].procId != procId)
+                    panic("binary {}: block {} referenced outside its "
+                          "procedure", binary.displayName(),
+                          ref->blockId);
+            } else if (const auto* loop =
+                           std::get_if<MachineLoop>(&stmt)) {
+                checkMarkerId(loop->entryMarkerId, MarkerKind::LoopEntry,
+                              procId);
+                checkMarkerId(loop->branchMarkerId,
+                              MarkerKind::LoopBranch, procId);
+                checkBlockId(loop->branchBlockId);
+                if (loop->tripCount == 0)
+                    panic("binary {}: loop with trip count 0",
+                          binary.displayName());
+                checkStmts(loop->body, procId);
+            } else if (const auto* call =
+                           std::get_if<MachineCall>(&stmt)) {
+                if (call->procId >= binary.procs.size())
+                    panic("binary {}: call to proc id {} out of range",
+                          binary.displayName(), call->procId);
+            }
+        }
+    }
+};
+
+InstrCount
+stmtInstrs(const Binary& binary, const std::vector<MachineStmt>& stmts);
+
+InstrCount
+procInstrs(const Binary& binary, u32 procId)
+{
+    return stmtInstrs(binary, binary.procs[procId].body);
+}
+
+InstrCount
+stmtInstrs(const Binary& binary, const std::vector<MachineStmt>& stmts)
+{
+    InstrCount total = 0;
+    for (const auto& stmt : stmts) {
+        if (const auto* ref = std::get_if<BlockRef>(&stmt)) {
+            total += binary.blocks[ref->blockId].instrs;
+        } else if (const auto* loop = std::get_if<MachineLoop>(&stmt)) {
+            InstrCount body = stmtInstrs(binary, loop->body) +
+                              binary.blocks[loop->branchBlockId].instrs;
+            total += loop->tripCount * body;
+        } else if (const auto* call = std::get_if<MachineCall>(&stmt)) {
+            total += procInstrs(binary, call->procId);
+        }
+    }
+    return total;
+}
+
+void
+describeStmts(const Binary& binary,
+              const std::vector<MachineStmt>& stmts, int depth,
+              std::ostringstream& os)
+{
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    for (const auto& stmt : stmts) {
+        if (const auto* ref = std::get_if<BlockRef>(&stmt)) {
+            const MachineBlock& blk = binary.blocks[ref->blockId];
+            os << indent
+               << xbsp::format("block b{} instrs={} mem={} stack={} "
+                              "line={}\n", ref->blockId, blk.instrs,
+                              blk.memOps, blk.stackOps, blk.sourceLine);
+        } else if (const auto* loop = std::get_if<MachineLoop>(&stmt)) {
+            const Marker& entry = binary.markers[loop->entryMarkerId];
+            os << indent
+               << xbsp::format("loop trips={} line={} entryMk=m{} "
+                              "branchMk=m{}\n", loop->tripCount,
+                              entry.line, loop->entryMarkerId,
+                              loop->branchMarkerId);
+            describeStmts(binary, loop->body, depth + 1, os);
+        } else if (const auto* call = std::get_if<MachineCall>(&stmt)) {
+            os << indent
+               << xbsp::format("call {}\n",
+                              binary.procs[call->procId].name);
+        }
+    }
+}
+
+} // namespace
+
+void
+checkBinary(const Binary& binary)
+{
+    if (binary.entryProcId >= binary.procs.size())
+        panic("binary {}: entry proc id {} out of range",
+              binary.displayName(), binary.entryProcId);
+    Checker checker{binary};
+    for (u32 p = 0; p < binary.procs.size(); ++p) {
+        const MachineProc& proc = binary.procs[p];
+        checker.checkMarkerId(proc.entryMarkerId, MarkerKind::ProcEntry,
+                              p);
+        checker.checkStmts(proc.body, p);
+    }
+    for (u32 m = 0; m < binary.markers.size(); ++m) {
+        const Marker& marker = binary.markers[m];
+        if (marker.procId >= binary.procs.size())
+            panic("binary {}: marker {} owner out of range",
+                  binary.displayName(), m);
+        if (marker.kind == MarkerKind::ProcEntry &&
+            marker.symbol.empty()) {
+            panic("binary {}: proc-entry marker {} has no symbol",
+                  binary.displayName(), m);
+        }
+    }
+}
+
+InstrCount
+staticDynamicInstrCount(const Binary& binary)
+{
+    return procInstrs(binary, binary.entryProcId);
+}
+
+std::string
+describe(const Binary& binary)
+{
+    std::ostringstream os;
+    os << "binary " << binary.displayName() << ": "
+       << binary.procs.size() << " procs, " << binary.blocks.size()
+       << " blocks, " << binary.markers.size() << " markers\n";
+    for (u32 p = 0; p < binary.procs.size(); ++p) {
+        const MachineProc& proc = binary.procs[p];
+        os << xbsp::format("proc {} (id {}, entryMk=m{})\n", proc.name,
+                          p, proc.entryMarkerId);
+        describeStmts(binary, proc.body, 1, os);
+    }
+    return os.str();
+}
+
+} // namespace xbsp::bin

@@ -1,0 +1,148 @@
+#include "cache/cache.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::cache
+{
+
+namespace
+{
+
+bool
+isPow2(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+u32
+log2u(u64 v)
+{
+    u32 n = 0;
+    while ((1ull << n) < v)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+SetAssociativeCache::SetAssociativeCache(const LevelConfig& config)
+    : cfg(config)
+{
+    if (cfg.lineSize == 0 || !isPow2(cfg.lineSize))
+        fatal("cache {}: line size {} is not a power of two",
+              cfg.name, cfg.lineSize);
+    if (cfg.associativity == 0)
+        fatal("cache {}: associativity must be > 0", cfg.name);
+    const u64 numLines = cfg.capacityBytes / cfg.lineSize;
+    if (numLines == 0 || numLines % cfg.associativity != 0)
+        fatal("cache {}: capacity {} not divisible into {}-way sets",
+              cfg.name, cfg.capacityBytes, cfg.associativity);
+    numSets = static_cast<u32>(numLines / cfg.associativity);
+    if (!isPow2(numSets))
+        fatal("cache {}: set count {} is not a power of two",
+              cfg.name, numSets);
+    setShift = log2u(cfg.lineSize);
+    setMask = numSets - 1;
+    lines.resize(numLines);
+}
+
+SetAssociativeCache::Line*
+SetAssociativeCache::findLine(Addr addr)
+{
+    const Addr lineAddr = addr >> setShift;
+    const u64 set = lineAddr & setMask;
+    Line* base = &lines[set * cfg.associativity];
+    for (u32 w = 0; w < cfg.associativity; ++w) {
+        if (base[w].valid && base[w].tag == lineAddr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const SetAssociativeCache::Line*
+SetAssociativeCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssociativeCache*>(this)->findLine(addr);
+}
+
+SetAssociativeCache::Line*
+SetAssociativeCache::victimLine(Addr addr)
+{
+    const Addr lineAddr = addr >> setShift;
+    const u64 set = lineAddr & setMask;
+    Line* base = &lines[set * cfg.associativity];
+    Line* victim = &base[0];
+    for (u32 w = 0; w < cfg.associativity; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    return victim;
+}
+
+bool
+SetAssociativeCache::lookup(Addr addr, bool isWrite)
+{
+    ++accessCount;
+    ++tick;
+    if (Line* line = findLine(addr)) {
+        line->lastUse = tick;
+        if (isWrite)
+            line->dirty = true;
+        return true;
+    }
+    ++missCount;
+    return false;
+}
+
+Eviction
+SetAssociativeCache::fill(Addr addr, bool dirty)
+{
+    Line* victim = victimLine(addr);
+    Eviction ev;
+    if (victim->valid) {
+        ev.valid = true;
+        ev.dirty = victim->dirty;
+        ev.lineAddr = victim->tag << setShift;
+        if (victim->dirty)
+            ++writebackCount;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = addr >> setShift;
+    victim->lastUse = ++tick;
+    return ev;
+}
+
+void
+SetAssociativeCache::flush()
+{
+    for (Line& line : lines)
+        line = Line{};
+}
+
+bool
+SetAssociativeCache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+double
+SetAssociativeCache::missRate() const
+{
+    return accessCount
+               ? static_cast<double>(missCount) /
+                     static_cast<double>(accessCount)
+               : 0.0;
+}
+
+void
+SetAssociativeCache::resetStats()
+{
+    accessCount = 0;
+    missCount = 0;
+    writebackCount = 0;
+}
+
+} // namespace xbsp::cache

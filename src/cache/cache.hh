@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Set-associative cache with true-LRU replacement and write-back
+ * dirty tracking — one level of the CMP$im-style hierarchy.
+ */
+
+#ifndef XBSP_CACHE_CACHE_HH
+#define XBSP_CACHE_CACHE_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace xbsp::cache
+{
+
+/** Geometry and timing of one cache level. */
+struct LevelConfig
+{
+    std::string name = "L1D";
+    u64 capacityBytes = 32 * 1024;
+    u32 associativity = 2;
+    u32 lineSize = 64;
+    Cycles hitLatency = 3;
+};
+
+/** Result of filling a line: what got evicted, if anything. */
+struct Eviction
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr lineAddr = 0;
+};
+
+/**
+ * One set-associative, true-LRU, write-back cache level.  Addresses
+ * are full byte addresses; the cache derives line/set indices itself.
+ */
+class SetAssociativeCache
+{
+  public:
+    explicit SetAssociativeCache(const LevelConfig& config);
+
+    /**
+     * Look up an address.  On a hit the line's LRU state is updated
+     * and, for writes, the line is marked dirty.
+     * @return true on hit.
+     */
+    bool lookup(Addr addr, bool isWrite);
+
+    /**
+     * Install the line containing `addr` (allocate-on-miss), evicting
+     * the LRU way if the set is full.
+     * @param dirty install the line already dirty (writeback fills).
+     * @return the eviction, with valid=false when a way was free.
+     */
+    Eviction fill(Addr addr, bool dirty);
+
+    /** Invalidate everything (cold-start a sampling region). */
+    void flush();
+
+    /** True if the line containing `addr` is present (no LRU touch). */
+    bool probe(Addr addr) const;
+
+    const LevelConfig& config() const { return cfg; }
+    u64 accesses() const { return accessCount; }
+    u64 misses() const { return missCount; }
+    u64 writebacksOut() const { return writebackCount; }
+    double missRate() const;
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        u64 lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    LevelConfig cfg;
+    u32 numSets = 0;
+    u32 setShift = 0;   ///< log2(lineSize)
+    u64 setMask = 0;    ///< numSets - 1
+    std::vector<Line> lines;  ///< numSets x associativity
+    u64 tick = 0;
+    u64 accessCount = 0;
+    u64 missCount = 0;
+    u64 writebackCount = 0;
+
+    Line* findLine(Addr addr);
+    const Line* findLine(Addr addr) const;
+    Line* victimLine(Addr addr);
+};
+
+} // namespace xbsp::cache
+
+#endif // XBSP_CACHE_CACHE_HH

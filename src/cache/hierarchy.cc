@@ -1,0 +1,126 @@
+#include "cache/hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::cache
+{
+
+std::string
+hitLevelName(HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1:
+        return "L1";
+      case HitLevel::L2:
+        return "L2";
+      case HitLevel::L3:
+        return "L3";
+      case HitLevel::Memory:
+        return "DRAM";
+    }
+    panic("unknown HitLevel {}", static_cast<int>(level));
+}
+
+Hierarchy::Hierarchy(const HierarchyConfig& config)
+    : cfg(config),
+      levels{SetAssociativeCache(config.l1),
+             SetAssociativeCache(config.l2),
+             SetAssociativeCache(config.l3)}
+{
+    if (cfg.l1.lineSize != cfg.l2.lineSize ||
+        cfg.l2.lineSize != cfg.l3.lineSize) {
+        fatal("hierarchy requires a uniform line size, got {}/{}/{}",
+              cfg.l1.lineSize, cfg.l2.lineSize, cfg.l3.lineSize);
+    }
+}
+
+void
+Hierarchy::writebackInto(std::size_t level, Addr lineAddr)
+{
+    if (level >= levels.size()) {
+        ++dramWbCount;
+        return;
+    }
+    // Non-inclusive write-back: the dirty line is installed in the
+    // next level down (allocating there), possibly cascading.
+    if (levels[level].probe(lineAddr)) {
+        // Already present: just mark it dirty via a write lookup.
+        // This is not counted as a demand access.
+        levels[level].lookup(lineAddr, true);
+        return;
+    }
+    const Eviction ev = levels[level].fill(lineAddr, true);
+    if (ev.valid && ev.dirty)
+        writebackInto(level + 1, ev.lineAddr);
+}
+
+HitLevel
+Hierarchy::access(Addr addr, bool isWrite)
+{
+    HitLevel result = HitLevel::Memory;
+    std::size_t hitAt = levels.size();
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        if (levels[i].lookup(addr, isWrite && i == 0)) {
+            result = static_cast<HitLevel>(i);
+            hitAt = i;
+            break;
+        }
+    }
+    // Fill every level above the hit (or all levels on a DRAM access).
+    for (std::size_t i = hitAt; i-- > 0;) {
+        const Eviction ev = levels[i].fill(addr, isWrite && i == 0);
+        if (ev.valid && ev.dirty)
+            writebackInto(i + 1, ev.lineAddr);
+    }
+    ++serviced[static_cast<std::size_t>(result)];
+    return result;
+}
+
+Cycles
+Hierarchy::latency(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1:
+        return cfg.l1.hitLatency;
+      case HitLevel::L2:
+        return cfg.l2.hitLatency;
+      case HitLevel::L3:
+        return cfg.l3.hitLatency;
+      case HitLevel::Memory:
+        return cfg.dramLatency;
+    }
+    panic("unknown HitLevel {}", static_cast<int>(level));
+}
+
+void
+Hierarchy::flushAll()
+{
+    for (auto& level : levels)
+        level.flush();
+}
+
+void
+Hierarchy::resetStats()
+{
+    for (auto& level : levels)
+        level.resetStats();
+    serviced.fill(0);
+    dramWbCount = 0;
+}
+
+u64
+Hierarchy::servicedAt(HitLevel level) const
+{
+    return serviced[static_cast<std::size_t>(level)];
+}
+
+u64
+Hierarchy::totalAccesses() const
+{
+    u64 total = 0;
+    for (u64 s : serviced)
+        total += s;
+    return total;
+}
+
+} // namespace xbsp::cache

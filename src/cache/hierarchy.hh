@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Three-level non-inclusive write-back cache hierarchy with the
+ * paper's Table 1 configuration as default: L1D 32KB/2-way,
+ * L2 512KB/8-way, L3 1MB/16-way, all 64-byte lines and LRU, with
+ * 3/14/35-cycle hit latencies and 250-cycle DRAM.
+ */
+
+#ifndef XBSP_CACHE_HIERARCHY_HH
+#define XBSP_CACHE_HIERARCHY_HH
+
+#include <array>
+
+#include "cache/cache.hh"
+#include "util/types.hh"
+
+namespace xbsp::cache
+{
+
+/** Which level serviced a reference. */
+enum class HitLevel { L1, L2, L3, Memory };
+
+/** Display name, e.g. "L2". */
+std::string hitLevelName(HitLevel level);
+
+/** Full hierarchy configuration. */
+struct HierarchyConfig
+{
+    LevelConfig l1{"L1D", 32 * 1024, 2, 64, 3};
+    LevelConfig l2{"L2D", 512 * 1024, 8, 64, 14};
+    LevelConfig l3{"L3D", 1024 * 1024, 16, 64, 35};
+    Cycles dramLatency = 250;
+
+    /** The configuration of the paper's Table 1 (also the default). */
+    static HierarchyConfig paperTable1() { return HierarchyConfig{}; }
+};
+
+/**
+ * The memory system: lookups walk L1 -> L2 -> L3 -> DRAM; misses fill
+ * every level on the way back (allocate-on-miss); dirty evictions are
+ * written back into the next level without back-invalidation
+ * (non-inclusive).  Writeback traffic is counted but costs no cycles,
+ * matching CMP$im's simple timing.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(
+        const HierarchyConfig& config = HierarchyConfig::paperTable1());
+
+    /** Service one reference; returns the level that hit. */
+    HitLevel access(Addr addr, bool isWrite);
+
+    /** Total latency of a reference serviced at `level`. */
+    Cycles latency(HitLevel level) const;
+
+    /** Invalidate all levels (cold-start sampling ablation). */
+    void flushAll();
+
+    /** Zero all per-level statistics (cache contents kept). */
+    void resetStats();
+
+    const SetAssociativeCache& l1() const { return levels[0]; }
+    const SetAssociativeCache& l2() const { return levels[1]; }
+    const SetAssociativeCache& l3() const { return levels[2]; }
+    const HierarchyConfig& config() const { return cfg; }
+
+    /** References serviced per level plus DRAM writebacks. */
+    u64 servicedAt(HitLevel level) const;
+    u64 dramWritebacks() const { return dramWbCount; }
+    u64 totalAccesses() const;
+
+  private:
+    HierarchyConfig cfg;
+    std::array<SetAssociativeCache, 3> levels;
+    std::array<u64, 4> serviced{};  ///< per HitLevel
+    u64 dramWbCount = 0;
+
+    void writebackInto(std::size_t level, Addr lineAddr);
+};
+
+} // namespace xbsp::cache
+
+#endif // XBSP_CACHE_HIERARCHY_HH

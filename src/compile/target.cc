@@ -1,0 +1,49 @@
+#include "compile/target.hh"
+
+namespace xbsp::compile
+{
+
+double
+TargetTraits::footprintScale(double pointerScale) const
+{
+    if (!widePointers)
+        return 1.0;
+    return 1.0 + 0.75 * pointerScale;
+}
+
+TargetTraits
+TargetTraits::forTarget(const bin::Target& target)
+{
+    using bin::Arch;
+    using bin::OptLevel;
+
+    TargetTraits t;
+    const bool x64 = target.arch == Arch::X64;
+    const bool opt = target.opt == OptLevel::Optimized;
+
+    // 64-bit code is slightly denser dynamically (register calling
+    // convention, more registers), but its pointer data is wider.
+    const double archScale = x64 ? 0.91 : 1.0;
+    t.widePointers = x64;
+
+    if (!opt) {
+        // -O0: every source operation round-trips through memory.
+        t.instrScale = 2.4 * archScale;
+        t.memOpScale = 1.7;
+        t.spillFactor = x64 ? 0.38 : 0.50;
+        t.callOverhead = x64 ? 20 : 24;
+        t.callStackOps = x64 ? 8 : 10;
+        t.loopOverhead = 4;
+    } else {
+        // -O2: tight code, few spills, cheap calls.
+        t.instrScale = 1.0 * archScale;
+        t.memOpScale = 1.0;
+        t.spillFactor = x64 ? 0.07 : 0.14;
+        t.callOverhead = x64 ? 4 : 7;
+        t.callStackOps = x64 ? 1 : 3;
+        t.loopOverhead = 2;
+    }
+    return t;
+}
+
+} // namespace xbsp::compile

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Per-target lowering parameters for the model compiler.
+ *
+ * The traits encode, at the level the rest of the system can observe,
+ * what distinguishes the paper's four binaries (32/64-bit x
+ * unoptimized/optimized Intel compiler output): dynamic instruction
+ * expansion, redundant-load elimination, register-pressure spill
+ * traffic, call/loop control overhead, and pointer-size footprint
+ * growth on 64-bit targets.
+ */
+
+#ifndef XBSP_COMPILE_TARGET_HH
+#define XBSP_COMPILE_TARGET_HH
+
+#include "binary/binary.hh"
+#include "util/types.hh"
+
+namespace xbsp::compile
+{
+
+/** Scaling knobs the lowering applies per target. */
+struct TargetTraits
+{
+    /** Machine instructions per source instruction. */
+    double instrScale = 1.0;
+
+    /** Machine data references per source memory op. */
+    double memOpScale = 1.0;
+
+    /** Stack (spill) references per machine instruction. */
+    double spillFactor = 0.0;
+
+    /** Instructions charged per (non-inlined) call site. */
+    u32 callOverhead = 0;
+
+    /** Stack references inside the call-overhead block. */
+    u32 callStackOps = 0;
+
+    /** Loop-control instructions per iteration. */
+    u32 loopOverhead = 0;
+
+    /** Amplitude of deterministic per-block scaling jitter. */
+    double jitterAmp = 0.15;
+
+    /**
+     * Data-footprint multiplier: 64-bit targets grow pointer-heavy
+     * working sets (pointerScale in [0,1]) by up to 75%.
+     */
+    double footprintScale(double pointerScale) const;
+
+    /** Whether this target's footprints grow with pointerScale. */
+    bool widePointers = false;
+
+    /** Canonical traits for one of the four paper targets. */
+    static TargetTraits forTarget(const bin::Target& target);
+};
+
+} // namespace xbsp::compile
+
+#endif // XBSP_COMPILE_TARGET_HH

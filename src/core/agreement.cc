@@ -1,0 +1,109 @@
+#include "core/agreement.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace xbsp::core
+{
+
+double
+adjustedRandIndex(const std::vector<u32>& a, const std::vector<u32>& b)
+{
+    if (a.size() != b.size())
+        panic("adjustedRandIndex: {} vs {} labels", a.size(), b.size());
+    if (a.empty())
+        return 1.0;
+
+    // Contingency table.
+    std::map<std::pair<u32, u32>, u64> joint;
+    std::map<u32, u64> rowSum, colSum;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ++joint[{a[i], b[i]}];
+        ++rowSum[a[i]];
+        ++colSum[b[i]];
+    }
+
+    auto choose2 = [](u64 n) {
+        return static_cast<double>(n) * static_cast<double>(n - 1) /
+               2.0;
+    };
+
+    double sumJoint = 0.0;
+    for (const auto& [cell, count] : joint)
+        sumJoint += choose2(count);
+    double sumRows = 0.0;
+    for (const auto& [label, count] : rowSum)
+        sumRows += choose2(count);
+    double sumCols = 0.0;
+    for (const auto& [label, count] : colSum)
+        sumCols += choose2(count);
+
+    const double total = choose2(a.size());
+    const double expected = sumRows * sumCols / total;
+    const double maxIndex = 0.5 * (sumRows + sumCols);
+    if (maxIndex == expected) {
+        // Degenerate: both partitions are single clusters (or all
+        // singletons); they trivially agree.
+        return 1.0;
+    }
+    return (sumJoint - expected) / (maxIndex - expected);
+}
+
+std::vector<u32>
+projectLabelsOntoFrame(const std::vector<InstrCount>& fliEnds,
+                       const std::vector<u32>& fliLabels,
+                       const std::vector<InstrCount>& frameSizes)
+{
+    if (fliEnds.size() != fliLabels.size())
+        panic("projectLabelsOntoFrame: {} ends vs {} labels",
+              fliEnds.size(), fliLabels.size());
+
+    std::vector<u32> projected;
+    projected.reserve(frameSizes.size());
+
+    InstrCount frameStart = 0;
+    std::size_t fli = 0;
+    for (InstrCount size : frameSizes) {
+        const InstrCount frameEnd = frameStart + size;
+        // Accumulate overlap per label across the FLI intervals
+        // covering [frameStart, frameEnd).
+        std::map<u32, InstrCount> overlap;
+        std::size_t cursor = fli;
+        InstrCount pos = frameStart;
+        while (pos < frameEnd && cursor < fliEnds.size()) {
+            const InstrCount fliEnd = fliEnds[cursor];
+            const InstrCount upTo = std::min(frameEnd, fliEnd);
+            if (upTo > pos)
+                overlap[fliLabels[cursor]] += upTo - pos;
+            pos = upTo;
+            if (fliEnd <= frameEnd)
+                ++cursor;
+            else
+                break;
+        }
+        if (overlap.empty()) {
+            // Zero-length frame or past the end; inherit previous.
+            projected.push_back(projected.empty() ? 0
+                                                  : projected.back());
+        } else {
+            u32 best = 0;
+            InstrCount bestOverlap = 0;
+            for (const auto& [label, amount] : overlap) {
+                if (amount > bestOverlap) {
+                    bestOverlap = amount;
+                    best = label;
+                }
+            }
+            projected.push_back(best);
+        }
+        // Advance the persistent cursor past intervals fully consumed.
+        while (fli < fliEnds.size() && fliEnds[fli] <= frameEnd)
+            ++fli;
+        frameStart = frameEnd;
+    }
+    return projected;
+}
+
+} // namespace xbsp::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Cross-binary phase-agreement analysis — a quantitative version of
+ * the paper's §5.2.1 argument.
+ *
+ * The paper argues per-binary SimPoint fails at cross-binary
+ * comparisons because each binary's clustering groups execution
+ * differently.  This module measures that directly: the mapped VLI
+ * partition provides a common, semantically-aligned frame; each
+ * binary's FLI phase labels are projected onto that frame (each VLI
+ * interval takes the label of the FLI interval it overlaps most, by
+ * instruction count); projected labelings of two binaries are then
+ * compared with the adjusted Rand index.  ARI 1 means the binaries
+ * agree on what the phases are; low ARI is exactly the inconsistent
+ * grouping that breaks speedup estimates.
+ */
+
+#ifndef XBSP_CORE_AGREEMENT_HH
+#define XBSP_CORE_AGREEMENT_HH
+
+#include <vector>
+
+#include "util/types.hh"
+
+namespace xbsp::core
+{
+
+/**
+ * Adjusted Rand index between two labelings of the same items.
+ * Returns 1 for identical partitions (up to renaming), ~0 for
+ * independent ones; may be slightly negative for adversarial pairs.
+ */
+double adjustedRandIndex(const std::vector<u32>& a,
+                         const std::vector<u32>& b);
+
+/**
+ * Project per-FLI-interval labels onto a common partition.
+ *
+ * @param fliEnds cumulative instruction count at each FLI interval
+ *                end (the binary's own fixed-length boundaries).
+ * @param fliLabels phase label per FLI interval.
+ * @param frameSizes instruction length of each frame interval (the
+ *                   mapped VLI interval sizes *in this binary*).
+ * @return one label per frame interval: the label of the FLI
+ *         interval contributing the most instructions to it.
+ */
+std::vector<u32> projectLabelsOntoFrame(
+    const std::vector<InstrCount>& fliEnds,
+    const std::vector<u32>& fliLabels,
+    const std::vector<InstrCount>& frameSizes);
+
+} // namespace xbsp::core
+
+#endif // XBSP_CORE_AGREEMENT_HH

@@ -1,0 +1,89 @@
+#include "core/regionspec.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::core
+{
+
+namespace
+{
+
+RegionAnchor
+anchorFor(const MappableSet& mappable, const VliPartition& partition,
+          std::size_t binaryIdx, std::size_t boundaryIdx,
+          bool isProgramEdge)
+{
+    RegionAnchor anchor;
+    if (isProgramEdge) {
+        anchor.atProgramEdge = true;
+        return anchor;
+    }
+    const Boundary& boundary = partition.boundaries[boundaryIdx];
+    anchor.markerIds =
+        mappable.points[boundary.pointIdx].markerIds[binaryIdx];
+    anchor.fireCount = boundary.fireCount;
+    return anchor;
+}
+
+} // namespace
+
+std::vector<RegionSpec>
+buildRegionSpecs(const MappableSet& mappable,
+                 const VliPartition& partition,
+                 const sp::SimPointResult& clustering,
+                 std::size_t binaryIdx,
+                 const std::vector<double>& weights)
+{
+    if (binaryIdx >= mappable.binaryCount)
+        fatal("region specs: binary index {} out of range", binaryIdx);
+    if (weights.size() != clustering.phases.size())
+        fatal("region specs: {} weights for {} phases",
+              weights.size(), clustering.phases.size());
+
+    std::vector<RegionSpec> specs;
+    for (std::size_t p = 0; p < clustering.phases.size(); ++p) {
+        const sp::Phase& phase = clustering.phases[p];
+        const u32 interval = phase.representative;
+        if (interval >= partition.intervalCount())
+            panic("representative interval {} outside the partition",
+                  interval);
+        RegionSpec spec;
+        spec.phaseId = phase.id;
+        spec.weight = weights[p];
+        spec.start = anchorFor(mappable, partition, binaryIdx,
+                               interval == 0 ? 0 : interval - 1,
+                               interval == 0);
+        const bool lastInterval =
+            interval + 1 == partition.intervalCount();
+        spec.end = anchorFor(mappable, partition, binaryIdx, interval,
+                             lastInterval);
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+void
+writeRegionSpecs(std::ostream& os,
+                 const std::vector<RegionSpec>& specs)
+{
+    os << "# phase weight start_marker start_count end_marker "
+          "end_count\n";
+    auto emitAnchor = [&os](const RegionAnchor& anchor, bool isStart) {
+        if (anchor.atProgramEdge) {
+            os << (isStart ? " ^ 0" : " - -");
+            return;
+        }
+        os << " m" << anchor.markerIds[0];
+        for (std::size_t i = 1; i < anchor.markerIds.size(); ++i)
+            os << "+m" << anchor.markerIds[i];
+        os << " " << anchor.fireCount;
+    };
+    for (const RegionSpec& spec : specs) {
+        os << spec.phaseId << " " << spec.weight;
+        emitAnchor(spec.start, true);
+        emitAnchor(spec.end, false);
+        os << "\n";
+    }
+}
+
+} // namespace xbsp::core

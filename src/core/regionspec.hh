@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Cross-binary region specifications (§3.2.5): the deliverable a
+ * simulation team consumes.
+ *
+ * A simulation point's start and end are (mappable point, firing
+ * count) pairs.  For a given binary, each pair resolves to a concrete
+ * set of machine markers (the clone group) plus the target count, so
+ * a driver can arm breakpoints/instrumentation at those instructions
+ * and start/stop detailed simulation on the right firing.  This
+ * module builds those per-binary specs from a study's partition and
+ * clustering, and serializes them in a PinPoints-flavoured text
+ * format:
+ *
+ *   # columns: phase weight start_marker start_count end_marker end_count
+ *   0 0.3125 m12 47 m12 93
+ *   1 0.5000 m3 1 - -            ("- -" = run to program end)
+ *   2 ...                        (start "^ 0" = program start)
+ */
+
+#ifndef XBSP_CORE_REGIONSPEC_HH
+#define XBSP_CORE_REGIONSPEC_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/mappable.hh"
+#include "core/vli.hh"
+#include "simpoint/simpoint.hh"
+
+namespace xbsp::core
+{
+
+/** One end of a region in one binary. */
+struct RegionAnchor
+{
+    bool atProgramEdge = false;     ///< start-of-run / end-of-run
+    std::vector<u32> markerIds;     ///< clone group in this binary
+    u64 fireCount = 0;              ///< cumulative firing count
+};
+
+/** One simulation region of one binary. */
+struct RegionSpec
+{
+    u32 phaseId = 0;
+    double weight = 0.0;  ///< this binary's recalculated weight
+    RegionAnchor start;   ///< exclusive (region begins after it)
+    RegionAnchor end;     ///< inclusive boundary event
+};
+
+/**
+ * Resolve the chosen simulation points into per-binary region specs.
+ * `weights` supplies per-phase weights for this binary (use the
+ * primary clustering's weights when per-binary weights are not yet
+ * known); its size must equal the number of phases.
+ */
+std::vector<RegionSpec> buildRegionSpecs(
+    const MappableSet& mappable, const VliPartition& partition,
+    const sp::SimPointResult& clustering, std::size_t binaryIdx,
+    const std::vector<double>& weights);
+
+/** Serialize specs in the text format documented above. */
+void writeRegionSpecs(std::ostream& os,
+                      const std::vector<RegionSpec>& specs);
+
+} // namespace xbsp::core
+
+#endif // XBSP_CORE_REGIONSPEC_HH

@@ -1,0 +1,149 @@
+#include "core/vli.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace xbsp::core
+{
+
+VliBbvCollector::VliBbvCollector(const exec::Engine& eng,
+                                 const MappableSet& set,
+                                 std::size_t bIdx,
+                                 InstrCount targetSize)
+    : engine(eng), mappable(set), binaryIdx(bIdx), target(targetSize)
+{
+    if (target == 0)
+        fatal("VLI interval target must be > 0");
+    if (binaryIdx >= mappable.binaryCount)
+        fatal("binary index {} out of range ({} binaries)",
+              binaryIdx, mappable.binaryCount);
+    fireCounts.assign(mappable.points.size(), 0);
+    bbvDense.assign(eng.binary().blockCount(), 0.0);
+    fvs.dimension = eng.binary().blockCount();
+}
+
+void
+VliBbvCollector::onBlock(u32 blockId, u32 instrs)
+{
+    if (bbvDense[blockId] == 0.0)
+        bbvTouched.push_back(blockId);
+    bbvDense[blockId] += static_cast<double>(instrs);
+}
+
+void
+VliBbvCollector::closeInterval(InstrCount now)
+{
+    std::sort(bbvTouched.begin(), bbvTouched.end());
+    sp::SparseVec vec;
+    vec.reserve(bbvTouched.size());
+    for (u32 block : bbvTouched) {
+        vec.emplace_back(block, bbvDense[block]);
+        bbvDense[block] = 0.0;
+    }
+    bbvTouched.clear();
+    fvs.addInterval(std::move(vec), now - intervalStart);
+    intervalStart = now;
+}
+
+void
+VliBbvCollector::onMarker(u32 markerId)
+{
+    const u32 pointIdx = mappable.pointFor(binaryIdx, markerId);
+    if (pointIdx == invalidId)
+        return;
+    const u64 count = ++fireCounts[pointIdx];
+    const InstrCount now = engine.instructionsExecuted();
+    if (now - intervalStart >= target) {
+        part.boundaries.push_back(Boundary{pointIdx, count});
+        closeInterval(now);
+    }
+}
+
+void
+VliBbvCollector::onRunEnd()
+{
+    const InstrCount now = engine.instructionsExecuted();
+    if (now > intervalStart)
+        closeInterval(now);
+    if (fvs.size() != part.intervalCount()) {
+        // A boundary fired exactly at program end: the final interval
+        // is empty.  Drop the trailing boundary so intervals and
+        // boundaries stay consistent.
+        if (fvs.size() + 1 == part.intervalCount() &&
+            !part.boundaries.empty()) {
+            part.boundaries.pop_back();
+        } else {
+            panic("VLI collector inconsistency: {} intervals vs {} "
+                  "boundaries", fvs.size(), part.boundaries.size());
+        }
+    }
+}
+
+VliBuild
+buildVliPartition(const bin::Binary& primary,
+                  const MappableSet& mappable, std::size_t primaryIdx,
+                  InstrCount targetSize, u64 seed)
+{
+    exec::Engine engine(primary, seed);
+    VliBbvCollector collector(engine, mappable, primaryIdx,
+                              targetSize);
+    engine.addObserver(&collector, {true, false, true});
+    engine.run();
+
+    VliBuild build;
+    build.partition = collector.partition();
+    build.intervals = collector.intervals();
+    build.totalInstructions = engine.instructionsExecuted();
+    return build;
+}
+
+BoundaryTracker::BoundaryTracker(const MappableSet& set,
+                                 std::size_t bIdx,
+                                 const VliPartition& partition,
+                                 Callback onBoundary)
+    : mappable(set), binaryIdx(bIdx), part(partition),
+      callback(std::move(onBoundary))
+{
+    fireCounts.assign(mappable.points.size(), 0);
+    // Sanity: boundary counts never exceed the points' total counts.
+    for (const Boundary& b : part.boundaries) {
+        if (b.pointIdx >= mappable.points.size())
+            panic("boundary references point {} out of range",
+                  b.pointIdx);
+        if (b.fireCount == 0 ||
+            b.fireCount > mappable.points[b.pointIdx].execCount) {
+            panic("boundary fire count {} outside point '{}' total {}",
+                  b.fireCount,
+                  mappable.points[b.pointIdx].key.describe(),
+                  mappable.points[b.pointIdx].execCount);
+        }
+    }
+}
+
+void
+BoundaryTracker::onMarker(u32 markerId)
+{
+    const u32 pointIdx = mappable.pointFor(binaryIdx, markerId);
+    if (pointIdx == invalidId)
+        return;
+    const u64 count = ++fireCounts[pointIdx];
+    if (next >= part.boundaries.size())
+        return;
+    const Boundary& expected = part.boundaries[next];
+    if (expected.pointIdx == pointIdx) {
+        if (count == expected.fireCount) {
+            callback(next);
+            ++next;
+        } else if (count > expected.fireCount) {
+            panic("boundary {} ('{}' firing {}) was missed: point is "
+                  "now at firing {} — mappable points did not execute "
+                  "in the same semantic order",
+                  next,
+                  mappable.points[pointIdx].key.describe(),
+                  expected.fireCount, count);
+        }
+    }
+}
+
+} // namespace xbsp::core

@@ -1,0 +1,26 @@
+#include "cpu/core.hh"
+
+namespace xbsp::cpu
+{
+
+InOrderCore::InOrderCore(cache::Hierarchy& hierarchy) : hier(hierarchy)
+{
+}
+
+void
+InOrderCore::onBlock(u32 blockId, u32 instrs)
+{
+    (void)blockId;
+    stats.instructions += instrs;
+    stats.cycles += instrs;
+}
+
+void
+InOrderCore::onMemRef(Addr addr, bool isWrite)
+{
+    const cache::HitLevel level = hier.access(addr, isWrite);
+    stats.cycles += hier.latency(level);
+    ++stats.memRefs;
+}
+
+} // namespace xbsp::cpu

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * In-order core timing model in the CMP$im style: one cycle per
+ * instruction plus the full memory-hierarchy latency of every data
+ * reference (a blocking, non-overlapping memory model).  The core is
+ * an execution observer; snapshot collectors read its monotonically
+ * increasing cycle/instruction counters at interval boundaries.
+ */
+
+#ifndef XBSP_CPU_CORE_HH
+#define XBSP_CPU_CORE_HH
+
+#include "cache/hierarchy.hh"
+#include "exec/engine.hh"
+#include "util/types.hh"
+
+namespace xbsp::cpu
+{
+
+/** Aggregate performance counters of one (partial) execution. */
+struct CoreStats
+{
+    InstrCount instructions = 0;
+    Cycles cycles = 0;
+    u64 memRefs = 0;
+
+    /** Cycles per instruction; 0 when nothing executed. */
+    double
+    cpi() const
+    {
+        return instructions ? static_cast<double>(cycles) /
+                                  static_cast<double>(instructions)
+                            : 0.0;
+    }
+};
+
+/** The timing model; subscribe with blocks + memRefs hooks. */
+class InOrderCore : public exec::Observer
+{
+  public:
+    /** The hierarchy is shared and not owned. */
+    explicit InOrderCore(cache::Hierarchy& hierarchy);
+
+    void onBlock(u32 blockId, u32 instrs) override;
+    void onMemRef(Addr addr, bool isWrite) override;
+
+    /** Running counters (monotonic over the whole run). */
+    Cycles cycles() const { return stats.cycles; }
+    InstrCount instructions() const { return stats.instructions; }
+    const CoreStats& totals() const { return stats; }
+
+    /** The memory system this core is attached to. */
+    cache::Hierarchy& hierarchy() { return hier; }
+
+  private:
+    cache::Hierarchy& hier;
+    CoreStats stats;
+};
+
+} // namespace xbsp::cpu
+
+#endif // XBSP_CPU_CORE_HH

@@ -1,0 +1,130 @@
+#include "exec/engine.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace xbsp::exec
+{
+
+Engine::Engine(const bin::Binary& binary, u64 seed) : bin(binary)
+{
+    states.resize(bin.blocks.size());
+    for (u32 i = 0; i < bin.blocks.size(); ++i) {
+        const bin::MachineBlock& blk = bin.blocks[i];
+        if (blk.memOps > 0) {
+            states[i].gen = std::make_unique<mem::AddressGenerator>(
+                blk.pattern, hashMix(seed ^ (static_cast<u64>(i) << 32)));
+        }
+    }
+}
+
+void
+Engine::addObserver(Observer* observer, const ObserverHooks& hooks)
+{
+    if (ran)
+        panic("Engine::addObserver after run()");
+    if (hooks.blocks)
+        blockObservers.push_back(observer);
+    if (hooks.memRefs)
+        memObservers.push_back(observer);
+    if (hooks.markers)
+        markerObservers.push_back(observer);
+    allObservers.push_back(observer);
+}
+
+void
+Engine::fireMarker(u32 markerId)
+{
+    for (Observer* obs : markerObservers)
+        obs->onMarker(markerId);
+}
+
+void
+Engine::execBlock(u32 blockId)
+{
+    const bin::MachineBlock& blk = bin.blocks[blockId];
+    instrCount += blk.instrs;
+
+    // Memory references are dispatched before the block-completion
+    // event so that when onBlock fires, timing observers have already
+    // charged the whole block — snapshot collectors that cut at block
+    // boundaries then see consistent (instruction, cycle) pairs.
+    if (!memObservers.empty()) {
+        BlockState& st = states[blockId];
+        if (blk.memOps > 0)
+            st.gen->beginBlock();
+        for (u32 i = 0; i < blk.memOps; ++i) {
+            const mem::MemRef ref = st.gen->next();
+            for (Observer* obs : memObservers)
+                obs->onMemRef(ref.addr, ref.isWrite);
+        }
+        // Spill traffic cycles through a small per-procedure stack
+        // window: 64 slots of 8 bytes, alternating load/store.  It is
+        // L1-resident after warm-up, as real spill code is.
+        for (u32 i = 0; i < blk.stackOps; ++i) {
+            const Addr addr = mem::stackBase(blk.procId) +
+                              ((st.stackCursor & 63u) << 3);
+            const bool isWrite = (st.stackCursor & 1u) != 0;
+            ++st.stackCursor;
+            for (Observer* obs : memObservers)
+                obs->onMemRef(addr, isWrite);
+        }
+    }
+
+    for (Observer* obs : blockObservers)
+        obs->onBlock(blockId, blk.instrs);
+}
+
+void
+Engine::execStmts(const std::vector<bin::MachineStmt>& stmts)
+{
+    for (const auto& stmt : stmts) {
+        if (const auto* ref = std::get_if<bin::BlockRef>(&stmt)) {
+            execBlock(ref->blockId);
+        } else if (const auto* loop =
+                       std::get_if<bin::MachineLoop>(&stmt)) {
+            fireMarker(loop->entryMarkerId);
+            for (u64 it = 0; it < loop->tripCount; ++it) {
+                execStmts(loop->body);
+                execBlock(loop->branchBlockId);
+                fireMarker(loop->branchMarkerId);
+            }
+        } else if (const auto* call =
+                       std::get_if<bin::MachineCall>(&stmt)) {
+            execProc(call->procId);
+        }
+    }
+}
+
+void
+Engine::execProc(u32 procId)
+{
+    const bin::MachineProc& proc = bin.procs[procId];
+    fireMarker(proc.entryMarkerId);
+    execStmts(proc.body);
+}
+
+void
+Engine::run()
+{
+    if (ran)
+        panic("Engine::run called twice; construct a fresh Engine");
+    ran = true;
+    execProc(bin.entryProcId);
+    for (Observer* obs : allObservers)
+        obs->onRunEnd();
+}
+
+InstrCount
+runOnce(const bin::Binary& binary,
+        const std::vector<Observer*>& observers, u64 seed)
+{
+    Engine engine(binary, seed);
+    ObserverHooks all{true, true, true};
+    for (Observer* obs : observers)
+        engine.addObserver(obs, all);
+    engine.run();
+    return engine.instructionsExecuted();
+}
+
+} // namespace xbsp::exec

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic execution engine with a Pin-like observer interface.
+ *
+ * The engine interprets a bin::Binary structurally (no materialized
+ * trace): procedure entries, loop entries and loop back-branches fire
+ * marker events; basic blocks fire block events and generate their
+ * memory reference streams.  Observers subscribe to the event kinds
+ * they need; profilers, the timing model and the sampling gates are
+ * all observers.
+ *
+ * Event ordering contract (relied upon by the snapshot collectors):
+ *  - the engine's instruction counter is updated *before* the block
+ *    event is dispatched, so observers see the post-block count;
+ *  - a block's memory-reference events are dispatched before its
+ *    block event, so timing observers are fully up to date when
+ *    boundary collectors cut an interval at a block event;
+ *  - observers are notified in registration order;
+ *  - a procedure's entry marker fires before its body, a loop's entry
+ *    marker before its first iteration, and the back-branch marker
+ *    after each iteration's body and control block.
+ */
+
+#ifndef XBSP_EXEC_ENGINE_HH
+#define XBSP_EXEC_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "binary/binary.hh"
+#include "mem/pattern.hh"
+#include "util/types.hh"
+
+namespace xbsp::exec
+{
+
+/** Base class for execution observers; override what you need. */
+class Observer
+{
+  public:
+    virtual ~Observer() = default;
+
+    /** A basic block finished executing `instrs` instructions. */
+    virtual void onBlock(u32 blockId, u32 instrs)
+    {
+        (void)blockId;
+        (void)instrs;
+    }
+
+    /** One memory reference was issued. */
+    virtual void onMemRef(Addr addr, bool isWrite)
+    {
+        (void)addr;
+        (void)isWrite;
+    }
+
+    /** A marker (proc entry / loop entry / loop branch) fired. */
+    virtual void onMarker(u32 markerId) { (void)markerId; }
+
+    /** The program finished. */
+    virtual void onRunEnd() {}
+};
+
+/** Which event streams an observer wants to receive. */
+struct ObserverHooks
+{
+    bool blocks = false;
+    bool memRefs = false;
+    bool markers = false;
+};
+
+/** Interprets one binary once; construct a fresh engine per run. */
+class Engine
+{
+  public:
+    /** `seed` feeds the per-block address generators. */
+    explicit Engine(const bin::Binary& binary, u64 seed = 0x5EEDull);
+
+    /** Subscribe an observer (not owned) to selected event kinds. */
+    void addObserver(Observer* observer, const ObserverHooks& hooks);
+
+    /** Execute the program to completion.  May be called once. */
+    void run();
+
+    /** Instructions executed so far (valid during and after run()). */
+    InstrCount instructionsExecuted() const { return instrCount; }
+
+    /** The binary being executed. */
+    const bin::Binary& binary() const { return bin; }
+
+  private:
+    struct BlockState
+    {
+        std::unique_ptr<mem::AddressGenerator> gen;
+        u32 stackCursor = 0;
+    };
+
+    const bin::Binary& bin;
+    std::vector<BlockState> states;
+    std::vector<Observer*> blockObservers;
+    std::vector<Observer*> memObservers;
+    std::vector<Observer*> markerObservers;
+    std::vector<Observer*> allObservers;
+    InstrCount instrCount = 0;
+    bool ran = false;
+
+    void execStmts(const std::vector<bin::MachineStmt>& stmts);
+    void execBlock(u32 blockId);
+    void execProc(u32 procId);
+    void fireMarker(u32 markerId);
+};
+
+/**
+ * Convenience: run `binary` once with the given observers (all
+ * subscribed to every event kind) and return instructions executed.
+ */
+InstrCount runOnce(const bin::Binary& binary,
+                   const std::vector<Observer*>& observers,
+                   u64 seed = 0x5EEDull);
+
+} // namespace xbsp::exec
+
+#endif // XBSP_EXEC_ENGINE_HH

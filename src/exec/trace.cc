@@ -1,0 +1,165 @@
+#include "exec/trace.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace xbsp::exec
+{
+
+namespace
+{
+
+constexpr char magic[4] = {'X', 'B', 'T', 'R'};
+constexpr u8 version = 1;
+
+constexpr u8 recEnd = 0x00;
+constexpr u8 recBlock = 0x01;
+constexpr u8 recMarker = 0x02;
+constexpr u8 recMemRef = 0x03;
+
+void
+writeVarint(std::ostream& os, u64 value)
+{
+    while (value >= 0x80) {
+        os.put(static_cast<char>((value & 0x7F) | 0x80));
+        value >>= 7;
+    }
+    os.put(static_cast<char>(value));
+}
+
+u64
+readVarint(std::istream& is)
+{
+    u64 value = 0;
+    int shift = 0;
+    for (;;) {
+        const int ch = is.get();
+        if (ch == EOF)
+            fatal("trace truncated inside a varint");
+        value |= static_cast<u64>(ch & 0x7F) << shift;
+        if (!(ch & 0x80))
+            return value;
+        shift += 7;
+        if (shift > 63)
+            fatal("trace varint too long");
+    }
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(std::ostream& os, const TraceOptions& options)
+    : out(os), opts(options)
+{
+    out.write(magic, sizeof(magic));
+    out.put(static_cast<char>(version));
+}
+
+ObserverHooks
+TraceWriter::hooks() const
+{
+    return ObserverHooks{opts.blocks, opts.memRefs, opts.markers};
+}
+
+void
+TraceWriter::onBlock(u32 blockId, u32 instrs)
+{
+    out.put(static_cast<char>(recBlock));
+    writeVarint(out, blockId);
+    writeVarint(out, instrs);
+    ++events;
+}
+
+void
+TraceWriter::onMarker(u32 markerId)
+{
+    out.put(static_cast<char>(recMarker));
+    writeVarint(out, markerId);
+    ++events;
+}
+
+void
+TraceWriter::onMemRef(Addr addr, bool isWrite)
+{
+    out.put(static_cast<char>(recMemRef));
+    writeVarint(out, addr);
+    out.put(isWrite ? 1 : 0);
+    ++events;
+}
+
+void
+TraceWriter::onRunEnd()
+{
+    if (sealed)
+        panic("TraceWriter::onRunEnd called twice");
+    sealed = true;
+    out.put(static_cast<char>(recEnd));
+    out.flush();
+}
+
+InstrCount
+captureTrace(const bin::Binary& binary, std::ostream& os,
+             const TraceOptions& options, u64 seed)
+{
+    Engine engine(binary, seed);
+    TraceWriter writer(os, options);
+    engine.addObserver(&writer, writer.hooks());
+    engine.run();
+    return engine.instructionsExecuted();
+}
+
+u64
+replayTrace(std::istream& is, const std::vector<Observer*>& observers)
+{
+    char header[4];
+    is.read(header, sizeof(header));
+    if (is.gcount() != sizeof(header) ||
+        std::memcmp(header, magic, sizeof(magic)) != 0) {
+        fatal("not an xbsp trace (bad magic)");
+    }
+    const int ver = is.get();
+    if (ver != version)
+        fatal("unsupported trace version {}", ver);
+
+    u64 events = 0;
+    for (;;) {
+        const int tag = is.get();
+        if (tag == EOF)
+            fatal("trace truncated before end record");
+        if (tag == recEnd)
+            break;
+        switch (static_cast<u8>(tag)) {
+          case recBlock: {
+            const u64 blockId = readVarint(is);
+            const u64 instrs = readVarint(is);
+            for (Observer* obs : observers)
+                obs->onBlock(static_cast<u32>(blockId),
+                             static_cast<u32>(instrs));
+            break;
+          }
+          case recMarker: {
+            const u64 markerId = readVarint(is);
+            for (Observer* obs : observers)
+                obs->onMarker(static_cast<u32>(markerId));
+            break;
+          }
+          case recMemRef: {
+            const u64 addr = readVarint(is);
+            const int isWrite = is.get();
+            if (isWrite == EOF)
+                fatal("trace truncated inside a memref record");
+            for (Observer* obs : observers)
+                obs->onMemRef(addr, isWrite != 0);
+            break;
+          }
+          default:
+            fatal("unknown trace record tag {}", tag);
+        }
+        ++events;
+    }
+    for (Observer* obs : observers)
+        obs->onRunEnd();
+    return events;
+}
+
+} // namespace xbsp::exec

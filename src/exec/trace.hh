@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Execution-trace capture and replay.
+ *
+ * TraceWriter is an observer that serializes the engine's event
+ * stream (blocks, markers, optionally memory references) into a
+ * compact varint-encoded binary format; replayTrace() feeds a stored
+ * trace back into ordinary observers.  This is the offline analogue
+ * of attaching Pin tools live: profilers, BBV collectors and
+ * boundary trackers work identically on a replay, which both enables
+ * trace-based workflows and gives the test suite a strong
+ * equivalence check (live run vs capture+replay must agree exactly).
+ *
+ * Format: magic "XBTR" + version byte, then a stream of records:
+ *   0x01 <blockId varint> <instrs varint>            block event
+ *   0x02 <markerId varint>                           marker event
+ *   0x03 <addr varint> <isWrite byte>                memory reference
+ *   0x00                                             end of trace
+ */
+
+#ifndef XBSP_EXEC_TRACE_HH
+#define XBSP_EXEC_TRACE_HH
+
+#include <istream>
+#include <ostream>
+
+#include "exec/engine.hh"
+
+namespace xbsp::exec
+{
+
+/** What to record. */
+struct TraceOptions
+{
+    bool blocks = true;
+    bool markers = true;
+    bool memRefs = false;  ///< large; off by default
+};
+
+/** Observer that serializes events (subscribe per the options). */
+class TraceWriter : public Observer
+{
+  public:
+    TraceWriter(std::ostream& os, const TraceOptions& options);
+
+    void onBlock(u32 blockId, u32 instrs) override;
+    void onMarker(u32 markerId) override;
+    void onMemRef(Addr addr, bool isWrite) override;
+    void onRunEnd() override;
+
+    /** Hooks matching the configured record kinds. */
+    ObserverHooks hooks() const;
+
+    /** Events written so far. */
+    u64 eventCount() const { return events; }
+
+  private:
+    std::ostream& out;
+    TraceOptions opts;
+    u64 events = 0;
+    bool sealed = false;
+};
+
+/**
+ * Capture a full run of `binary` into `os` and return the dynamic
+ * instruction count.
+ */
+InstrCount captureTrace(const bin::Binary& binary, std::ostream& os,
+                        const TraceOptions& options = TraceOptions{},
+                        u64 seed = 0x5EEDull);
+
+/**
+ * Replay a trace into observers (all observers receive all recorded
+ * event kinds; onRunEnd fires at the end-of-trace record).
+ * Calls fatal() on a malformed stream.
+ * @return number of events replayed.
+ */
+u64 replayTrace(std::istream& is,
+                const std::vector<Observer*>& observers);
+
+} // namespace xbsp::exec
+
+#endif // XBSP_EXEC_TRACE_HH

@@ -1,0 +1,315 @@
+#include "harness/experiments.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::harness
+{
+
+sim::StudyConfig
+defaultStudyConfig()
+{
+    sim::StudyConfig config;
+    config.intervalTarget = 250'000;  // the paper's 100M, scaled
+    config.simpoint.maxK = 10;        // the paper's cluster cap
+    config.simpoint.projectedDims = 15;
+    config.simpoint.seedsPerK = 5;
+    config.simpoint.bicThreshold = 0.9;
+    config.primaryIdx = 0;            // 32-bit unoptimized
+    return config;
+}
+
+ExperimentSuite::ExperimentSuite(ExperimentConfig config)
+    : cfg(std::move(config))
+{
+    names = cfg.workloads.empty() ? workloads::workloadNames()
+                                  : cfg.workloads;
+    for (const std::string& name : names) {
+        if (!workloads::findWorkload(name))
+            fatal("unknown workload '{}'", name);
+    }
+}
+
+const sim::CrossBinaryStudy&
+ExperimentSuite::study(const std::string& workload)
+{
+    auto it = cache.find(workload);
+    if (it != cache.end())
+        return it->second;
+
+    const auto start = std::chrono::steady_clock::now();
+    ir::Program program =
+        workloads::makeWorkload(workload, cfg.workScale);
+    sim::CrossBinaryStudy result =
+        sim::CrossBinaryStudy::run(program, cfg.study);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start);
+    if (cfg.verbose)
+        inform("study {} done in {} ms", workload, elapsed.count());
+    return cache.emplace(workload, std::move(result)).first->second;
+}
+
+Table
+ExperimentSuite::table1(const cache::HierarchyConfig& config)
+{
+    Table table("Table 1: Memory System Configuration",
+                {"Cache Level", "Capacity", "Associativity",
+                 "Line Size", "Hit Latency", "Type"});
+    auto addLevel = [&table](const cache::LevelConfig& level) {
+        table.startRow();
+        table.addCell(level.name);
+        table.addCell(format("{}KB", level.capacityBytes / 1024));
+        table.addCell(format("{}-way", level.associativity));
+        table.addCell(format("{} bytes", level.lineSize));
+        table.addCell(format("{} cycles", level.hitLatency));
+        table.addCell("WriteBack");
+    };
+    addLevel(config.l1);
+    addLevel(config.l2);
+    addLevel(config.l3);
+    table.startRow();
+    table.addCell("DRAM");
+    table.addCell("-");
+    table.addCell("-");
+    table.addCell("-");
+    table.addCell(format("{} cycles", config.dramLatency));
+    table.addCell("-");
+    return table;
+}
+
+Table
+ExperimentSuite::figure1()
+{
+    Table table("Figure 1: Number of SimPoints (avg across the four "
+                "binaries)",
+                {"benchmark", "FLI", "VLI"});
+    std::vector<double> fli, vli;
+    for (const std::string& name : names) {
+        const sim::CrossBinaryStudy& s = study(name);
+        const double f = s.avgSimPointCount(sim::Method::PerBinaryFli);
+        const double v = s.avgSimPointCount(sim::Method::MappableVli);
+        fli.push_back(f);
+        vli.push_back(v);
+        table.startRow();
+        table.addCell(name);
+        table.addNumber(f, 2);
+        table.addNumber(v, 2);
+    }
+    table.startRow();
+    table.addCell("Avg");
+    table.addNumber(mean(fli), 2);
+    table.addNumber(mean(vli), 2);
+    return table;
+}
+
+Table
+ExperimentSuite::figure2()
+{
+    Table table("Figure 2: Average Interval Size for mappable "
+                "SimPoint (VLI), millions of instructions (avg "
+                "across the four binaries)",
+                {"benchmark", "VLI interval (M)", "target (M)"});
+    const double target =
+        static_cast<double>(cfg.study.intervalTarget) / 1e6;
+    std::vector<double> sizes;
+    for (const std::string& name : names) {
+        const sim::CrossBinaryStudy& s = study(name);
+        const double size =
+            s.avgIntervalSize(sim::Method::MappableVli) / 1e6;
+        sizes.push_back(size);
+        table.startRow();
+        table.addCell(name);
+        table.addNumber(size, 3);
+        table.addNumber(target, 3);
+    }
+    table.startRow();
+    table.addCell("Avg");
+    table.addNumber(mean(sizes), 3);
+    table.addNumber(target, 3);
+    return table;
+}
+
+Table
+ExperimentSuite::figure3()
+{
+    Table table("Figure 3: CPI Error vs full simulation (avg across "
+                "the four binaries)",
+                {"benchmark", "FLI", "VLI"});
+    std::vector<double> fli, vli;
+    for (const std::string& name : names) {
+        const sim::CrossBinaryStudy& s = study(name);
+        const double f = s.avgCpiError(sim::Method::PerBinaryFli);
+        const double v = s.avgCpiError(sim::Method::MappableVli);
+        fli.push_back(f);
+        vli.push_back(v);
+        table.startRow();
+        table.addCell(name);
+        table.addPercent(f, 2);
+        table.addPercent(v, 2);
+    }
+    table.startRow();
+    table.addCell("Avg");
+    table.addPercent(mean(fli), 2);
+    table.addPercent(mean(vli), 2);
+    return table;
+}
+
+namespace
+{
+
+Table
+speedupTable(const std::string& caption,
+             const std::vector<sim::SpeedupPair>& pairs,
+             const std::vector<std::string>& names,
+             ExperimentSuite& suite)
+{
+    std::vector<std::string> columns{"benchmark"};
+    for (const auto& pair : pairs) {
+        columns.push_back("fli_" + pair.label);
+        columns.push_back("vli_" + pair.label);
+    }
+    Table table(caption, columns);
+    std::vector<std::vector<double>> sums(pairs.size() * 2);
+    for (const std::string& name : names) {
+        const sim::CrossBinaryStudy& s = suite.study(name);
+        table.startRow();
+        table.addCell(name);
+        for (std::size_t p = 0; p < pairs.size(); ++p) {
+            const double f = s.speedupError(sim::Method::PerBinaryFli,
+                                            pairs[p].a, pairs[p].b);
+            const double v = s.speedupError(sim::Method::MappableVli,
+                                            pairs[p].a, pairs[p].b);
+            sums[2 * p].push_back(f);
+            sums[2 * p + 1].push_back(v);
+            table.addPercent(f, 2);
+            table.addPercent(v, 2);
+        }
+    }
+    table.startRow();
+    table.addCell("Avg");
+    for (std::size_t c = 0; c < sums.size(); ++c)
+        table.addPercent(mean(sums[c]), 2);
+    return table;
+}
+
+} // namespace
+
+Table
+ExperimentSuite::figure4()
+{
+    return speedupTable(
+        "Figure 4: Speedup error, same platform (FLI = per-binary "
+        "SimPoint, VLI = mappable SimPoint)",
+        sim::samePlatformPairs(), names, *this);
+}
+
+Table
+ExperimentSuite::figure5()
+{
+    return speedupTable(
+        "Figure 5: Speedup error, cross platform (FLI = per-binary "
+        "SimPoint, VLI = mappable SimPoint)",
+        sim::crossPlatformPairs(), names, *this);
+}
+
+Table
+ExperimentSuite::phaseBiasTable(const std::string& caption,
+                                const std::string& workload,
+                                std::size_t a, std::size_t b)
+{
+    const sim::CrossBinaryStudy& s = study(workload);
+    const auto& binA = s.perBinary()[a];
+    const auto& binB = s.perBinary()[b];
+    const std::string nameA = bin::targetName(binA.target);
+    const std::string nameB = bin::targetName(binB.target);
+
+    Table table(caption,
+                {"Method", "Phase",
+                 nameA + " Weight", nameA + " True CPI",
+                 nameA + " SP CPI", nameA + " CPI Err",
+                 nameB + " Weight", nameB + " True CPI",
+                 nameB + " SP CPI", nameB + " CPI Err"});
+
+    auto addRows = [&table](const std::string& method,
+                            const sim::BinaryEstimate& estA,
+                            const sim::BinaryEstimate& estB) {
+        const auto phasesA = estA.phasesByWeight();
+        const auto phasesB = estB.phasesByWeight();
+        const std::size_t rows =
+            std::min<std::size_t>(3, std::min(phasesA.size(),
+                                              phasesB.size()));
+        for (std::size_t i = 0; i < rows; ++i) {
+            table.startRow();
+            table.addCell(method);
+            table.addInteger(static_cast<long long>(i + 1));
+            table.addNumber(phasesA[i].weight, 2);
+            table.addNumber(phasesA[i].trueCpi, 2);
+            table.addNumber(phasesA[i].spCpi, 2);
+            table.addPercent(phasesA[i].bias, 1);
+            table.addNumber(phasesB[i].weight, 2);
+            table.addNumber(phasesB[i].trueCpi, 2);
+            table.addNumber(phasesB[i].spCpi, 2);
+            table.addPercent(phasesB[i].bias, 1);
+        }
+    };
+    addRows("VLI", binA.vliEstimate, binB.vliEstimate);
+    addRows("FLI", binA.fliEstimate, binB.fliEstimate);
+    return table;
+}
+
+Table
+ExperimentSuite::table2()
+{
+    return phaseBiasTable(
+        "Table 2: Phase comparison across 32-bit unoptimized and "
+        "64-bit unoptimized gcc binaries",
+        "gcc", 0, 2);
+}
+
+Table
+ExperimentSuite::table3()
+{
+    return phaseBiasTable(
+        "Table 3: Phase comparison across 32-bit optimized and "
+        "64-bit optimized apsi binaries",
+        "apsi", 1, 3);
+}
+
+Table
+ExperimentSuite::mappabilityReport()
+{
+    Table table("Mappable-point statistics (diagnostic)",
+                {"benchmark", "mappable", "rejected:missing",
+                 "rejected:count", "rejected:unused"});
+    for (const std::string& name : names) {
+        const sim::CrossBinaryStudy& s = study(name);
+        u64 missing = 0, countMismatch = 0, unused = 0;
+        for (const auto& rej : s.mappable().rejected) {
+            switch (rej.reason) {
+              case core::RejectReason::MissingInSomeBinary:
+                ++missing;
+                break;
+              case core::RejectReason::CountMismatch:
+                ++countMismatch;
+                break;
+              case core::RejectReason::NeverExecuted:
+                ++unused;
+                break;
+            }
+        }
+        table.startRow();
+        table.addCell(name);
+        table.addInteger(
+            static_cast<long long>(s.mappable().points.size()));
+        table.addInteger(static_cast<long long>(missing));
+        table.addInteger(static_cast<long long>(countMismatch));
+        table.addInteger(static_cast<long long>(unused));
+    }
+    return table;
+}
+
+} // namespace xbsp::harness

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Experiment harness: regenerates every table and figure of the
+ * paper's evaluation from CrossBinaryStudy runs, with per-workload
+ * result caching so one process can emit several tables without
+ * re-simulating.
+ *
+ * Figure/table inventory (see DESIGN.md):
+ *   Table 1  — memory-system configuration
+ *   Figure 1 — number of simulation points, FLI vs VLI
+ *   Figure 2 — average VLI interval size
+ *   Figure 3 — CPI error vs full simulation, FLI vs VLI
+ *   Figure 4 — speedup error, same platform (32u32o, 64u64o)
+ *   Figure 5 — speedup error, cross platform (32u64u, 32o64o)
+ *   Table 2  — gcc per-phase bias, 32u vs 64u
+ *   Table 3  — apsi per-phase bias, 32o vs 64o
+ */
+
+#ifndef XBSP_HARNESS_EXPERIMENTS_HH
+#define XBSP_HARNESS_EXPERIMENTS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/study.hh"
+#include "util/table.hh"
+
+namespace xbsp::harness
+{
+
+/** Suite-wide configuration. */
+struct ExperimentConfig
+{
+    /** Workloads to run; empty means the full 21-program suite. */
+    std::vector<std::string> workloads;
+
+    /** Work scale passed to workload factories. */
+    double workScale = 1.0;
+
+    /** Study configuration shared by all workloads. */
+    sim::StudyConfig study;
+
+    /** Print progress as studies run. */
+    bool verbose = true;
+};
+
+/** Runs and caches studies; renders paper tables/figures. */
+class ExperimentSuite
+{
+  public:
+    explicit ExperimentSuite(ExperimentConfig config);
+
+    /** The configured workload list (resolved). */
+    const std::vector<std::string>& workloads() const { return names; }
+
+    /** Run (or fetch) the study for one workload. */
+    const sim::CrossBinaryStudy& study(const std::string& workload);
+
+    /** Paper Table 1: the memory-system configuration. */
+    static Table table1(const cache::HierarchyConfig& config);
+
+    /** Paper Figure 1: number of simulation points per benchmark. */
+    Table figure1();
+
+    /** Paper Figure 2: average VLI interval size per benchmark. */
+    Table figure2();
+
+    /** Paper Figure 3: CPI error per benchmark, FLI vs VLI. */
+    Table figure3();
+
+    /** Paper Figure 4: same-platform speedup error. */
+    Table figure4();
+
+    /** Paper Figure 5: cross-platform speedup error. */
+    Table figure5();
+
+    /** Paper Table 2: gcc phase comparison (32u vs 64u). */
+    Table table2();
+
+    /** Paper Table 3: apsi phase comparison (32o vs 64o). */
+    Table table3();
+
+    /**
+     * Extra diagnostic (not in the paper): mappable-point statistics
+     * per workload — accepted/rejected keys and rejection reasons.
+     */
+    Table mappabilityReport();
+
+  private:
+    ExperimentConfig cfg;
+    std::vector<std::string> names;
+    std::map<std::string, sim::CrossBinaryStudy> cache;
+
+    Table phaseBiasTable(const std::string& caption,
+                         const std::string& workload, std::size_t a,
+                         std::size_t b);
+};
+
+/** Default study configuration used by all benches. */
+sim::StudyConfig defaultStudyConfig();
+
+} // namespace xbsp::harness
+
+#endif // XBSP_HARNESS_EXPERIMENTS_HH

@@ -1,0 +1,143 @@
+#include "ir/builder.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::ir
+{
+
+MemPattern
+stridePattern(u32 region, u64 workingSet, u64 stride,
+              double writeFraction, double pointerScale)
+{
+    MemPattern p;
+    p.kind = MemPatternKind::Stride;
+    p.regionId = region;
+    p.workingSet = workingSet;
+    p.stride = stride;
+    p.writeFraction = writeFraction;
+    p.pointerScale = pointerScale;
+    return p;
+}
+
+MemPattern
+randomPattern(u32 region, u64 workingSet, double writeFraction,
+              double pointerScale)
+{
+    MemPattern p;
+    p.kind = MemPatternKind::RandomInSet;
+    p.regionId = region;
+    p.workingSet = workingSet;
+    p.writeFraction = writeFraction;
+    p.pointerScale = pointerScale;
+    return p;
+}
+
+MemPattern
+chasePattern(u32 region, u64 workingSet, double pointerScale)
+{
+    MemPattern p;
+    p.kind = MemPatternKind::PointerChase;
+    p.regionId = region;
+    p.workingSet = workingSet;
+    p.writeFraction = 0.0;
+    p.pointerScale = pointerScale;
+    return p;
+}
+
+MemPattern
+gatherPattern(u32 region, u64 workingSet, double hotFraction,
+              double writeFraction, double pointerScale)
+{
+    MemPattern p;
+    p.kind = MemPatternKind::Gather;
+    p.regionId = region;
+    p.workingSet = workingSet;
+    p.writeFraction = writeFraction;
+    p.pointerScale = pointerScale;
+    p.hotFraction = hotFraction;
+    return p;
+}
+
+StmtSeq::StmtSeq(std::vector<Stmt>& target, u32& lineCounter)
+    : stmts(target), nextLine(lineCounter)
+{
+}
+
+StmtSeq&
+StmtSeq::block(u32 instrs, u32 memOps, const MemPattern& pattern)
+{
+    Block blk;
+    blk.line = nextLine++;
+    blk.instrs = instrs;
+    blk.memOps = memOps;
+    blk.pattern = pattern;
+    stmts.emplace_back(std::move(blk));
+    return *this;
+}
+
+StmtSeq&
+StmtSeq::compute(u32 instrs)
+{
+    return block(instrs, 0);
+}
+
+StmtSeq&
+StmtSeq::loop(u64 tripCount, const std::function<void(StmtSeq&)>& body,
+              const LoopOpts& opts)
+{
+    Loop lp;
+    lp.line = nextLine++;
+    lp.tripCount = tripCount;
+    lp.unrollable = opts.unrollable;
+    lp.splittable = opts.splittable;
+    StmtSeq inner(lp.body, nextLine);
+    body(inner);
+    stmts.emplace_back(std::move(lp));
+    return *this;
+}
+
+StmtSeq&
+StmtSeq::call(const std::string& callee)
+{
+    Call c;
+    c.line = nextLine++;
+    c.callee = callee;
+    stmts.emplace_back(std::move(c));
+    return *this;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    prog.name = std::move(name);
+}
+
+StmtSeq
+ProgramBuilder::procedure(const std::string& name, InlineHint hint)
+{
+    for (const auto& proc : prog.procedures) {
+        if (proc.name == name)
+            fatal("program '{}': procedure '{}' declared twice",
+                  prog.name, name);
+    }
+    // Reserve generously so the backing vector never reallocates under
+    // outstanding StmtSeq references; workloads are far below this.
+    if (prog.procedures.capacity() == 0)
+        prog.procedures.reserve(256);
+    if (prog.procedures.size() == prog.procedures.capacity())
+        fatal("program '{}': too many procedures for the builder",
+              prog.name);
+    prog.procedures.emplace_back();
+    Procedure& proc = prog.procedures.back();
+    proc.name = name;
+    proc.inlineHint = hint;
+    return StmtSeq(proc.body, nextLine);
+}
+
+Program
+ProgramBuilder::build()
+{
+    validate(prog);
+    return std::move(prog);
+}
+
+} // namespace xbsp::ir

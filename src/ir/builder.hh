@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fluent builder for ir::Program.
+ *
+ * Workload definitions use this DSL so that source line numbers are
+ * assigned automatically (unique, increasing) and nesting mirrors the
+ * lexical structure of the modelled program:
+ *
+ *     ProgramBuilder b("swim");
+ *     b.procedure("calc1").loop(500, [&](StmtSeq& s) {
+ *         s.block(40, 12, stridePattern(1, 2_MiB, 64));
+ *     });
+ *     ir::Program p = b.build();
+ */
+
+#ifndef XBSP_IR_BUILDER_HH
+#define XBSP_IR_BUILDER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace xbsp::ir
+{
+
+/** Byte-size literal helpers for working-set sizes. */
+constexpr u64 operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr u64 operator""_MiB(unsigned long long v) { return v << 20; }
+
+/** Convenience constructors for the common memory patterns. */
+MemPattern stridePattern(u32 region, u64 workingSet, u64 stride = 64,
+                         double writeFraction = 0.2,
+                         double pointerScale = 0.0);
+MemPattern randomPattern(u32 region, u64 workingSet,
+                         double writeFraction = 0.1,
+                         double pointerScale = 0.0);
+MemPattern chasePattern(u32 region, u64 workingSet,
+                        double pointerScale = 1.0);
+MemPattern gatherPattern(u32 region, u64 workingSet,
+                         double hotFraction = 0.9,
+                         double writeFraction = 0.1,
+                         double pointerScale = 0.3);
+
+/** Per-loop optimizer hints, see ir::Loop. */
+struct LoopOpts
+{
+    bool unrollable = false;
+    bool splittable = false;
+};
+
+/**
+ * Appends statements to one body (a procedure body or a loop body).
+ * All mutators return *this for chaining; loop() takes a callback
+ * that receives a StmtSeq for the loop body.
+ */
+class StmtSeq
+{
+  public:
+    StmtSeq(std::vector<Stmt>& target, u32& lineCounter);
+
+    /** Straight-line block with `memOps` references per execution. */
+    StmtSeq& block(u32 instrs, u32 memOps,
+                   const MemPattern& pattern = MemPattern{});
+
+    /** Pure-compute block (no memory references). */
+    StmtSeq& compute(u32 instrs);
+
+    /** Counted loop; `body` populates the loop body. */
+    StmtSeq& loop(u64 tripCount,
+                  const std::function<void(StmtSeq&)>& body,
+                  const LoopOpts& opts = LoopOpts{});
+
+    /** Call another procedure by name. */
+    StmtSeq& call(const std::string& callee);
+
+  private:
+    std::vector<Stmt>& stmts;
+    u32& nextLine;
+};
+
+/** Builds one ir::Program with automatically assigned line numbers. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    /**
+     * Declare a procedure and return a StmtSeq for its body.  The
+     * returned StmtSeq stays valid until build(); procedures may be
+     * declared in any order relative to the calls that target them.
+     */
+    StmtSeq procedure(const std::string& name,
+                      InlineHint hint = InlineHint::Never);
+
+    /** Finish: validates and returns the program. */
+    Program build();
+
+  private:
+    Program prog;
+    u32 nextLine = 1;
+};
+
+} // namespace xbsp::ir
+
+#endif // XBSP_IR_BUILDER_HH

@@ -1,0 +1,157 @@
+#include "mem/pattern.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::mem
+{
+
+Addr
+regionBase(u32 regionId)
+{
+    // Regions are 4 GiB apart; region ids are user-chosen small ints.
+    return (static_cast<Addr>(regionId) + 1) << 32;
+}
+
+Addr
+stackBase(u32 procId)
+{
+    // High half of the address space, one 4 GiB window per procedure.
+    return (1ull << 63) | (static_cast<Addr>(procId) << 32);
+}
+
+u64
+ceilPow2(u64 v)
+{
+    u64 p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+AddressGenerator::AddressGenerator(const ir::MemPattern& pattern,
+                                   u64 seed)
+    : kind(pattern.kind), base(regionBase(pattern.regionId)),
+      writeFraction(pattern.writeFraction),
+      hotFraction(pattern.hotFraction), rng(hashMix(seed)),
+      driftPeriod(pattern.driftPeriod), driftAmp(pattern.driftAmp)
+{
+    switch (kind) {
+      case ir::MemPatternKind::None:
+        break;
+      case ir::MemPatternKind::Stride:
+        stride = std::max<u64>(1, pattern.stride);
+        slots = std::max<u64>(1, pattern.workingSet / stride);
+        break;
+      case ir::MemPatternKind::RandomInSet:
+      case ir::MemPatternKind::Gather:
+        slots = std::max<u64>(1, pattern.workingSet / lineBytes);
+        hotSlots = std::max<u64>(1, slots / 8);
+        break;
+      case ir::MemPatternKind::PointerChase:
+        slots = ceilPow2(
+            std::max<u64>(2, pattern.workingSet / lineBytes));
+        chaseMask = slots - 1;
+        cursor = rng.next() & chaseMask;
+        break;
+    }
+    effSlots = slots;
+    effHotSlots = hotSlots;
+    effChaseMask = chaseMask;
+    effHotFraction = hotFraction;
+}
+
+void
+AddressGenerator::applyDriftLevel()
+{
+    // A fixed four-level cycle: nominal, grown, shrunk, mildly grown.
+    // Keyed to the semantic execution index so every binary sees the
+    // same data behaviour at the same point of execution.
+    static constexpr double levelScale[4] = {0.0, 1.0, -0.6, 0.4};
+    const u64 level = (execIndex / driftPeriod) % 4;
+    const double factor = 1.0 + driftAmp * levelScale[level];
+
+    effSlots = std::max<u64>(
+        1, static_cast<u64>(static_cast<double>(slots) * factor));
+    effHotSlots = std::max<u64>(
+        1, static_cast<u64>(static_cast<double>(hotSlots) * factor));
+    // Gathers also spill more references to the cold set when the
+    // footprint grows.
+    effHotFraction = hotFraction - 0.12 * driftAmp * levelScale[level];
+    effHotFraction = std::min(1.0, std::max(0.4, effHotFraction));
+    // Pointer chases halve their cycle in the shrunk level.
+    effChaseMask = factor < 1.0 ? (chaseMask >> 1) : chaseMask;
+    if (effChaseMask == 0)
+        effChaseMask = chaseMask;
+}
+
+void
+AddressGenerator::beginBlock()
+{
+    if (driftPeriod == 0)
+        return;
+    if (execIndex % driftPeriod == 0)
+        applyDriftLevel();
+    ++execIndex;
+    if (kind == ir::MemPatternKind::Stride && cursor >= effSlots)
+        cursor = 0;
+}
+
+bool
+AddressGenerator::drawWrite()
+{
+    // Deterministic fraction without per-ref RNG: accumulate and emit
+    // a write each time the accumulator crosses 1.
+    writeAccum += writeFraction;
+    if (writeAccum >= 1.0) {
+        writeAccum -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+MemRef
+AddressGenerator::next()
+{
+    MemRef ref;
+    ref.isWrite = drawWrite();
+    switch (kind) {
+      case ir::MemPatternKind::None:
+        panic("AddressGenerator::next on a block without memory ops");
+      case ir::MemPatternKind::Stride:
+        ref.addr = base + cursor * stride;
+        cursor = cursor + 1 >= effSlots ? 0 : cursor + 1;
+        break;
+      case ir::MemPatternKind::RandomInSet:
+        ref.addr = base + rng.nextBelow(effSlots) * lineBytes;
+        break;
+      case ir::MemPatternKind::PointerChase:
+        // Full-period LCG walk over a power-of-two line set: the
+        // dependent-chain analogue (a != 1 mod 4 would shorten the
+        // period; these constants give the full 2^k cycle).
+        cursor = (cursor * 1664525 + 1013904223) & effChaseMask;
+        ref.addr = base + cursor * lineBytes;
+        break;
+      case ir::MemPatternKind::Gather:
+        if (rng.nextDouble() < effHotFraction)
+            ref.addr = base + rng.nextBelow(effHotSlots) * lineBytes;
+        else
+            ref.addr = base + rng.nextBelow(effSlots) * lineBytes;
+        break;
+    }
+    return ref;
+}
+
+u64
+AddressGenerator::footprintLines() const
+{
+    switch (kind) {
+      case ir::MemPatternKind::None:
+        return 0;
+      case ir::MemPatternKind::Stride:
+        return std::max<u64>(1, slots * stride / lineBytes);
+      default:
+        return slots;
+    }
+}
+
+} // namespace xbsp::mem

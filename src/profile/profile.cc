@@ -1,0 +1,101 @@
+#include "profile/profile.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace xbsp::prof
+{
+
+MarkerProfiler::MarkerProfiler(const bin::Binary& binary)
+{
+    profile.counts.assign(binary.markerCount(), 0);
+}
+
+void
+MarkerProfiler::finish(InstrCount totalInstrs)
+{
+    profile.totalInstructions = totalInstrs;
+}
+
+BbvAccumulator::BbvAccumulator(u32 dimension)
+{
+    dense.assign(dimension, 0.0);
+}
+
+void
+BbvAccumulator::add(u32 block, double value)
+{
+    if (dense[block] == 0.0)
+        touched.push_back(block);
+    dense[block] += value;
+}
+
+sp::SparseVec
+BbvAccumulator::flush()
+{
+    std::sort(touched.begin(), touched.end());
+    sp::SparseVec vec;
+    vec.reserve(touched.size());
+    for (u32 block : touched) {
+        vec.emplace_back(block, dense[block]);
+        dense[block] = 0.0;
+    }
+    touched.clear();
+    return vec;
+}
+
+FliBbvCollector::FliBbvCollector(const exec::Engine& eng,
+                                 InstrCount targetSize)
+    : engine(eng), target(targetSize),
+      accum(eng.binary().blockCount())
+{
+    if (target == 0)
+        fatal("FLI interval target must be > 0");
+    fvs.dimension = eng.binary().blockCount();
+}
+
+void
+FliBbvCollector::onBlock(u32 blockId, u32 instrs)
+{
+    accum.add(blockId, static_cast<double>(instrs));
+    const InstrCount now = engine.instructionsExecuted();
+    if (now - intervalStart >= target) {
+        fvs.addInterval(accum.flush(), now - intervalStart);
+        ends.push_back(now);
+        intervalStart = now;
+    }
+}
+
+void
+FliBbvCollector::onRunEnd()
+{
+    const InstrCount now = engine.instructionsExecuted();
+    if (now > intervalStart) {
+        fvs.addInterval(accum.flush(), now - intervalStart);
+        ends.push_back(now);
+        intervalStart = now;
+    }
+}
+
+ProfilePass
+runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
+               u64 seed)
+{
+    exec::Engine engine(binary, seed);
+    MarkerProfiler markers(binary);
+    FliBbvCollector bbv(engine, fliTarget);
+    engine.addObserver(&markers, {false, false, true});
+    engine.addObserver(&bbv, {true, false, false});
+    engine.run();
+    markers.finish(engine.instructionsExecuted());
+
+    ProfilePass pass;
+    pass.markers = markers.result();
+    pass.fliIntervals = bbv.intervals();
+    pass.fliBoundaries = bbv.boundaries();
+    pass.totalInstructions = engine.instructionsExecuted();
+    return pass;
+}
+
+} // namespace xbsp::prof

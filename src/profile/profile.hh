@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Pin-tool-style profilers: execution counts for every marker
+ * (procedure entries, loop entries, loop branches — the paper's call
+ * and branch profile, §3.2.1) and fixed-length-interval basic-block
+ * vectors (the classic per-binary SimPoint input, §2).
+ */
+
+#ifndef XBSP_PROFILE_PROFILE_HH
+#define XBSP_PROFILE_PROFILE_HH
+
+#include <vector>
+
+#include "binary/binary.hh"
+#include "exec/engine.hh"
+#include "simpoint/fvec.hh"
+
+namespace xbsp::prof
+{
+
+/** Per-marker dynamic execution counts for one binary/input. */
+struct MarkerProfile
+{
+    std::vector<u64> counts;  ///< indexed by marker id
+    InstrCount totalInstructions = 0;
+};
+
+/** Observer that fills a MarkerProfile (subscribe: markers). */
+class MarkerProfiler : public exec::Observer
+{
+  public:
+    explicit MarkerProfiler(const bin::Binary& binary);
+
+    void onMarker(u32 markerId) override { ++profile.counts[markerId]; }
+
+    /** Record the final instruction count at run end. */
+    void finish(InstrCount totalInstrs);
+
+    const MarkerProfile& result() const { return profile; }
+
+  private:
+    MarkerProfile profile;
+};
+
+/**
+ * Incremental sparse BBV accumulator: dense scratch plus a touched
+ * list so flushing an interval is O(distinct blocks).
+ */
+class BbvAccumulator
+{
+  public:
+    explicit BbvAccumulator(u32 dimension);
+
+    /** Credit `value` (instructions executed) to dimension `block`. */
+    void add(u32 block, double value);
+
+    /** Extract the accumulated sparse vector and reset. */
+    sp::SparseVec flush();
+
+    /** True when nothing has been accumulated since the last flush. */
+    bool empty() const { return touched.empty(); }
+
+  private:
+    std::vector<double> dense;
+    std::vector<u32> touched;
+};
+
+/**
+ * Fixed-length-interval BBV collector (subscribe: blocks).  Intervals
+ * close at the first block boundary at or after each multiple of the
+ * target size, using the engine's canonical instruction counter, so
+ * every collector and snapshot gate in any run of the same binary
+ * agrees on the boundaries.  The trailing partial interval is kept
+ * (with its true, shorter length).
+ */
+class FliBbvCollector : public exec::Observer
+{
+  public:
+    FliBbvCollector(const exec::Engine& engine, InstrCount targetSize);
+
+    void onBlock(u32 blockId, u32 instrs) override;
+    void onRunEnd() override;
+
+    /** Per-interval BBVs with instruction lengths. */
+    const sp::FrequencyVectorSet& intervals() const { return fvs; }
+
+    /**
+     * Cumulative instruction count at the end of each interval
+     * (the FLI boundary positions used by the snapshot gates).
+     */
+    const std::vector<InstrCount>& boundaries() const { return ends; }
+
+  private:
+    const exec::Engine& engine;
+    const InstrCount target;
+    BbvAccumulator accum;
+    sp::FrequencyVectorSet fvs;
+    std::vector<InstrCount> ends;
+    InstrCount intervalStart = 0;
+};
+
+/**
+ * Run one profiling pass (no timing model) over a binary, collecting
+ * the marker profile and FLI BBVs together.
+ */
+struct ProfilePass
+{
+    MarkerProfile markers;
+    sp::FrequencyVectorSet fliIntervals;
+    std::vector<InstrCount> fliBoundaries;
+    InstrCount totalInstructions = 0;
+};
+
+ProfilePass runProfilePass(const bin::Binary& binary,
+                           InstrCount fliTarget,
+                           u64 seed = 0x5EEDull);
+
+} // namespace xbsp::prof
+
+#endif // XBSP_PROFILE_PROFILE_HH

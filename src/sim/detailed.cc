@@ -1,0 +1,52 @@
+#include "sim/detailed.hh"
+
+#include <memory>
+
+namespace xbsp::sim
+{
+
+DetailedRunResult
+runDetailed(const bin::Binary& binary, const DetailedRunRequest& req)
+{
+    exec::Engine engine(binary, req.seed);
+    cache::Hierarchy hierarchy(req.memory);
+    cpu::InOrderCore core(hierarchy);
+
+    // The core is registered first so snapshot observers read fully
+    // updated counters (see the engine's ordering contract).
+    engine.addObserver(&core, {true, true, false});
+
+    std::unique_ptr<FliSnapshotter> fli;
+    if (!req.fliBoundaries.empty()) {
+        fli = std::make_unique<FliSnapshotter>(engine, core,
+                                               req.fliBoundaries);
+        engine.addObserver(fli.get(), {true, false, false});
+    }
+
+    std::unique_ptr<VliSnapshotter> vli;
+    if (req.partition) {
+        vli = std::make_unique<VliSnapshotter>(
+            engine, core, *req.mappable, req.binaryIdx,
+            *req.partition);
+        engine.addObserver(vli.get(), {false, false, true});
+    }
+
+    engine.run();
+
+    DetailedRunResult result;
+    result.totals = core.totals();
+    result.memory.refs = hierarchy.totalAccesses();
+    result.memory.l1Hits = hierarchy.servicedAt(cache::HitLevel::L1);
+    result.memory.l2Hits = hierarchy.servicedAt(cache::HitLevel::L2);
+    result.memory.l3Hits = hierarchy.servicedAt(cache::HitLevel::L3);
+    result.memory.dramAccesses =
+        hierarchy.servicedAt(cache::HitLevel::Memory);
+    result.memory.dramWritebacks = hierarchy.dramWritebacks();
+    if (fli)
+        result.fliIntervals = fli->intervals();
+    if (vli)
+        result.vliIntervals = vli->intervals();
+    return result;
+}
+
+} // namespace xbsp::sim

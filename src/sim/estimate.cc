@@ -1,0 +1,88 @@
+#include "sim/estimate.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace xbsp::sim
+{
+
+std::vector<PhaseEstimate>
+BinaryEstimate::phasesByWeight() const
+{
+    std::vector<PhaseEstimate> sorted = phases;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const PhaseEstimate& a, const PhaseEstimate& b) {
+                         return a.weight > b.weight;
+                     });
+    return sorted;
+}
+
+BinaryEstimate
+estimateSampled(const sp::SimPointResult& clustering,
+                const std::vector<IntervalStats>& intervals)
+{
+    if (clustering.labels.size() != intervals.size())
+        panic("estimateSampled: clustering has {} intervals but stats "
+              "have {}", clustering.labels.size(), intervals.size());
+
+    BinaryEstimate est;
+    double totalCycles = 0.0;
+    for (const IntervalStats& iv : intervals) {
+        est.totalInstrs += iv.instrs;
+        totalCycles += static_cast<double>(iv.cycles);
+    }
+    est.trueCycles = totalCycles;
+    est.trueCpi = est.totalInstrs
+                      ? totalCycles / static_cast<double>(est.totalInstrs)
+                      : 0.0;
+
+    double estCpi = 0.0;
+    for (const sp::Phase& phase : clustering.phases) {
+        PhaseEstimate pe;
+        pe.phaseId = phase.id;
+        pe.representative = phase.representative;
+
+        InstrCount phaseInstrs = 0;
+        double phaseCycles = 0.0;
+        for (u32 member : phase.members) {
+            phaseInstrs += intervals[member].instrs;
+            phaseCycles += static_cast<double>(intervals[member].cycles);
+        }
+        pe.weight = est.totalInstrs
+                        ? static_cast<double>(phaseInstrs) /
+                              static_cast<double>(est.totalInstrs)
+                        : 0.0;
+        pe.trueCpi = phaseInstrs
+                         ? phaseCycles / static_cast<double>(phaseInstrs)
+                         : 0.0;
+        pe.spCpi = intervals[phase.representative].cpi();
+        pe.bias = signedRelativeError(pe.trueCpi, pe.spCpi);
+        estCpi += pe.weight * pe.spCpi;
+        est.phases.push_back(std::move(pe));
+    }
+    est.estCpi = estCpi;
+    est.estCycles = estCpi * static_cast<double>(est.totalInstrs);
+    est.cpiError = relativeError(est.trueCpi, est.estCpi);
+    return est;
+}
+
+double
+speedup(double cyclesA, double cyclesB)
+{
+    if (cyclesB == 0.0)
+        panic("speedup with zero cycles in the denominator");
+    return cyclesA / cyclesB;
+}
+
+double
+speedupError(double trueCyclesA, double trueCyclesB,
+             double estCyclesA, double estCyclesB)
+{
+    const double truth = speedup(trueCyclesA, trueCyclesB);
+    const double estimate = speedup(estCyclesA, estCyclesB);
+    return relativeError(truth, estimate);
+}
+
+} // namespace xbsp::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sampled-simulation estimation math: combine a SimPoint clustering
+ * with per-interval detailed statistics to estimate whole-program
+ * CPI/cycles from the simulation points alone, recalculating phase
+ * weights from the target binary's interval sizes (paper §3.2.6),
+ * and compute the paper's error metrics.
+ */
+
+#ifndef XBSP_SIM_ESTIMATE_HH
+#define XBSP_SIM_ESTIMATE_HH
+
+#include <vector>
+
+#include "sim/snapshots.hh"
+#include "simpoint/simpoint.hh"
+
+namespace xbsp::sim
+{
+
+/** Per-phase row, matching the columns of the paper's Tables 2/3. */
+struct PhaseEstimate
+{
+    u32 phaseId = 0;
+    u32 representative = 0;  ///< interval index (the simulation point)
+    double weight = 0.0;     ///< fraction of this binary's instructions
+    double trueCpi = 0.0;    ///< instr-weighted CPI over member intervals
+    double spCpi = 0.0;      ///< CPI of the simulation point alone
+    double bias = 0.0;       ///< signed (spCpi - trueCpi) / trueCpi
+};
+
+/** Whole-binary estimate derived from the simulation points. */
+struct BinaryEstimate
+{
+    InstrCount totalInstrs = 0;
+    double trueCycles = 0.0;
+    double trueCpi = 0.0;
+    double estCpi = 0.0;
+    double estCycles = 0.0;
+    double cpiError = 0.0;  ///< |(true - est) / true|
+    std::vector<PhaseEstimate> phases;
+
+    /** Phases sorted by descending weight (Tables 2/3 ordering). */
+    std::vector<PhaseEstimate> phasesByWeight() const;
+};
+
+/**
+ * Estimate a binary's performance from simulation points.
+ *
+ * `clustering` supplies the interval->phase labels and the chosen
+ * representative per phase; `intervals` supplies this binary's
+ * per-interval detailed statistics under the *same* partition the
+ * clustering labels refer to (the binary's own FLI intervals for
+ * per-binary SimPoint, or the mapped VLI intervals for cross-binary
+ * SimPoint).  Weights are recomputed from `intervals`' instruction
+ * counts, which is what makes the estimate correct in binaries other
+ * than the primary.
+ */
+BinaryEstimate estimateSampled(const sp::SimPointResult& clustering,
+                               const std::vector<IntervalStats>& intervals);
+
+/** Speedup of A over B as the paper defines it: cyclesA / cyclesB. */
+double speedup(double cyclesA, double cyclesB);
+
+/** |(trueSpeedup - estSpeedup) / trueSpeedup| (paper §5.2). */
+double speedupError(double trueCyclesA, double trueCyclesB,
+                    double estCyclesA, double estCyclesB);
+
+} // namespace xbsp::sim
+
+#endif // XBSP_SIM_ESTIMATE_HH

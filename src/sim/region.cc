@@ -1,0 +1,182 @@
+#include "sim/region.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::sim
+{
+
+namespace
+{
+
+/**
+ * Gate helper shared by both region flavours: records core counters
+ * at region start/end and optionally flushes the hierarchy at start.
+ */
+struct RegionGate
+{
+    cpu::InOrderCore& core;
+    cache::Hierarchy& hierarchy;
+    RegionWarming warming;
+    IntervalStats startSnap;
+    IntervalStats endSnap;
+    bool started = false;
+    bool ended = false;
+
+    void
+    begin(const exec::Engine& engine)
+    {
+        if (started)
+            panic("region started twice");
+        started = true;
+        if (warming == RegionWarming::Cold)
+            hierarchy.flushAll();
+        startSnap = IntervalStats{engine.instructionsExecuted(),
+                                  core.cycles()};
+    }
+
+    void
+    end(const exec::Engine& engine)
+    {
+        if (!started || ended)
+            panic("region ended out of order");
+        ended = true;
+        endSnap = IntervalStats{engine.instructionsExecuted(),
+                                core.cycles()};
+    }
+
+    IntervalStats
+    stats() const
+    {
+        if (!started || !ended)
+            panic("region never fully executed");
+        return IntervalStats{endSnap.instrs - startSnap.instrs,
+                             endSnap.cycles - startSnap.cycles};
+    }
+};
+
+/** FLI gating observer: region = [bounds[i-1], bounds[i]). */
+class FliRegionObserver : public exec::Observer
+{
+  public:
+    FliRegionObserver(const exec::Engine& eng, RegionGate& g,
+                      InstrCount startAt, InstrCount endAt)
+        : engine(eng), gate(g), startInstr(startAt), endInstr(endAt)
+    {
+        if (startAt == 0)
+            gate.begin(engine);
+    }
+
+    void
+    onBlock(u32, u32) override
+    {
+        const InstrCount now = engine.instructionsExecuted();
+        if (!gate.started && now >= startInstr)
+            gate.begin(engine);
+        if (gate.started && !gate.ended && now >= endInstr)
+            gate.end(engine);
+    }
+
+    void
+    onRunEnd() override
+    {
+        if (gate.started && !gate.ended)
+            gate.end(engine);
+    }
+
+  private:
+    const exec::Engine& engine;
+    RegionGate& gate;
+    InstrCount startInstr;
+    InstrCount endInstr;
+};
+
+/** VLI gating observer driven by boundary events. */
+class VliRegionObserver : public exec::Observer
+{
+  public:
+    VliRegionObserver(const exec::Engine& eng, RegionGate& g,
+                      const core::MappableSet& mappable,
+                      std::size_t binaryIdx,
+                      const core::VliPartition& partition,
+                      std::size_t index)
+        : engine(eng), gate(g), regionIdx(index),
+          tracker(mappable, binaryIdx, partition,
+                  [this](std::size_t boundary) {
+                      if (boundary + 1 == regionIdx)
+                          gate.begin(engine);
+                      else if (boundary == regionIdx)
+                          gate.end(engine);
+                  })
+    {
+        if (regionIdx == 0)
+            gate.begin(engine);
+    }
+
+    void
+    onMarker(u32 markerId) override
+    {
+        tracker.onMarker(markerId);
+    }
+
+    void
+    onRunEnd() override
+    {
+        if (gate.started && !gate.ended)
+            gate.end(engine);
+    }
+
+  private:
+    const exec::Engine& engine;
+    RegionGate& gate;
+    std::size_t regionIdx;
+    core::BoundaryTracker tracker;
+};
+
+} // namespace
+
+IntervalStats
+simulateFliRegion(const bin::Binary& binary,
+                  const cache::HierarchyConfig& memory,
+                  const std::vector<InstrCount>& boundaries,
+                  std::size_t index, RegionWarming warming, u64 seed)
+{
+    if (index >= boundaries.size())
+        fatal("FLI region index {} out of range ({} intervals)",
+              index, boundaries.size());
+    exec::Engine engine(binary, seed);
+    cache::Hierarchy hierarchy(memory);
+    cpu::InOrderCore core(hierarchy);
+    RegionGate gate{core, hierarchy, warming, {}, {}, false, false};
+    const InstrCount startAt = index == 0 ? 0 : boundaries[index - 1];
+    FliRegionObserver observer(engine, gate, startAt,
+                               boundaries[index]);
+    engine.addObserver(&core, {true, true, false});
+    engine.addObserver(&observer, {true, false, false});
+    engine.run();
+    return gate.stats();
+}
+
+IntervalStats
+simulateVliRegion(const bin::Binary& binary,
+                  const cache::HierarchyConfig& memory,
+                  const core::MappableSet& mappable,
+                  std::size_t binaryIdx,
+                  const core::VliPartition& partition,
+                  std::size_t index, RegionWarming warming, u64 seed)
+{
+    if (index >= partition.intervalCount())
+        fatal("VLI region index {} out of range ({} intervals)",
+              index, partition.intervalCount());
+    exec::Engine engine(binary, seed);
+    cache::Hierarchy hierarchy(memory);
+    cpu::InOrderCore core(hierarchy);
+    RegionGate gate{core, hierarchy, warming, {}, {}, false, false};
+    VliRegionObserver observer(engine, gate, mappable, binaryIdx,
+                               partition, index);
+    engine.addObserver(&core, {true, true, false});
+    engine.addObserver(&observer, {false, false, true});
+    engine.run();
+    return gate.stats();
+}
+
+} // namespace xbsp::sim

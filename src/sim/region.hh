@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Standalone simulation of a single sampling region, with a choice of
+ * warm (functionally warmed caches, the default everywhere else) or
+ * cold (caches flushed at region start) initial state.  Used by the
+ * warming ablation bench and by integration tests that validate the
+ * snapshot-gating fast path against an explicit region run.
+ */
+
+#ifndef XBSP_SIM_REGION_HH
+#define XBSP_SIM_REGION_HH
+
+#include "cache/hierarchy.hh"
+#include "core/vli.hh"
+#include "sim/snapshots.hh"
+
+namespace xbsp::sim
+{
+
+/** Initial cache state when the sampling region begins. */
+enum class RegionWarming
+{
+    Warm,  ///< caches carry the state the fast-forward left behind
+    Cold   ///< caches invalidated at region start
+};
+
+/**
+ * Simulate interval `index` of a binary's FLI partition.
+ * `boundaries` are the cumulative interval ends (incl. final) from
+ * the binary's profile pass.
+ */
+IntervalStats simulateFliRegion(const bin::Binary& binary,
+                                const cache::HierarchyConfig& memory,
+                                const std::vector<InstrCount>& boundaries,
+                                std::size_t index,
+                                RegionWarming warming,
+                                u64 seed = 0x5EEDull);
+
+/**
+ * Simulate interval `index` of the mapped VLI partition in any
+ * binary of the mappable set.
+ */
+IntervalStats simulateVliRegion(const bin::Binary& binary,
+                                const cache::HierarchyConfig& memory,
+                                const core::MappableSet& mappable,
+                                std::size_t binaryIdx,
+                                const core::VliPartition& partition,
+                                std::size_t index,
+                                RegionWarming warming,
+                                u64 seed = 0x5EEDull);
+
+} // namespace xbsp::sim
+
+#endif // XBSP_SIM_REGION_HH

@@ -1,0 +1,108 @@
+#include "sim/report.hh"
+
+#include <iomanip>
+
+namespace xbsp::sim
+{
+
+namespace
+{
+
+void
+statLine(std::ostream& os, const std::string& name, double value,
+         const std::string& desc)
+{
+    os << std::left << std::setw(44) << name << " " << std::setw(16)
+       << std::setprecision(6) << value << " # " << desc << "\n";
+}
+
+void
+statLine(std::ostream& os, const std::string& name, u64 value,
+         const std::string& desc)
+{
+    os << std::left << std::setw(44) << name << " " << std::setw(16)
+       << value << " # " << desc << "\n";
+}
+
+} // namespace
+
+void
+dumpRunStats(std::ostream& os, const std::string& prefix,
+             const DetailedRunResult& result)
+{
+    statLine(os, prefix + ".sim_insts", result.totals.instructions,
+             "instructions simulated");
+    statLine(os, prefix + ".sim_cycles", result.totals.cycles,
+             "cycles simulated");
+    statLine(os, prefix + ".cpi", result.totals.cpi(),
+             "cycles per instruction");
+    statLine(os, prefix + ".mem.refs", result.memory.refs,
+             "data references");
+    statLine(os, prefix + ".mem.l1_hits", result.memory.l1Hits,
+             "references serviced by L1D");
+    statLine(os, prefix + ".mem.l2_hits", result.memory.l2Hits,
+             "references serviced by L2D");
+    statLine(os, prefix + ".mem.l3_hits", result.memory.l3Hits,
+             "references serviced by L3D");
+    statLine(os, prefix + ".mem.dram_accesses",
+             result.memory.dramAccesses,
+             "references serviced by DRAM");
+    statLine(os, prefix + ".mem.dram_writebacks",
+             result.memory.dramWritebacks, "dirty lines written back");
+    statLine(os, prefix + ".mem.l1_miss_rate",
+             result.memory.l1MissRate(), "L1D miss rate");
+}
+
+void
+dumpStudyStats(std::ostream& os, const CrossBinaryStudy& study)
+{
+    os << "---------- study " << study.programName()
+       << " ----------\n";
+    statLine(os, "mappable.points",
+             static_cast<u64>(study.mappable().points.size()),
+             "markers mappable across all binaries");
+    statLine(os, "mappable.rejected",
+             static_cast<u64>(study.mappable().rejected.size()),
+             "candidate keys rejected");
+    statLine(os, "vli.intervals",
+             static_cast<u64>(study.partition().intervalCount()),
+             "mapped variable-length intervals");
+    statLine(os, "vli.phases",
+             static_cast<u64>(study.vliClustering().phases.size()),
+             "phases chosen on the primary binary");
+
+    for (const BinaryStudy& bs : study.perBinary()) {
+        const std::string prefix =
+            study.programName() + "." + bin::targetName(bs.target);
+        dumpRunStats(os, prefix, bs.detailedRun);
+        statLine(os, prefix + ".fli.est_cpi", bs.fliEstimate.estCpi,
+                 "per-binary SimPoint CPI estimate");
+        statLine(os, prefix + ".fli.cpi_error",
+                 bs.fliEstimate.cpiError, "per-binary SimPoint error");
+        statLine(os, prefix + ".vli.est_cpi", bs.vliEstimate.estCpi,
+                 "mappable SimPoint CPI estimate");
+        statLine(os, prefix + ".vli.cpi_error",
+                 bs.vliEstimate.cpiError, "mappable SimPoint error");
+    }
+
+    auto pairs = samePlatformPairs();
+    for (const auto& pair : crossPlatformPairs())
+        pairs.push_back(pair);
+    for (const auto& pair : pairs) {
+        const std::string prefix =
+            study.programName() + ".speedup." + pair.label;
+        statLine(os, prefix + ".true",
+                 study.trueSpeedup(pair.a, pair.b),
+                 "cycles ratio from full simulation");
+        statLine(os, prefix + ".fli_error",
+                 study.speedupError(Method::PerBinaryFli, pair.a,
+                                    pair.b),
+                 "per-binary SimPoint speedup error");
+        statLine(os, prefix + ".vli_error",
+                 study.speedupError(Method::MappableVli, pair.a,
+                                    pair.b),
+                 "mappable SimPoint speedup error");
+    }
+}
+
+} // namespace xbsp::sim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * gem5-style statistics dump for detailed runs: a flat
+ * "name value # description" listing that scripts can grep, matching
+ * the conventions simulator users expect.
+ */
+
+#ifndef XBSP_SIM_REPORT_HH
+#define XBSP_SIM_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "sim/detailed.hh"
+#include "sim/study.hh"
+
+namespace xbsp::sim
+{
+
+/** Dump one detailed run's statistics under a `prefix.` namespace. */
+void dumpRunStats(std::ostream& os, const std::string& prefix,
+                  const DetailedRunResult& result);
+
+/** Dump a whole study: per-binary truth, both estimates, speedups. */
+void dumpStudyStats(std::ostream& os, const CrossBinaryStudy& study);
+
+} // namespace xbsp::sim
+
+#endif // XBSP_SIM_REPORT_HH

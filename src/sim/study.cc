@@ -1,0 +1,201 @@
+#include "sim/study.hh"
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace xbsp::sim
+{
+
+std::string
+methodName(Method method)
+{
+    return method == Method::PerBinaryFli ? "fli" : "vli";
+}
+
+CrossBinaryStudy
+CrossBinaryStudy::run(const ir::Program& program,
+                      const StudyConfig& config)
+{
+    CrossBinaryStudy study;
+    study.cfg = config;
+    study.name = program.name;
+
+    // 1. Compile the four standard binaries.
+    study.bins =
+        compile::compileAllTargets(program, config.compileOptions);
+    if (config.primaryIdx >= study.bins.size())
+        fatal("primary binary index {} out of range",
+              config.primaryIdx);
+
+    // 2. Profile pass per binary: marker counts + FLI BBVs.
+    std::vector<prof::ProfilePass> passes;
+    passes.reserve(study.bins.size());
+    for (const bin::Binary& binary : study.bins) {
+        passes.push_back(prof::runProfilePass(
+            binary, config.intervalTarget, config.engineSeed));
+    }
+
+    // 3. Match mappable points across all binaries.
+    std::vector<const bin::Binary*> binPtrs;
+    std::vector<const prof::MarkerProfile*> profPtrs;
+    for (std::size_t b = 0; b < study.bins.size(); ++b) {
+        binPtrs.push_back(&study.bins[b]);
+        profPtrs.push_back(&passes[b].markers);
+    }
+    study.mappableSet = core::findMappablePoints(binPtrs, profPtrs);
+    if (study.mappableSet.points.empty())
+        fatal("program '{}': no mappable points found across the "
+              "binaries; cross-binary SimPoint cannot proceed",
+              program.name);
+
+    // 4. Build VLIs on the primary and cluster them.
+    core::VliBuild vliBuild = core::buildVliPartition(
+        study.bins[config.primaryIdx], study.mappableSet,
+        config.primaryIdx, config.intervalTarget, config.engineSeed);
+    study.vliPartition = vliBuild.partition;
+    study.vliCluster = sp::pickSimulationPoints(vliBuild.intervals,
+                                                config.simpoint);
+
+    // 5/6/7. Per-binary clustering, detailed run and estimates.
+    study.studies.resize(study.bins.size());
+    for (std::size_t b = 0; b < study.bins.size(); ++b) {
+        BinaryStudy& bs = study.studies[b];
+        bs.target = study.bins[b].target;
+        bs.totalInstrs = passes[b].totalInstructions;
+        bs.markers = passes[b].markers;
+        bs.fliBoundaries = passes[b].fliBoundaries;
+        bs.fliIntervalCount = passes[b].fliIntervals.size();
+        bs.fliClustering = sp::pickSimulationPoints(
+            passes[b].fliIntervals, config.simpoint);
+
+        if (!config.detailed) {
+            // Interval sizes are still known without timing: compute
+            // the mapped VLI sizes with a cheap (no-cache) run.
+            exec::Engine engine(study.bins[b], config.engineSeed);
+            std::vector<InstrCount> cuts;
+            core::BoundaryTracker tracker(
+                study.mappableSet, b, study.vliPartition,
+                [&](std::size_t) {
+                    cuts.push_back(engine.instructionsExecuted());
+                });
+            engine.addObserver(&tracker, {false, false, true});
+            engine.run();
+            if (!tracker.finished())
+                panic("binary {}: VLI boundaries not all crossed",
+                      study.bins[b].displayName());
+            bs.avgVliIntervalSize =
+                static_cast<double>(engine.instructionsExecuted()) /
+                static_cast<double>(study.vliPartition.intervalCount());
+            continue;
+        }
+
+        DetailedRunRequest req;
+        req.fliBoundaries = passes[b].fliBoundaries;
+        req.mappable = &study.mappableSet;
+        req.binaryIdx = b;
+        req.partition = &study.vliPartition;
+        req.memory = config.memory;
+        req.seed = config.engineSeed;
+        bs.detailedRun = runDetailed(study.bins[b], req);
+
+        bs.fliEstimate = estimateSampled(bs.fliClustering,
+                                         bs.detailedRun.fliIntervals);
+        bs.vliEstimate = estimateSampled(study.vliCluster,
+                                         bs.detailedRun.vliIntervals);
+        bs.avgVliIntervalSize =
+            static_cast<double>(bs.totalInstrs) /
+            static_cast<double>(study.vliPartition.intervalCount());
+    }
+    return study;
+}
+
+double
+CrossBinaryStudy::avgSimPointCount(Method method) const
+{
+    std::vector<double> counts;
+    for (const BinaryStudy& bs : studies) {
+        if (method == Method::PerBinaryFli)
+            counts.push_back(
+                static_cast<double>(bs.fliClustering.phases.size()));
+        else
+            counts.push_back(
+                static_cast<double>(vliCluster.phases.size()));
+    }
+    return mean(counts);
+}
+
+double
+CrossBinaryStudy::avgIntervalSize(Method method) const
+{
+    std::vector<double> sizes;
+    for (const BinaryStudy& bs : studies) {
+        if (method == Method::PerBinaryFli) {
+            sizes.push_back(static_cast<double>(bs.totalInstrs) /
+                            static_cast<double>(bs.fliIntervalCount));
+        } else {
+            sizes.push_back(bs.avgVliIntervalSize);
+        }
+    }
+    return mean(sizes);
+}
+
+double
+CrossBinaryStudy::avgCpiError(Method method) const
+{
+    std::vector<double> errors;
+    for (const BinaryStudy& bs : studies) {
+        const BinaryEstimate& est = method == Method::PerBinaryFli
+                                        ? bs.fliEstimate
+                                        : bs.vliEstimate;
+        errors.push_back(est.cpiError);
+    }
+    return mean(errors);
+}
+
+const BinaryEstimate&
+CrossBinaryStudy::estimateOf(Method method, std::size_t idx) const
+{
+    if (idx >= studies.size())
+        panic("binary index {} out of range", idx);
+    return method == Method::PerBinaryFli ? studies[idx].fliEstimate
+                                          : studies[idx].vliEstimate;
+}
+
+double
+CrossBinaryStudy::trueSpeedup(std::size_t a, std::size_t b) const
+{
+    return speedup(estimateOf(Method::PerBinaryFli, a).trueCycles,
+                   estimateOf(Method::PerBinaryFli, b).trueCycles);
+}
+
+double
+CrossBinaryStudy::estimatedSpeedup(Method method, std::size_t a,
+                                   std::size_t b) const
+{
+    return speedup(estimateOf(method, a).estCycles,
+                   estimateOf(method, b).estCycles);
+}
+
+double
+CrossBinaryStudy::speedupError(Method method, std::size_t a,
+                               std::size_t b) const
+{
+    const BinaryEstimate& estA = estimateOf(method, a);
+    const BinaryEstimate& estB = estimateOf(method, b);
+    return sim::speedupError(estA.trueCycles, estB.trueCycles,
+                             estA.estCycles, estB.estCycles);
+}
+
+std::vector<SpeedupPair>
+samePlatformPairs()
+{
+    return {{0, 1, "32u32o"}, {2, 3, "64u64o"}};
+}
+
+std::vector<SpeedupPair>
+crossPlatformPairs()
+{
+    return {{0, 2, "32u64u"}, {1, 3, "32o64o"}};
+}
+
+} // namespace xbsp::sim

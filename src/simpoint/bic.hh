@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Bayesian Information Criterion scoring of a clustering (SimPoint
+ * step 4), following the X-means formulation of Pelleg & Moore with
+ * an identical spherical-Gaussian model per cluster.  Weighted points
+ * enter through effective counts, so VLI clusterings are scored by
+ * the execution they explain, not by raw interval counts.
+ */
+
+#ifndef XBSP_SIMPOINT_BIC_HH
+#define XBSP_SIMPOINT_BIC_HH
+
+#include "simpoint/kmeans.hh"
+
+namespace xbsp::sp
+{
+
+/**
+ * BIC = log-likelihood - (p/2) log R with p = k (dims + 1) free
+ * parameters.  Higher is better.
+ */
+double bicScore(const ProjectedData& data, const KMeansResult& result);
+
+/**
+ * Normalize a list of per-k BIC scores to [0, 1]
+ * ((score - min) / (max - min)); all-equal input maps to all-1.
+ */
+std::vector<double> normalizeBic(const std::vector<double>& scores);
+
+} // namespace xbsp::sp
+
+#endif // XBSP_SIMPOINT_BIC_HH

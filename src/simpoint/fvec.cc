@@ -1,0 +1,57 @@
+#include "simpoint/fvec.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::sp
+{
+
+double
+sparseSum(const SparseVec& vec)
+{
+    double sum = 0.0;
+    for (const auto& [idx, val] : vec)
+        sum += val;
+    return sum;
+}
+
+void
+sparseNormalize(SparseVec& vec)
+{
+    const double sum = sparseSum(vec);
+    if (sum == 0.0)
+        return;
+    for (auto& [idx, val] : vec)
+        val /= sum;
+}
+
+void
+FrequencyVectorSet::addInterval(SparseVec vec, InstrCount length)
+{
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+        if (vec[i].first >= dimension)
+            panic("frequency vector index {} exceeds dimension {}",
+                  vec[i].first, dimension);
+        if (i > 0 && vec[i].first <= vec[i - 1].first)
+            panic("frequency vector indices must be strictly rising");
+    }
+    vectors.push_back(std::move(vec));
+    lengths.push_back(length);
+}
+
+void
+FrequencyVectorSet::normalize()
+{
+    for (auto& vec : vectors)
+        sparseNormalize(vec);
+}
+
+InstrCount
+FrequencyVectorSet::totalInstructions() const
+{
+    InstrCount total = 0;
+    for (InstrCount len : lengths)
+        total += len;
+    return total;
+}
+
+} // namespace xbsp::sp

@@ -1,0 +1,196 @@
+#include "simpoint/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace xbsp::sp
+{
+
+namespace
+{
+
+/** Assign every point to its nearest centroid; returns weighted SSE. */
+double
+assignLabels(const ProjectedData& data, const KMeansResult& res,
+             std::vector<u32>& labels)
+{
+    double sse = 0.0;
+    for (std::size_t i = 0; i < data.count; ++i) {
+        double best = std::numeric_limits<double>::max();
+        u32 bestC = 0;
+        for (u32 c = 0; c < res.k; ++c) {
+            const double d =
+                sqDist(data.point(i), res.centroid(c, data.dims));
+            if (d < best) {
+                best = d;
+                bestC = c;
+            }
+        }
+        labels[i] = bestC;
+        sse += data.weights[i] * best;
+    }
+    return sse;
+}
+
+/** Recompute weighted centroids; returns ids of empty clusters. */
+std::vector<u32>
+updateCentroids(const ProjectedData& data, KMeansResult& res)
+{
+    std::fill(res.centroids.begin(), res.centroids.end(), 0.0);
+    std::fill(res.clusterWeight.begin(), res.clusterWeight.end(), 0.0);
+    for (std::size_t i = 0; i < data.count; ++i) {
+        const u32 c = res.labels[i];
+        double* crow =
+            res.centroids.data() + static_cast<std::size_t>(c) *
+                                       data.dims;
+        const auto p = data.point(i);
+        const double w = data.weights[i];
+        for (u32 d = 0; d < data.dims; ++d)
+            crow[d] += w * p[d];
+        res.clusterWeight[c] += w;
+    }
+    std::vector<u32> empty;
+    for (u32 c = 0; c < res.k; ++c) {
+        if (res.clusterWeight[c] <= 0.0) {
+            empty.push_back(c);
+            continue;
+        }
+        double* crow = res.centroids.data() +
+                       static_cast<std::size_t>(c) * data.dims;
+        for (u32 d = 0; d < data.dims; ++d)
+            crow[d] /= res.clusterWeight[c];
+    }
+    return empty;
+}
+
+/** Re-seed an empty cluster with the worst-fitting point. */
+void
+reseedEmpty(const ProjectedData& data, KMeansResult& res,
+            const std::vector<u32>& empty)
+{
+    for (u32 c : empty) {
+        double worst = -1.0;
+        std::size_t worstIdx = 0;
+        for (std::size_t i = 0; i < data.count; ++i) {
+            const u32 owner = res.labels[i];
+            if (res.clusterWeight[owner] <= 0.0)
+                continue;
+            const double d = sqDist(data.point(i),
+                                    res.centroid(owner, data.dims));
+            if (d > worst) {
+                worst = d;
+                worstIdx = i;
+            }
+        }
+        double* crow = res.centroids.data() +
+                       static_cast<std::size_t>(c) * data.dims;
+        const auto p = data.point(worstIdx);
+        std::copy(p.begin(), p.end(), crow);
+        res.labels[worstIdx] = c;
+    }
+}
+
+void
+initPlusPlus(const ProjectedData& data, KMeansResult& res, Rng& rng)
+{
+    // First centroid: weighted-uniform draw.
+    std::vector<double> minDist(data.count,
+                                std::numeric_limits<double>::max());
+    auto pickWeighted = [&](const std::vector<double>& probs) {
+        double total = 0.0;
+        for (double p : probs)
+            total += p;
+        double r = rng.nextDouble() * total;
+        for (std::size_t i = 0; i < probs.size(); ++i) {
+            r -= probs[i];
+            if (r <= 0.0)
+                return i;
+        }
+        return probs.size() - 1;
+    };
+
+    std::size_t first = pickWeighted(data.weights);
+    auto setCentroid = [&](u32 c, std::size_t i) {
+        double* crow = res.centroids.data() +
+                       static_cast<std::size_t>(c) * data.dims;
+        const auto p = data.point(i);
+        std::copy(p.begin(), p.end(), crow);
+    };
+    setCentroid(0, first);
+
+    std::vector<double> probs(data.count);
+    for (u32 c = 1; c < res.k; ++c) {
+        for (std::size_t i = 0; i < data.count; ++i) {
+            const double d =
+                sqDist(data.point(i), res.centroid(c - 1, data.dims));
+            minDist[i] = std::min(minDist[i], d);
+            probs[i] = data.weights[i] * minDist[i];
+        }
+        setCentroid(c, pickWeighted(probs));
+    }
+}
+
+void
+initRandomPartition(const ProjectedData& data, KMeansResult& res,
+                    Rng& rng)
+{
+    for (std::size_t i = 0; i < data.count; ++i)
+        res.labels[i] = static_cast<u32>(rng.nextBelow(res.k));
+    // Guarantee every cluster owns at least one point.
+    for (u32 c = 0; c < res.k && c < data.count; ++c)
+        res.labels[c] = c;
+    const auto empty = updateCentroids(data, res);
+    reseedEmpty(data, res, empty);
+}
+
+} // namespace
+
+KMeansResult
+runKMeans(const ProjectedData& data, u32 k, Rng& rng,
+          const KMeansOptions& options)
+{
+    if (data.count == 0)
+        fatal("k-means called with no data points");
+    KMeansResult res;
+    res.k = std::max<u32>(1, std::min<u32>(
+                                 k, static_cast<u32>(data.count)));
+    res.labels.assign(data.count, 0);
+    res.centroids.assign(
+        static_cast<std::size_t>(res.k) * data.dims, 0.0);
+    res.clusterWeight.assign(res.k, 0.0);
+
+    if (options.init == InitMethod::KMeansPlusPlus)
+        initPlusPlus(data, res, rng);
+    else
+        initRandomPartition(data, res, rng);
+
+    std::vector<u32> newLabels(data.count, 0);
+    for (u32 iter = 0; iter < options.maxIterations; ++iter) {
+        res.iterations = iter + 1;
+        res.weightedSse = assignLabels(data, res, newLabels);
+        const bool stable = newLabels == res.labels && iter > 0;
+        res.labels = newLabels;
+        const auto empty = updateCentroids(data, res);
+        if (!empty.empty()) {
+            reseedEmpty(data, res, empty);
+            updateCentroids(data, res);
+            continue;
+        }
+        if (stable) {
+            res.converged = true;
+            break;
+        }
+    }
+    // Final consistent assignment and SSE against the final
+    // centroids; recompute member weights to match the final labels
+    // without moving the centroids again.
+    res.weightedSse = assignLabels(data, res, res.labels);
+    std::fill(res.clusterWeight.begin(), res.clusterWeight.end(), 0.0);
+    for (std::size_t i = 0; i < data.count; ++i)
+        res.clusterWeight[res.labels[i]] += data.weights[i];
+    return res;
+}
+
+} // namespace xbsp::sp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Weighted k-means (SimPoint step 3).  Points carry weights (interval
+ * instruction counts), so variable-length intervals influence
+ * centroids proportionally to the execution they represent, per
+ * SimPoint 3.0's VLI support.
+ */
+
+#ifndef XBSP_SIMPOINT_KMEANS_HH
+#define XBSP_SIMPOINT_KMEANS_HH
+
+#include <vector>
+
+#include "simpoint/projection.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace xbsp::sp
+{
+
+/** Centroid seeding strategy. */
+enum class InitMethod
+{
+    KMeansPlusPlus,  ///< D^2 seeding (default; well-behaved on the
+                     ///< small interval sets used here)
+    RandomPartition  ///< random labels then M-step (SimPoint classic)
+};
+
+/** Iteration limits and seeding choice. */
+struct KMeansOptions
+{
+    u32 maxIterations = 100;
+    InitMethod init = InitMethod::KMeansPlusPlus;
+};
+
+/** One clustering of the projected data. */
+struct KMeansResult
+{
+    u32 k = 0;
+    std::vector<u32> labels;           ///< per point
+    std::vector<double> centroids;     ///< k x dims, row-major
+    std::vector<double> clusterWeight; ///< sum of member weights
+    double weightedSse = 0.0;          ///< sum w * dist^2
+    u32 iterations = 0;
+    bool converged = false;
+
+    /** Centroid row accessor. */
+    std::span<const double>
+    centroid(u32 c, u32 dims) const
+    {
+        return {centroids.data() + static_cast<std::size_t>(c) * dims,
+                dims};
+    }
+};
+
+/**
+ * Run Lloyd's algorithm with weights until labels stabilize or
+ * maxIterations.  Empty clusters are re-seeded with the point
+ * farthest from its centroid.  k is clamped to the point count.
+ */
+KMeansResult runKMeans(const ProjectedData& data, u32 k, Rng& rng,
+                       const KMeansOptions& options = KMeansOptions{});
+
+} // namespace xbsp::sp
+
+#endif // XBSP_SIMPOINT_KMEANS_HH

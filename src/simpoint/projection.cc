@@ -1,0 +1,61 @@
+#include "simpoint/projection.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace xbsp::sp
+{
+
+double
+sqDist(std::span<const double> a, std::span<const double> b)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+ProjectedData
+project(const FrequencyVectorSet& fvs, u32 dims, u64 seed)
+{
+    if (dims == 0)
+        fatal("projection dimension must be > 0");
+    ProjectedData out;
+    out.dims = dims;
+    out.count = fvs.size();
+    out.points.assign(out.count * dims, 0.0);
+    out.weights.assign(out.count, 1.0);
+
+    // Dense projection matrix, one row per original dimension.
+    Rng rng(hashMix(seed ^ 0x9e3779b97f4a7c15ull));
+    std::vector<double> matrix(
+        static_cast<std::size_t>(fvs.dimension) * dims);
+    for (double& entry : matrix)
+        entry = rng.nextDouble(-1.0, 1.0);
+
+    for (std::size_t i = 0; i < fvs.size(); ++i) {
+        double* row = out.points.data() + i * dims;
+        for (const auto& [idx, val] : fvs.vectors[i]) {
+            const double* prow = matrix.data() +
+                                 static_cast<std::size_t>(idx) * dims;
+            for (u32 d = 0; d < dims; ++d)
+                row[d] += val * prow[d];
+        }
+    }
+
+    // Instruction-length weights rescaled to sum to the point count.
+    const InstrCount total = fvs.totalInstructions();
+    if (total > 0 && out.count > 0) {
+        const double scale = static_cast<double>(out.count) /
+                             static_cast<double>(total);
+        for (std::size_t i = 0; i < out.count; ++i) {
+            out.weights[i] =
+                static_cast<double>(fvs.lengths[i]) * scale;
+        }
+    }
+    return out;
+}
+
+} // namespace xbsp::sp

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Random linear projection (SimPoint step 2): reduce the
+ * high-dimensional basic-block vectors to a small number of
+ * dimensions (default 15) with a dense random matrix whose entries
+ * are uniform in [-1, 1).  Distances are approximately preserved
+ * (Johnson-Lindenstrauss), which is all k-means needs.
+ */
+
+#ifndef XBSP_SIMPOINT_PROJECTION_HH
+#define XBSP_SIMPOINT_PROJECTION_HH
+
+#include <span>
+#include <vector>
+
+#include "simpoint/fvec.hh"
+#include "util/types.hh"
+
+namespace xbsp::sp
+{
+
+/** Dense, row-major projected data plus per-point weights. */
+struct ProjectedData
+{
+    u32 dims = 0;
+    std::size_t count = 0;
+    std::vector<double> points;   ///< count x dims, row-major
+    std::vector<double> weights;  ///< per point; sums to count
+
+    /** Row accessor. */
+    std::span<const double>
+    point(std::size_t i) const
+    {
+        return {points.data() + i * dims, dims};
+    }
+};
+
+/**
+ * Project normalized frequency vectors to `dims` dimensions.  The
+ * projection matrix is generated deterministically from `seed`.
+ * Point weights are the interval instruction lengths rescaled to sum
+ * to the number of points (so BIC formulas keep their usual scale).
+ */
+ProjectedData project(const FrequencyVectorSet& fvs, u32 dims,
+                      u64 seed);
+
+/** Squared Euclidean distance between a row and a centroid. */
+double sqDist(std::span<const double> a, std::span<const double> b);
+
+} // namespace xbsp::sp
+
+#endif // XBSP_SIMPOINT_PROJECTION_HH

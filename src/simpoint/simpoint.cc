@@ -1,0 +1,131 @@
+#include "simpoint/simpoint.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace xbsp::sp
+{
+
+SimPointResult
+pickSimulationPoints(const FrequencyVectorSet& fvs,
+                     const SimPointOptions& options)
+{
+    if (fvs.size() == 0)
+        fatal("SimPoint called with no intervals");
+
+    FrequencyVectorSet normalized = fvs;
+    normalized.normalize();
+    const ProjectedData data =
+        project(normalized, options.projectedDims, options.seed);
+
+    const u32 maxK = std::max<u32>(
+        1, std::min<u32>(options.maxK,
+                         static_cast<u32>(fvs.size())));
+
+    Rng rng(hashMix(options.seed ^ 0xB1Cull));
+    KMeansOptions kmOpts;
+    kmOpts.init = options.init;
+    kmOpts.maxIterations = options.maxIterations;
+
+    std::vector<KMeansResult> bestByK;
+    std::vector<double> bicByK;
+    bestByK.reserve(maxK);
+    for (u32 k = 1; k <= maxK; ++k) {
+        KMeansResult best;
+        double bestSse = std::numeric_limits<double>::max();
+        for (u32 s = 0; s < options.seedsPerK; ++s) {
+            Rng seedRng = rng.fork((static_cast<u64>(k) << 16) | s);
+            KMeansResult res = runKMeans(data, k, seedRng, kmOpts);
+            if (res.weightedSse < bestSse) {
+                bestSse = res.weightedSse;
+                best = std::move(res);
+            }
+        }
+        bicByK.push_back(bicScore(data, best));
+        bestByK.push_back(std::move(best));
+    }
+
+    // Smallest k whose normalized BIC clears the threshold.
+    const std::vector<double> norm = normalizeBic(bicByK);
+    u32 chosenIdx = static_cast<u32>(norm.size()) - 1;
+    for (u32 i = 0; i < norm.size(); ++i) {
+        if (norm[i] >= options.bicThreshold) {
+            chosenIdx = i;
+            break;
+        }
+    }
+
+    const KMeansResult& chosen = bestByK[chosenIdx];
+    SimPointResult out;
+    out.k = chosen.k;
+    out.labels = chosen.labels;
+    out.bicByK = bicByK;
+    out.chosenBic = bicByK[chosenIdx];
+
+    // Build phases: members, instruction weights, representative =
+    // member interval closest to the cluster centroid.
+    //
+    // Tie-breaking deviation from SimPoint 3.0: when several members
+    // are equally close to the centroid (common here, because the
+    // synthetic workloads produce near-identical vectors within a
+    // phase), pick the temporally *median* candidate rather than the
+    // earliest.  At real SimPoint scale (100M-instruction intervals)
+    // the earliest-member tie-break is harmless; at our scaled-down
+    // interval sizes the earliest member of a phase often carries
+    // cache warm-up state, which would systematically bias the
+    // simulation points of both methods.
+    const InstrCount total = fvs.totalInstructions();
+    for (u32 c = 0; c < chosen.k; ++c) {
+        Phase phase;
+        phase.id = c;
+        InstrCount phaseInstrs = 0;
+        std::vector<double> dists;
+        double bestDist = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < fvs.size(); ++i) {
+            if (chosen.labels[i] != c)
+                continue;
+            phase.members.push_back(static_cast<u32>(i));
+            phaseInstrs += fvs.lengths[i];
+            const double d = sqDist(data.point(i),
+                                    chosen.centroid(c, data.dims));
+            dists.push_back(d);
+            bestDist = std::min(bestDist, d);
+        }
+        if (phase.members.empty())
+            continue; // degenerate cluster; drop it
+
+        // Near-tie window: a small fraction of the cluster's mean
+        // distance-to-centroid.  Members inside it are considered
+        // equally representative; intervals whose vectors differ only
+        // by loop-boundary rounding all land in this window.
+        double meanDist = 0.0;
+        for (double d : dists)
+            meanDist += d;
+        meanDist /= static_cast<double>(dists.size());
+        const double tolerance =
+            options.earlyPoints ? options.earlyTolerance : 1e-3;
+        const double epsilon = tolerance * meanDist + 1e-12;
+        std::vector<u32> candidates;
+        for (std::size_t m = 0; m < phase.members.size(); ++m) {
+            if (dists[m] <= bestDist + epsilon)
+                candidates.push_back(phase.members[m]);
+        }
+        // Early points take the first acceptable interval (cheap to
+        // reach); the default takes the temporally median candidate.
+        phase.representative = options.earlyPoints
+                                   ? candidates.front()
+                                   : candidates[candidates.size() / 2];
+
+        phase.weight = total ? static_cast<double>(phaseInstrs) /
+                                   static_cast<double>(total)
+                             : 0.0;
+        out.phases.push_back(std::move(phase));
+    }
+    if (out.phases.empty())
+        panic("SimPoint produced no phases for {} intervals",
+              fvs.size());
+    return out;
+}
+
+} // namespace xbsp::sp

@@ -1,0 +1,119 @@
+#include "util/format.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace xbsp::fmtdetail
+{
+
+namespace
+{
+
+[[noreturn]] void
+badFormat(const std::string& why)
+{
+    // Formatting errors are programming bugs; logging.hh cannot be
+    // used from here (it formats its own messages), so throw.
+    throw std::runtime_error("format error: " + why);
+}
+
+} // namespace
+
+std::string
+applyIntSpec(long long value, bool isNegativeType,
+             unsigned long long raw, std::string_view spec)
+{
+    char buf[32];
+    if (spec.empty() || spec == "d") {
+        if (isNegativeType)
+            std::snprintf(buf, sizeof(buf), "%lld", value);
+        else
+            std::snprintf(buf, sizeof(buf), "%llu", raw);
+        return buf;
+    }
+    if (spec == "x") {
+        const unsigned long long v =
+            isNegativeType ? static_cast<unsigned long long>(value)
+                           : raw;
+        std::snprintf(buf, sizeof(buf), "%llx", v);
+        return buf;
+    }
+    badFormat("unsupported integer spec '" + std::string(spec) + "'");
+}
+
+std::string
+applyFloatSpec(double value, std::string_view spec)
+{
+    char buf[64];
+    if (spec.empty()) {
+        std::snprintf(buf, sizeof(buf), "%g", value);
+        return buf;
+    }
+    // Expected shapes: .Nf or .Ng
+    if (spec.size() >= 3 && spec.front() == '.' &&
+        (spec.back() == 'f' || spec.back() == 'g')) {
+        const std::string digits(spec.substr(1, spec.size() - 2));
+        char* end = nullptr;
+        const long precision = std::strtol(digits.c_str(), &end, 10);
+        if (end && *end == '\0' && precision >= 0 && precision < 40) {
+            if (spec.back() == 'f')
+                std::snprintf(buf, sizeof(buf), "%.*f",
+                              static_cast<int>(precision), value);
+            else
+                std::snprintf(buf, sizeof(buf), "%.*g",
+                              static_cast<int>(precision), value);
+            return buf;
+        }
+    }
+    badFormat("unsupported float spec '" + std::string(spec) + "'");
+}
+
+std::string
+vformat(std::string_view fmt, const std::vector<const void*>& args,
+        const std::vector<ArgFormatter>& formatters)
+{
+    std::string out;
+    out.reserve(fmt.size() + 16 * args.size());
+    std::size_t argIdx = 0;
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        const char ch = fmt[i];
+        if (ch == '{') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+                out += '{';
+                ++i;
+                continue;
+            }
+            const std::size_t close = fmt.find('}', i);
+            if (close == std::string_view::npos)
+                badFormat("unterminated '{' in \"" +
+                          std::string(fmt) + "\"");
+            std::string_view field = fmt.substr(i + 1, close - i - 1);
+            std::string_view spec;
+            if (auto colon = field.find(':');
+                colon != std::string_view::npos) {
+                spec = field.substr(colon + 1);
+                field = field.substr(0, colon);
+            }
+            if (!field.empty())
+                badFormat("positional/indexed fields not supported");
+            if (argIdx >= args.size())
+                badFormat("not enough arguments for \"" +
+                          std::string(fmt) + "\"");
+            out += formatters[argIdx](args[argIdx], spec);
+            ++argIdx;
+            i = close;
+        } else if (ch == '}') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '}') {
+                out += '}';
+                ++i;
+                continue;
+            }
+            badFormat("stray '}' in \"" + std::string(fmt) + "\"");
+        } else {
+            out += ch;
+        }
+    }
+    return out;
+}
+
+} // namespace xbsp::fmtdetail

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal std::format-style string formatting (GCC 12's libstdc++
+ * does not ship <format>).  Supports positional "{}" replacement
+ * fields with a small spec subset after ':':
+ *
+ *   {}        default formatting per argument type
+ *   {:d}      decimal integer
+ *   {:x}      lowercase hex integer
+ *   {:.Nf}    fixed floating point with N decimals
+ *   {:.Ng}    general floating point with N significant digits
+ *   {{ and }} literal braces
+ *
+ * Arguments accepted: integral and floating types, bool, C strings,
+ * std::string/string_view, and anything streamable to std::ostream.
+ */
+
+#ifndef XBSP_UTIL_FORMAT_HH
+#define XBSP_UTIL_FORMAT_HH
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace xbsp
+{
+
+namespace fmtdetail
+{
+
+/** Format one argument under a spec (text between ':' and '}'). */
+std::string applyIntSpec(long long value, bool isNegativeType,
+                         unsigned long long raw,
+                         std::string_view spec);
+std::string applyFloatSpec(double value, std::string_view spec);
+
+template <typename T>
+std::string
+formatArg(const T& value, std::string_view spec)
+{
+    if constexpr (std::is_same_v<T, bool>) {
+        return value ? "true" : "false";
+    } else if constexpr (std::is_integral_v<T>) {
+        if constexpr (std::is_signed_v<T>) {
+            return applyIntSpec(static_cast<long long>(value), true,
+                                0, spec);
+        } else {
+            return applyIntSpec(0, false,
+                                static_cast<unsigned long long>(value),
+                                spec);
+        }
+    } else if constexpr (std::is_floating_point_v<T>) {
+        return applyFloatSpec(static_cast<double>(value), spec);
+    } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+        return std::string(std::string_view(value));
+    } else if constexpr (std::is_enum_v<T>) {
+        return applyIntSpec(
+            static_cast<long long>(
+                static_cast<std::underlying_type_t<T>>(value)),
+            true, 0, spec);
+    } else {
+        std::ostringstream os;
+        os << value;
+        return os.str();
+    }
+}
+
+/** Render a format string against pre-erased argument formatters. */
+using ArgFormatter = std::string (*)(const void*, std::string_view);
+
+std::string vformat(std::string_view fmt,
+                    const std::vector<const void*>& args,
+                    const std::vector<ArgFormatter>& formatters);
+
+template <typename T>
+std::string
+erasedFormat(const void* ptr, std::string_view spec)
+{
+    return formatArg(*static_cast<const T*>(ptr), spec);
+}
+
+} // namespace fmtdetail
+
+/** Format `fmt`, substituting "{...}" fields left to right. */
+template <typename... Args>
+std::string
+format(std::string_view fmt, const Args&... args)
+{
+    const std::vector<const void*> ptrs{
+        static_cast<const void*>(&args)...};
+    const std::vector<fmtdetail::ArgFormatter> formatters{
+        &fmtdetail::erasedFormat<Args>...};
+    return fmtdetail::vformat(fmt, ptrs, formatters);
+}
+
+} // namespace xbsp
+
+#endif // XBSP_UTIL_FORMAT_HH

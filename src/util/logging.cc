@@ -1,0 +1,73 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xbsp
+{
+
+namespace
+{
+LogLevel globalLevel = LogLevel::Inform;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail
+{
+
+void
+panicImpl(std::string_view msg)
+{
+    std::fprintf(stderr, "panic: %.*s\n",
+                 static_cast<int>(msg.size()), msg.data());
+    std::abort();
+}
+
+void
+fatalImpl(std::string_view msg)
+{
+    std::fprintf(stderr, "fatal: %.*s\n",
+                 static_cast<int>(msg.size()), msg.data());
+    std::exit(1);
+}
+
+void
+warnImpl(std::string_view msg)
+{
+    if (globalLevel >= LogLevel::Warn) {
+        std::fprintf(stderr, "warn: %.*s\n",
+                     static_cast<int>(msg.size()), msg.data());
+    }
+}
+
+void
+informImpl(std::string_view msg)
+{
+    if (globalLevel >= LogLevel::Inform) {
+        std::fprintf(stderr, "info: %.*s\n",
+                     static_cast<int>(msg.size()), msg.data());
+    }
+}
+
+void
+debugImpl(std::string_view msg)
+{
+    if (globalLevel >= LogLevel::Debug) {
+        std::fprintf(stderr, "debug: %.*s\n",
+                     static_cast<int>(msg.size()), msg.data());
+    }
+}
+
+} // namespace detail
+} // namespace xbsp

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for internal
+ * invariant violations, fatal() for user errors, warn()/inform() for
+ * status messages.  All printf-style formatting is done with
+ * std::format-compatible syntax via a small vformat wrapper.
+ */
+
+#ifndef XBSP_UTIL_LOGGING_HH
+#define XBSP_UTIL_LOGGING_HH
+
+#include <string>
+#include <string_view>
+
+#include "util/format.hh"
+
+namespace xbsp
+{
+
+/** Verbosity levels for non-fatal messages. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Process-wide verbosity; messages above this level are dropped. */
+LogLevel logLevel();
+
+/** Set the process-wide verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+[[noreturn]] void panicImpl(std::string_view msg);
+[[noreturn]] void fatalImpl(std::string_view msg);
+void warnImpl(std::string_view msg);
+void informImpl(std::string_view msg);
+void debugImpl(std::string_view msg);
+} // namespace detail
+
+/**
+ * Abort with a message.  Call when an internal invariant is violated,
+ * i.e. a bug in this library regardless of what the user did.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args&&... args)
+{
+    detail::panicImpl(xbsp::format(fmt, std::forward<Args>(args)...));
+}
+
+/**
+ * Exit with a message.  Call when the simulation cannot continue due
+ * to a condition that is the caller's fault (bad configuration,
+ * invalid arguments), not a library bug.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args&&... args)
+{
+    detail::fatalImpl(xbsp::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Alert the user to suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args&&... args)
+{
+    detail::warnImpl(xbsp::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Normal operating status messages. */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args&&... args)
+{
+    detail::informImpl(xbsp::format(fmt, std::forward<Args>(args)...));
+}
+
+/** Developer chatter, only shown at LogLevel::Debug. */
+template <typename... Args>
+void
+debugLog(std::string_view fmt, Args&&... args)
+{
+    detail::debugImpl(xbsp::format(fmt, std::forward<Args>(args)...));
+}
+
+} // namespace xbsp
+
+#endif // XBSP_UTIL_LOGGING_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental integer aliases and small strong-typedef helpers used
+ * throughout the cross-binary SimPoint library.
+ */
+
+#ifndef XBSP_UTIL_TYPES_HH
+#define XBSP_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace xbsp
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Dynamic instruction count (profiling and timing use the same unit). */
+using InstrCount = u64;
+
+/** Simulated clock cycles. */
+using Cycles = u64;
+
+/** Byte address in the simulated memory space. */
+using Addr = u64;
+
+/** Sentinel for "no index"/"invalid id" slots. */
+inline constexpr u32 invalidId = std::numeric_limits<u32>::max();
+
+} // namespace xbsp
+
+#endif // XBSP_UTIL_TYPES_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ammp analogue: molecular dynamics.  Each timestep rebuilds part of
+ * the neighbor structure (hot/cold gathers over a large atom pool)
+ * and then evaluates pairwise forces (streaming with an unrollable
+ * inner kernel).  Neighbor-list churn drifts over the run, so the
+ * rebuild phase's cost is time-varying within the phase.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeAmmp(double scale)
+{
+    ir::ProgramBuilder b("ammp");
+
+    b.procedure("rebuild_neighbors").loop(
+        trips(scale, 5200), [&](StmtSeq& s) {
+            s.block(38, 10,
+                    withDrift(gatherPattern(1, 2_MiB, 0.95, 0.25, 0.5),
+                              1600, 0.2));
+            s.compute(10);
+        });
+
+    b.procedure("force_eval").loop(
+        trips(scale, 7000), [&](StmtSeq& outer) {
+            outer.block(18, 7,
+                        withDrift(stridePattern(2, 640_KiB, 8, 0.3,
+                                                0.2),
+                                  2200, 0.3));
+            outer.loop(8,
+                       [&](StmtSeq& s) { s.compute(9); },
+                       LoopOpts{.unrollable = true});
+        });
+
+    b.procedure("integrate", ir::InlineHint::Always)
+        .loop(trips(scale, 2600), [&](StmtSeq& s) {
+            s.block(24, 10, stridePattern(3, 512_KiB, 8, 0.5, 0.0));
+        });
+
+    b.procedure("setup").loop(trips(scale, 2000), [&](StmtSeq& s) {
+        s.block(40, 12, randomPattern(4, 384_KiB, 0.5, 0.5));
+    });
+
+    StmtSeq main = b.procedure("main");
+    main.call("setup");
+    main.loop(trips(scale, 9), [&](StmtSeq& ts) {
+        ts.call("rebuild_neighbors");
+        ts.loop(3, [&](StmtSeq& sub) {
+            sub.call("force_eval");
+            sub.call("integrate");
+        });
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

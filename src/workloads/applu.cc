@@ -1,0 +1,89 @@
+/**
+ * @file
+ * applu analogue — the paper's mapping-failure case study (§5.1).
+ *
+ * Five PDE solver procedures (jacld, blts, jacu, buts, rhs) share a
+ * similar loop structure and are called from the outer timestep
+ * loop.  Under -O2 the model optimizer inlines all five (their
+ * symbols disappear) *and* splits their loops (duplicating the loop
+ * markers' source lines), so no marker inside a timestep survives
+ * matching.  The only mappable points left are the outer loop and
+ * the init code, which forces the VLI builder to emit intervals far
+ * larger than the target — reproducing applu's outlier bar in
+ * Figure 2.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeApplu(double scale)
+{
+    ir::ProgramBuilder b("applu");
+
+    struct Solver
+    {
+        const char* name;
+        u32 region;
+        u64 ws;
+        u32 instrs;
+    };
+    const Solver solvers[] = {
+        {"jacld", 1, 512_KiB, 34},
+        {"blts", 2, 512_KiB, 30},
+        {"jacu", 3, 768_KiB, 34},
+        {"buts", 4, 768_KiB, 30},
+        {"rhs", 5, 1_MiB, 38},
+    };
+
+    for (const Solver& sv : solvers) {
+        // Each solver: two sweeps with the same looping structure
+        // (the paper notes the five procedures look alike), both
+        // split by the optimizer.
+        b.procedure(sv.name, ir::InlineHint::Always)
+            .loop(trips(scale, 680),
+                  [&](StmtSeq& s) {
+                      s.block(sv.instrs, 12,
+                              withDrift(stridePattern(sv.region, sv.ws,
+                                                      8, 0.35, 0.0),
+                                        170, 0.3));
+                      s.block(sv.instrs - 6, 8,
+                              randomPattern(sv.region + 10, 192_KiB,
+                                            0.2, 0.1));
+                  },
+                  LoopOpts{.splittable = true})
+            .loop(trips(scale, 520),
+                  [&](StmtSeq& s) {
+                      s.block(sv.instrs + 4, 11,
+                              stridePattern(sv.region, sv.ws, 16, 0.3,
+                                            0.0));
+                      s.compute(16);
+                  },
+                  LoopOpts{.splittable = true});
+    }
+
+    b.procedure("init").loop(trips(scale, 2600), [&](StmtSeq& s) {
+        s.block(42, 14, stridePattern(20, 1_MiB, 8, 0.5, 0.0));
+    });
+
+    b.procedure("l2norm").loop(trips(scale, 800), [&](StmtSeq& s) {
+        s.block(26, 10, stridePattern(21, 512_KiB, 8, 0.1, 0.0));
+    });
+
+    StmtSeq main = b.procedure("main");
+    main.call("init");
+    main.loop(trips(scale, 30), [&](StmtSeq& ts) {
+        ts.call("jacld");
+        ts.call("blts");
+        ts.call("jacu");
+        ts.call("buts");
+        ts.call("rhs");
+    });
+    main.call("l2norm");
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * art analogue: adaptive resonance theory neural network with two
+ * long-running mega-phases — training epochs that scan the F1 weight
+ * arrays, then match scans against learned categories.  Few, very
+ * stable behaviours: the classic SimPoint-friendly benchmark.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeArt(double scale)
+{
+    ir::ProgramBuilder b("art");
+
+    b.procedure("scan_weights").loop(
+        trips(scale, 14000), [&](StmtSeq& s) {
+            s.block(36, 10, stridePattern(1, 448_KiB, 8, 0.3, 0.0));
+            s.compute(12);
+        });
+
+    b.procedure("f2_update").loop(
+        trips(scale, 9000), [&](StmtSeq& s) {
+            s.block(32, 9, gatherPattern(2, 512_KiB, 0.95, 0.2, 0.1));
+        });
+
+    b.procedure("compare", ir::InlineHint::Always)
+        .loop(trips(scale, 7000), [&](StmtSeq& s) {
+            s.block(28, 10, randomPattern(3, 128_KiB, 0.05, 0.0));
+            s.compute(14);
+        });
+
+    b.procedure("load_network").loop(
+        trips(scale, 2600), [&](StmtSeq& s) {
+            s.block(30, 12, stridePattern(4, 640_KiB, 8, 0.6, 0.1));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("load_network");
+    // Training epochs.
+    main.loop(trips(scale, 6), [&](StmtSeq& epoch) {
+        epoch.call("scan_weights");
+        epoch.call("f2_update");
+    });
+    // Recognition scans.
+    main.loop(trips(scale, 4), [&](StmtSeq& match) {
+        match.call("scan_weights");
+        match.call("compare");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

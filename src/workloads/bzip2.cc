@@ -1,0 +1,72 @@
+/**
+ * @file
+ * bzip2 analogue: block compression.  Per input block the program
+ * runs a Burrows-Wheeler-style sort (random traffic dominated, high
+ * CPI), a move-to-front pass (small strided), and Huffman coding
+ * (compute-heavy, tiny footprint).  Input blocks cycle through three
+ * compressibility classes with different sort effort, giving
+ * recurring behaviour variants.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeBzip2(double scale)
+{
+    ir::ProgramBuilder b("bzip2");
+
+    struct BlockClass
+    {
+        const char* suffix;
+        u64 sortTrips;
+        u64 ws;
+    };
+    const BlockClass classes[] = {
+        {"text", 5200, 512_KiB},
+        {"binary", 7600, 768_KiB},
+        {"random", 10400, 1_MiB},
+    };
+
+    for (const BlockClass& cls : classes) {
+        b.procedure(std::string("block_sort_") + cls.suffix)
+            .loop(trips(scale, cls.sortTrips), [&](StmtSeq& s) {
+                s.block(30, 14,
+                        withDrift(randomPattern(1, cls.ws / 2, 0.3, 0.1),
+                                  2400, 0.2));
+                s.compute(8);
+            });
+    }
+
+    b.procedure("mtf_encode").loop(
+        trips(scale, 4400), [&](StmtSeq& s) {
+            s.block(26, 11, stridePattern(2, 256_KiB, 8, 0.5, 0.0));
+        });
+
+    b.procedure("huffman", ir::InlineHint::Partial)
+        .loop(trips(scale, 3800), [&](StmtSeq& s) {
+            s.block(22, 6, randomPattern(3, 64_KiB, 0.2, 0.0));
+            s.compute(20);
+        });
+
+    b.procedure("read_input", ir::InlineHint::Always)
+        .loop(trips(scale, 1500), [&](StmtSeq& s) {
+            s.block(18, 8, stridePattern(4, 1_MiB, 8, 0.7, 0.0));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.loop(trips(scale, 6), [&](StmtSeq& file) {
+        for (const BlockClass& cls : classes) {
+            file.call("read_input");
+            file.call(std::string("block_sort_") + cls.suffix);
+            file.call("mtf_encode");
+            file.call("huffman");
+        }
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared helpers for workload definitions.
+ */
+
+#ifndef XBSP_WORKLOADS_COMMON_HH
+#define XBSP_WORKLOADS_COMMON_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "ir/builder.hh"
+
+namespace xbsp::workloads
+{
+
+using ir::chasePattern;
+using ir::gatherPattern;
+using ir::LoopOpts;
+using ir::randomPattern;
+using ir::StmtSeq;
+using ir::stridePattern;
+using ir::operator""_KiB;
+using ir::operator""_MiB;
+
+/** Scale an outer trip count, never below 1. */
+inline u64
+trips(double scale, u64 base)
+{
+    return std::max<u64>(
+        1, static_cast<u64>(std::llround(scale *
+                                         static_cast<double>(base))));
+}
+
+} // namespace xbsp::workloads
+
+#endif // XBSP_WORKLOADS_COMMON_HH

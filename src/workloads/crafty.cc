@@ -1,0 +1,64 @@
+/**
+ * @file
+ * crafty analogue: chess search.  Iterative-deepening rounds of
+ * alpha-beta search: compute-dominated move generation and
+ * evaluation with transposition-table probes (random traffic into a
+ * pointer-heavy hash table).  Evaluation is partially inlined under
+ * -O2, and the endgame rounds shift the block mix toward the
+ * table-probe side.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeCrafty(double scale)
+{
+    ir::ProgramBuilder b("crafty");
+
+    b.procedure("evaluate", ir::InlineHint::Partial)
+        .block(30, 6, stridePattern(1, 96_KiB, 8, 0.1, 0.0))
+        .compute(26);
+
+    b.procedure("hash_probe", ir::InlineHint::Always)
+        .block(14, 6,
+               withDrift(randomPattern(2, 448_KiB, 0.15, 1.0),
+                         3200, 0.35));
+
+    b.procedure("search_midgame").loop(
+        trips(scale, 9500), [&](StmtSeq& s) {
+            s.compute(24);
+            s.call("hash_probe");
+            s.call("evaluate");
+            s.loop(4, [&](StmtSeq& gen) { gen.compute(11); },
+                   LoopOpts{.unrollable = true});
+        });
+
+    b.procedure("search_endgame").loop(
+        trips(scale, 6500), [&](StmtSeq& s) {
+            s.compute(14);
+            s.call("hash_probe");
+            s.block(16, 7, randomPattern(3, 320_KiB, 0.1, 0.4));
+            s.call("evaluate");
+        });
+
+    b.procedure("book_init").loop(
+        trips(scale, 1200), [&](StmtSeq& s) {
+            s.block(28, 12, stridePattern(4, 512_KiB, 8, 0.5, 0.3));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("book_init");
+    main.loop(trips(scale, 5), [&](StmtSeq& round) {
+        round.call("search_midgame");
+    });
+    main.loop(trips(scale, 4), [&](StmtSeq& round) {
+        round.call("search_endgame");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * eon analogue: probabilistic ray tracer rendered with three
+ * different shading models in sequence (kajiya, cook, rushmeier).
+ * Almost entirely compute with a small scene cache — the low-CPI,
+ * low-variance end of the suite, with exactly three clean phases.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+namespace
+{
+
+void
+defineShader(ir::ProgramBuilder& b, const char* name, double scale,
+             u64 rays, u32 shadeCost, u32 region)
+{
+    b.procedure(name).loop(trips(scale, rays), [&](StmtSeq& s) {
+        s.compute(shadeCost);
+        s.block(16, 6,
+                randomPattern(region, 160_KiB, 0.05, 0.2));
+        s.loop(4, [&](StmtSeq& bounce) { bounce.compute(13); },
+               LoopOpts{.unrollable = true});
+    });
+}
+
+} // namespace
+
+ir::Program
+makeEon(double scale)
+{
+    ir::ProgramBuilder b("eon");
+
+    defineShader(b, "render_kajiya", scale, 22000, 34, 1);
+    defineShader(b, "render_cook", scale, 27000, 26, 2);
+    defineShader(b, "render_rushmeier", scale, 20000, 42, 3);
+
+    b.procedure("build_scene", ir::InlineHint::Never)
+        .loop(trips(scale, 2200), [&](StmtSeq& s) {
+            s.block(30, 12, stridePattern(4, 384_KiB, 8, 0.6, 0.4));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("build_scene");
+    main.call("render_kajiya");
+    main.call("render_cook");
+    main.call("render_rushmeier");
+    return b.build();
+}
+
+} // namespace xbsp::workloads

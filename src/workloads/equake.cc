@@ -1,0 +1,54 @@
+/**
+ * @file
+ * equake analogue: unstructured-mesh earthquake simulation.  Each
+ * timestep performs a sparse matrix-vector product (indexed gathers
+ * over the mesh), followed by time integration (streaming) — plus an
+ * irregular quake-excitation phase early in the run.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeEquake(double scale)
+{
+    ir::ProgramBuilder b("equake");
+
+    b.procedure("smvp").loop(trips(scale, 6200), [&](StmtSeq& s) {
+        s.block(34, 16,
+                withDrift(gatherPattern(1, 2_MiB, 0.93, 0.1, 0.5),
+                          2100, 0.35));
+        s.compute(12);
+    });
+
+    b.procedure("time_integrate", ir::InlineHint::Always)
+        .loop(trips(scale, 3600), [&](StmtSeq& s) {
+            s.block(26, 12, stridePattern(2, 768_KiB, 8, 0.5, 0.0));
+        });
+
+    b.procedure("excitation").loop(
+        trips(scale, 4200), [&](StmtSeq& s) {
+            s.block(30, 13, randomPattern(3, 448_KiB, 0.3, 0.2));
+            s.compute(9);
+        });
+
+    b.procedure("mesh_init").loop(
+        trips(scale, 2800), [&](StmtSeq& s) {
+            s.block(38, 16, stridePattern(4, 1_MiB, 8, 0.6, 0.5));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("mesh_init");
+    main.loop(trips(scale, 6),
+              [&](StmtSeq& q) { q.call("excitation"); });
+    main.loop(trips(scale, 22), [&](StmtSeq& ts) {
+        ts.call("smvp");
+        ts.call("time_integrate");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * fma3d analogue: explicit finite-element crash simulation.  Element
+ * force assembly streams over element data with an unrollable
+ * constitutive kernel; contact search is irregular over a large node
+ * pool; nodal update streams.  Contact grows more expensive in the
+ * second half of the run (two contact variants).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeFma3d(double scale)
+{
+    ir::ProgramBuilder b("fma3d");
+
+    b.procedure("element_forces").loop(
+        trips(scale, 5600), [&](StmtSeq& s) {
+            s.block(26, 11,
+                    withDrift(stridePattern(1, 768_KiB, 8, 0.35, 0.0),
+                              1900, 0.3));
+            s.loop(4, [&](StmtSeq& k) { k.compute(12); },
+                   LoopOpts{.unrollable = true});
+        });
+
+    b.procedure("contact_light").loop(
+        trips(scale, 2600), [&](StmtSeq& s) {
+            s.block(30, 13, randomPattern(2, 512_KiB, 0.2, 0.4));
+        });
+
+    b.procedure("contact_heavy").loop(
+        trips(scale, 4400), [&](StmtSeq& s) {
+            s.block(32, 15,
+                    withDrift(gatherPattern(3, 2_MiB, 0.92, 0.25, 0.4),
+                              1500, 0.3));
+            s.compute(8);
+        });
+
+    b.procedure("nodal_update", ir::InlineHint::Always)
+        .loop(trips(scale, 2400), [&](StmtSeq& s) {
+            s.block(22, 10, stridePattern(4, 640_KiB, 8, 0.55, 0.0));
+        });
+
+    b.procedure("gen_mesh").loop(
+        trips(scale, 2200), [&](StmtSeq& s) {
+            s.block(36, 15, stridePattern(5, 1_MiB, 8, 0.6, 0.3));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("gen_mesh");
+    main.loop(trips(scale, 6), [&](StmtSeq& ts) {
+        ts.call("element_forces");
+        ts.call("contact_light");
+        ts.call("nodal_update");
+    });
+    main.loop(trips(scale, 6), [&](StmtSeq& ts) {
+        ts.call("element_forces");
+        ts.call("contact_heavy");
+        ts.call("nodal_update");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

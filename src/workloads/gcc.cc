@@ -1,0 +1,105 @@
+/**
+ * @file
+ * gcc/166 analogue (the paper's Table 2 subject).
+ *
+ * The compiler is modelled as a pipeline of passes (parse, ssa
+ * optimization, register allocation, emission) applied to a stream of
+ * input functions in three size classes.  Each (pass, size class)
+ * pair is a distinct static code body with its own working set, which
+ * yields 13+ distinct behaviours — more than the maxK=10 cluster cap,
+ * so per-binary SimPoint is forced to group behaviours, and it groups
+ * them differently in different binaries.  That is exactly the
+ * changing-bias failure mode Table 2 demonstrates.
+ *
+ * A shared symbol-lookup helper is marked InlineHint::Partial: the
+ * optimizer inlines it at alternating call sites, so its entry counts
+ * diverge between optimization levels and the matcher must reject it.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeGcc(double scale)
+{
+    ir::ProgramBuilder b("gcc");
+
+    // Shared hash/symbol helper, partially inlined under -O2.
+    b.procedure("lookup_symbol", ir::InlineHint::Partial)
+        .block(26, 10, chasePattern(1, 320_KiB, 1.0));
+
+    struct SizeClass
+    {
+        const char* suffix;
+        u64 mult;        // trip multiplier
+        u64 symtab;      // parse working set
+        u64 irPool;      // ssa working set
+    };
+    const SizeClass classes[] = {
+        {"small", 1, 192_KiB, 256_KiB},
+        {"medium", 2, 448_KiB, 640_KiB},
+        {"large", 4, 896_KiB, 1280_KiB},
+    };
+
+    for (const SizeClass& cls : classes) {
+        const std::string sfx = cls.suffix;
+
+        b.procedure("parse_" + sfx).loop(
+            trips(scale, 3600 * cls.mult), [&](StmtSeq& s) {
+                s.block(30, 11,
+                        withDrift(chasePattern(2, cls.symtab, 0.9),
+                                  2600, 0.3));
+                s.call("lookup_symbol");
+                s.block(22, 6,
+                        stridePattern(3, 192_KiB, 8, 0.3, 0.1));
+            });
+
+        b.procedure("ssa_opt_" + sfx)
+            .loop(trips(scale, 4200 * cls.mult), [&](StmtSeq& s) {
+                s.block(40, 15,
+                        withDrift(randomPattern(4, cls.irPool, 0.25,
+                                                0.6),
+                                  2100, 0.35));
+                // Dataflow bit-vector kernel, unrollable under -O2.
+                s.loop(8,
+                       [&](StmtSeq& inner) { inner.compute(12); },
+                       LoopOpts{.unrollable = true});
+            });
+
+        b.procedure("regalloc_" + sfx)
+            .loop(trips(scale, 3400 * cls.mult), [&](StmtSeq& s) {
+                s.block(34, 12,
+                        gatherPattern(5, cls.irPool, 0.93, 0.2, 0.5));
+                s.compute(18);
+            });
+
+        b.procedure("emit_" + sfx).loop(
+            trips(scale, 2600 * cls.mult), [&](StmtSeq& s) {
+                s.block(24, 9,
+                        stridePattern(6, 256_KiB, 8, 0.55, 0.0));
+            });
+    }
+
+    // Option parsing / file IO at startup.
+    b.procedure("init").loop(trips(scale, 2200), [&](StmtSeq& s) {
+        s.block(36, 12, stridePattern(7, 128_KiB, 8, 0.4, 0.2));
+    });
+
+    StmtSeq main = b.procedure("main");
+    main.call("init");
+    main.loop(trips(scale, 3), [&](StmtSeq& s) {
+        for (const SizeClass& cls : classes) {
+            const std::string sfx = cls.suffix;
+            s.call("parse_" + sfx);
+            s.call("ssa_opt_" + sfx);
+            s.call("regalloc_" + sfx);
+            s.call("emit_" + sfx);
+        }
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gzip analogue: LZ77 deflate over a stream of input files that
+ * cycle through entropy classes.  The match finder chases hash
+ * chains inside a 256 KiB window; low-entropy inputs find long
+ * matches (cheap) while high-entropy inputs hammer the hash chains
+ * (expensive), giving recurring per-file behaviour variants.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeGzip(double scale)
+{
+    ir::ProgramBuilder b("gzip");
+
+    b.procedure("deflate_low").loop(
+        trips(scale, 5200), [&](StmtSeq& s) {
+            s.block(20, 8, stridePattern(1, 256_KiB, 8, 0.3, 0.0));
+            s.compute(18);
+        });
+
+    b.procedure("deflate_high").loop(
+        trips(scale, 8200), [&](StmtSeq& s) {
+            s.block(24, 11,
+                    withDrift(chasePattern(2, 320_KiB, 0.6),
+                              3000, 0.3));
+            s.compute(10);
+        });
+
+    b.procedure("huffman_emit", ir::InlineHint::Partial)
+        .loop(trips(scale, 3000), [&](StmtSeq& s) {
+            s.compute(22);
+            s.block(12, 5, stridePattern(3, 128_KiB, 8, 0.8, 0.0));
+        });
+
+    b.procedure("crc_update", ir::InlineHint::Always)
+        .loop(trips(scale, 2200), [&](StmtSeq& outer) {
+            outer.loop(8, [&](StmtSeq& s) { s.compute(6); },
+                       LoopOpts{.unrollable = true});
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.loop(trips(scale, 11), [&](StmtSeq& file) {
+        file.call("deflate_low");
+        file.call("huffman_emit");
+        file.call("crc_update");
+        file.call("deflate_high");
+        file.call("huffman_emit");
+        file.call("crc_update");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * lucas analogue: Lucas-Lehmer primality testing via FFT-based
+ * squaring.  Each iteration runs butterfly passes with successively
+ * doubling strides over a 4 MiB signal (progressively worse
+ * locality), then a carry-propagation streaming pass and a pointwise
+ * modular kernel.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeLucas(double scale)
+{
+    ir::ProgramBuilder b("lucas");
+
+    const u64 strides[] = {64, 256, 1024, 4096};
+    for (std::size_t i = 0; i < 4; ++i) {
+        b.procedure("fft_pass" + std::to_string(i))
+            .loop(trips(scale, 2600), [&](StmtSeq& s) {
+                s.block(24, 8,
+                        stridePattern(static_cast<u32>(i + 1), 1_MiB,
+                                      strides[i], 0.45, 0.0));
+                s.compute(15);
+            });
+    }
+
+    b.procedure("carry_prop", ir::InlineHint::Always)
+        .loop(trips(scale, 2000), [&](StmtSeq& s) {
+            s.block(18, 8, stridePattern(10, 768_KiB, 8, 0.5, 0.0));
+        });
+
+    b.procedure("pointwise_mod").loop(
+        trips(scale, 1600), [&](StmtSeq& outer) {
+            outer.loop(4, [&](StmtSeq& s) { s.compute(16); },
+                       LoopOpts{.unrollable = true});
+            outer.block(10, 4,
+                        stridePattern(11, 512_KiB, 8, 0.5, 0.0));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.loop(trips(scale, 18), [&](StmtSeq& iter) {
+        for (int i = 0; i < 4; ++i)
+            iter.call("fft_pass" + std::to_string(i));
+        iter.call("pointwise_mod");
+        iter.call("carry_prop");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * mcf analogue: network-simplex minimum-cost flow.  Dominated by
+ * dependent pointer chasing through a multi-megabyte, pointer-heavy
+ * arc/node graph (the highest-CPI program in the suite, and the one
+ * whose footprint grows most on 64-bit targets), alternating pricing
+ * sweeps with flow updates and occasional basis refactorisations.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeMcf(double scale)
+{
+    ir::ProgramBuilder b("mcf");
+
+    b.procedure("price_arcs").loop(
+        trips(scale, 5200), [&](StmtSeq& s) {
+            s.block(22, 7,
+                    withDrift(chasePattern(1, 1280_KiB, 1.0),
+                              1700, 0.35));
+            s.compute(8);
+        });
+
+    b.procedure("update_flow").loop(
+        trips(scale, 3600), [&](StmtSeq& s) {
+            s.block(26, 8,
+                    withDrift(gatherPattern(2, 3_MiB, 0.9, 0.35, 1.0),
+                              1300, 0.3));
+        });
+
+    b.procedure("refactor_basis").loop(
+        trips(scale, 5200), [&](StmtSeq& s) {
+            s.block(20, 8, stridePattern(3, 384_KiB, 8, 0.4, 0.6));
+            s.compute(16);
+        });
+
+    b.procedure("read_network").loop(
+        trips(scale, 2600), [&](StmtSeq& s) {
+            s.block(34, 15, stridePattern(4, 2_MiB, 8, 0.7, 1.0));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("read_network");
+    main.loop(trips(scale, 30), [&](StmtSeq& iter) {
+        iter.call("price_arcs");
+        iter.call("update_flow");
+    });
+    main.call("refactor_basis");
+    return b.build();
+}
+
+} // namespace xbsp::workloads

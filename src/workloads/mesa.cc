@@ -1,0 +1,67 @@
+/**
+ * @file
+ * mesa analogue: software 3D rendering pipeline.  Frames alternate
+ * between a simple scene (vertex-transform bound) and a complex
+ * scene (texture-fetch bound); each frame runs vertex transform
+ * (compute, unrollable), rasterization (streaming into the frame
+ * buffer) and texturing (hot/cold gathers into texture memory).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeMesa(double scale)
+{
+    ir::ProgramBuilder b("mesa");
+
+    b.procedure("vertex_transform").loop(
+        trips(scale, 5400), [&](StmtSeq& outer) {
+            outer.loop(4, [&](StmtSeq& s) { s.compute(14); },
+                       LoopOpts{.unrollable = true});
+            outer.block(10, 4,
+                        stridePattern(1, 384_KiB, 8, 0.2, 0.2));
+        });
+
+    b.procedure("rasterize").loop(
+        trips(scale, 4800), [&](StmtSeq& s) {
+            s.block(24, 11, stridePattern(2, 640_KiB, 8, 0.75, 0.0));
+            s.compute(8);
+        });
+
+    b.procedure("texture_simple").loop(
+        trips(scale, 2200), [&](StmtSeq& s) {
+            s.block(20, 9, gatherPattern(3, 768_KiB, 0.96, 0.05, 0.1));
+        });
+
+    b.procedure("texture_complex").loop(
+        trips(scale, 5200), [&](StmtSeq& s) {
+            s.block(24, 12,
+                    withDrift(gatherPattern(4, 2_MiB, 0.91, 0.05, 0.1),
+                              1800, 0.3));
+            s.compute(6);
+        });
+
+    b.procedure("clear_buffers", ir::InlineHint::Always)
+        .loop(trips(scale, 1000), [&](StmtSeq& s) {
+            s.block(10, 5, stridePattern(2, 640_KiB, 8, 1.0, 0.0));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.loop(trips(scale, 6), [&](StmtSeq& frame) {
+        frame.call("clear_buffers");
+        frame.call("vertex_transform");
+        frame.call("rasterize");
+        frame.call("texture_simple");
+        frame.call("clear_buffers");
+        frame.call("vertex_transform");
+        frame.call("rasterize");
+        frame.call("texture_complex");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * perlbmk analogue: Perl interpreter running a mix of scripts.  The
+ * opcode dispatch loop chases through the compiled op tree; regex
+ * matching is compute-dense over small buffers; hash-table scripts
+ * hit a larger associative-array pool.  Scripts cycle, producing
+ * interleaved interpreter behaviours.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makePerlbmk(double scale)
+{
+    ir::ProgramBuilder b("perlbmk");
+
+    b.procedure("interp_optree").loop(
+        trips(scale, 7800), [&](StmtSeq& s) {
+            s.block(18, 8,
+                    withDrift(chasePattern(1, 384_KiB, 0.9),
+                              3100, 0.2));
+            s.compute(16);
+        });
+
+    b.procedure("regex_match").loop(
+        trips(scale, 6400), [&](StmtSeq& s) {
+            s.compute(26);
+            s.block(10, 4, stridePattern(2, 96_KiB, 8, 0.1, 0.0));
+        });
+
+    b.procedure("hash_ops").loop(
+        trips(scale, 4600), [&](StmtSeq& s) {
+            s.block(24, 11,
+                    withDrift(randomPattern(3, 384_KiB, 0.3, 0.8),
+                              1800, 0.22));
+        });
+
+    b.procedure("sv_alloc", ir::InlineHint::Partial)
+        .block(16, 7, randomPattern(4, 192_KiB, 0.5, 0.7));
+
+    b.procedure("compile_script").loop(
+        trips(scale, 2400), [&](StmtSeq& s) {
+            s.block(28, 11, chasePattern(5, 448_KiB, 0.9));
+            s.call("sv_alloc");
+            s.compute(9);
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.loop(trips(scale, 9), [&](StmtSeq& script) {
+        script.call("compile_script");
+        script.call("interp_optree");
+        script.call("regex_match");
+        script.call("interp_optree");
+        script.call("hash_ops");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * sixtrack analogue: particle tracking through an accelerator
+ * lattice.  Tiny resident working set and tight vectorizable kernels
+ * — the most compute-bound, lowest-CPI program in the suite, with a
+ * single dominant behaviour.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeSixtrack(double scale)
+{
+    ir::ProgramBuilder b("sixtrack");
+
+    b.procedure("track_turn").loop(
+        trips(scale, 11000), [&](StmtSeq& outer) {
+            outer.loop(8, [&](StmtSeq& s) { s.compute(12); },
+                       LoopOpts{.unrollable = true});
+            outer.block(8, 3, stridePattern(1, 64_KiB, 8, 0.3, 0.0));
+        });
+
+    b.procedure("aperture_check", ir::InlineHint::Always)
+        .loop(trips(scale, 4500), [&](StmtSeq& s) {
+            s.compute(15);
+            s.block(6, 2, stridePattern(2, 32_KiB, 8, 0.2, 0.0));
+        });
+
+    b.procedure("lattice_setup").loop(
+        trips(scale, 1400), [&](StmtSeq& s) {
+            s.block(30, 12, stridePattern(3, 384_KiB, 8, 0.5, 0.1));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("lattice_setup");
+    main.loop(trips(scale, 10), [&](StmtSeq& turn) {
+        turn.call("track_turn");
+        turn.call("aperture_check");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,82 @@
+#include "workloads/workloads.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::workloads
+{
+
+const std::vector<WorkloadInfo>&
+suite()
+{
+    static const std::vector<WorkloadInfo> workloads = {
+        {"ammp", "molecular dynamics: neighbor rebuilds + force "
+                 "streaming", &makeAmmp},
+        {"applu", "PDE solver whose inlined+split loops defeat "
+                  "mapping (paper's failure case)", &makeApplu},
+        {"apsi", "meteorology kernels, 12 behaviours > maxK "
+                 "(Table 3 subject)", &makeApsi},
+        {"art", "neural network with two long stable mega-phases",
+         &makeArt},
+        {"bzip2", "block sorting compression over input classes",
+         &makeBzip2},
+        {"crafty", "chess search: compute + hash-table probes",
+         &makeCrafty},
+        {"eon", "ray tracer, three shading models, compute bound",
+         &makeEon},
+        {"equake", "unstructured-mesh sparse solver", &makeEquake},
+        {"fma3d", "finite-element crash simulation with contact",
+         &makeFma3d},
+        {"gcc", "compiler passes over input size classes, 13 "
+                "behaviours > maxK (Table 2 subject)", &makeGcc},
+        {"gzip", "LZ77 deflate over entropy classes", &makeGzip},
+        {"lucas", "FFT squaring with doubling strides", &makeLucas},
+        {"mcf", "network simplex: pointer-chase dominated, "
+                "pointer-heavy data", &makeMcf},
+        {"mesa", "software 3D pipeline, alternating scenes",
+         &makeMesa},
+        {"perlbmk", "Perl interpreter over a script mix",
+         &makePerlbmk},
+        {"sixtrack", "particle tracking, tight compute kernels",
+         &makeSixtrack},
+        {"swim", "shallow-water stencils, streaming sweeps",
+         &makeSwim},
+        {"twolf", "annealing placement, hot/cold stages", &makeTwolf},
+        {"vortex", "OO database transactions, call heavy",
+         &makeVortex},
+        {"vpr", "place (random) then route (chase) mega-phases",
+         &makeVpr},
+        {"wupwise", "lattice QCD solver with BLAS helpers",
+         &makeWupwise},
+    };
+    return workloads;
+}
+
+const WorkloadInfo*
+findWorkload(const std::string& name)
+{
+    for (const WorkloadInfo& info : suite()) {
+        if (info.name == name)
+            return &info;
+    }
+    return nullptr;
+}
+
+ir::Program
+makeWorkload(const std::string& name, double scale)
+{
+    const WorkloadInfo* info = findWorkload(name);
+    if (!info)
+        fatal("unknown workload '{}'", name);
+    return info->factory(scale);
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadInfo& info : suite())
+        names.push_back(info.name);
+    return names;
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * swim analogue: shallow-water stencil code.  Three long grid sweeps
+ * (calc1, calc2, calc3) per timestep over multi-megabyte arrays,
+ * each dominated by unit-stride streaming with a distinct footprint,
+ * plus a periodic smoothing pass.  Very regular: a handful of clean
+ * phases.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeSwim(double scale)
+{
+    ir::ProgramBuilder b("swim");
+
+    b.procedure("calc1").loop(trips(scale, 4200), [&](StmtSeq& s) {
+        s.block(46, 20,
+                withDrift(stridePattern(1, 1_MiB, 8, 0.4, 0.0),
+                          1400, 0.3));
+        s.compute(14);
+    });
+
+    b.procedure("calc2").loop(trips(scale, 4200), [&](StmtSeq& s) {
+        s.block(50, 22,
+                withDrift(stridePattern(2, 1280_KiB, 8, 0.4, 0.0),
+                          1400, 0.3));
+        s.compute(10);
+    });
+
+    b.procedure("calc3").loop(trips(scale, 3600), [&](StmtSeq& s) {
+        s.block(42, 18, stridePattern(3, 896_KiB, 8, 0.35, 0.0));
+        s.compute(12);
+    });
+
+    // Periodic smoothing, vectorizable: unrolled under -O2.
+    b.procedure("smooth", ir::InlineHint::Always)
+        .loop(trips(scale, 1200), [&](StmtSeq& outer) {
+            outer.loop(8,
+                       [&](StmtSeq& s) {
+                           s.block(12, 5,
+                                   stridePattern(4, 512_KiB, 8, 0.5,
+                                                 0.0));
+                       },
+                       LoopOpts{.unrollable = true});
+        });
+
+    b.procedure("inital").loop(trips(scale, 3000), [&](StmtSeq& s) {
+        s.block(34, 14, stridePattern(5, 1_MiB, 8, 0.6, 0.0));
+    });
+
+    StmtSeq main = b.procedure("main");
+    main.call("inital");
+    main.loop(trips(scale, 14), [&](StmtSeq& ts) {
+        ts.call("calc1");
+        ts.call("calc2");
+        ts.call("calc3");
+        ts.call("smooth");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

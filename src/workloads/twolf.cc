@@ -1,0 +1,66 @@
+/**
+ * @file
+ * twolf analogue: simulated-annealing standard-cell placement.  Each
+ * temperature stage perturbs cells (random traffic over the cell
+ * array), evaluates wirelength deltas (gathers over the net list)
+ * and applies accepted moves.  Hot stages do full move application;
+ * cold stages mostly reject, shifting the block mix toward
+ * evaluation.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeTwolf(double scale)
+{
+    ir::ProgramBuilder b("twolf");
+
+    b.procedure("perturb", ir::InlineHint::Always)
+        .block(18, 8, randomPattern(1, 384_KiB, 0.2, 0.6));
+
+    b.procedure("wire_eval").loop(
+        trips(scale, 3000), [&](StmtSeq& s) {
+            s.block(22, 10,
+                    withDrift(gatherPattern(2, 1_MiB, 0.93, 0.05, 0.5),
+                              1200, 0.22));
+            s.compute(12);
+        });
+
+    b.procedure("stage_hot").loop(
+        trips(scale, 5200), [&](StmtSeq& s) {
+            s.call("perturb");
+            s.block(20, 9,
+                    withDrift(randomPattern(3, 448_KiB, 0.5, 0.6),
+                              2000, 0.3));
+            s.compute(10);
+        });
+
+    b.procedure("stage_cold").loop(
+        trips(scale, 7400), [&](StmtSeq& s) {
+            s.call("perturb");
+            s.compute(19);
+        });
+
+    b.procedure("netlist_init").loop(
+        trips(scale, 2000), [&](StmtSeq& s) {
+            s.block(32, 14, stridePattern(4, 768_KiB, 8, 0.6, 0.5));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("netlist_init");
+    main.loop(trips(scale, 11), [&](StmtSeq& stage) {
+        stage.call("stage_hot");
+        stage.call("wire_eval");
+    });
+    main.loop(trips(scale, 11), [&](StmtSeq& stage) {
+        stage.call("stage_cold");
+        stage.call("wire_eval");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

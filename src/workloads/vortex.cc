@@ -1,0 +1,65 @@
+/**
+ * @file
+ * vortex analogue: object-oriented database.  Transactions traverse
+ * pointer-dense object graphs (lookups), allocate and link new
+ * objects (inserts) and run integrity validation (compute).  Many
+ * small helper procedures with partial inlining mirror vortex's
+ * notoriously call-heavy profile.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeVortex(double scale)
+{
+    ir::ProgramBuilder b("vortex");
+
+    b.procedure("obj_deref", ir::InlineHint::Partial)
+        .block(12, 6, withDrift(chasePattern(1, 768_KiB, 1.0), 4500, 0.22));
+
+    b.procedure("mem_alloc", ir::InlineHint::Partial)
+        .block(14, 6, randomPattern(2, 256_KiB, 0.5, 0.8));
+
+    b.procedure("txn_lookup").loop(
+        trips(scale, 6600), [&](StmtSeq& s) {
+            s.call("obj_deref");
+            s.compute(14);
+            s.block(10, 5, gatherPattern(3, 1536_KiB, 0.94, 0.1, 0.9));
+        });
+
+    b.procedure("txn_insert").loop(
+        trips(scale, 4200), [&](StmtSeq& s) {
+            s.call("obj_deref");
+            s.call("mem_alloc");
+            s.block(14, 7,
+                    withDrift(randomPattern(4, 640_KiB, 0.45, 0.9),
+                              1400, 0.3));
+        });
+
+    b.procedure("txn_validate").loop(
+        trips(scale, 3600), [&](StmtSeq& s) {
+            s.call("obj_deref");
+            s.compute(22);
+        });
+
+    b.procedure("db_load").loop(
+        trips(scale, 2600), [&](StmtSeq& s) {
+            s.block(30, 14, stridePattern(5, 1536_KiB, 8, 0.7, 0.9));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("db_load");
+    main.loop(trips(scale, 12), [&](StmtSeq& round) {
+        round.call("txn_lookup");
+        round.call("txn_insert");
+        round.call("txn_lookup");
+        round.call("txn_validate");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * vpr analogue: FPGA place-and-route in two very different
+ * mega-phases — annealing placement (random traffic over the block
+ * grid plus delta evaluation) followed by maze routing (pointer
+ * chasing through a large routing-resource graph).  The phase split
+ * makes consistent cross-binary sampling matter: a scheme that
+ * weights placement vs routing differently per binary misestimates
+ * the speedup badly.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeVpr(double scale)
+{
+    ir::ProgramBuilder b("vpr");
+
+    b.procedure("try_swap", ir::InlineHint::Always)
+        .block(20, 9, randomPattern(1, 320_KiB, 0.35, 0.5))
+        .compute(13);
+
+    b.procedure("place_stage").loop(
+        trips(scale, 6000), [&](StmtSeq& s) {
+            s.call("try_swap");
+            s.block(10, 4,
+                    withDrift(gatherPattern(2, 640_KiB, 0.95, 0.1, 0.4),
+                              2200, 0.3));
+        });
+
+    b.procedure("route_net").loop(
+        trips(scale, 5200), [&](StmtSeq& s) {
+            s.block(24, 8, withDrift(chasePattern(3, 1_MiB, 0.8), 1900, 0.35));
+            s.compute(9);
+        });
+
+    b.procedure("rr_graph_build").loop(
+        trips(scale, 3000), [&](StmtSeq& s) {
+            s.block(34, 15, stridePattern(4, 1536_KiB, 8, 0.65, 0.8));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.loop(trips(scale, 18),
+              [&](StmtSeq& t) { t.call("place_stage"); });
+    main.call("rr_graph_build");
+    main.loop(trips(scale, 16),
+              [&](StmtSeq& t) { t.call("route_net"); });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

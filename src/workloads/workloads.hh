@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The synthetic workload suite: one program per SPEC CPU2000
+ * benchmark the paper evaluates (Figures 1–5).
+ *
+ * Each workload is written in the source IR with loop/call structure,
+ * instruction mixes, memory-access patterns and optimizer hints that
+ * mimic the documented behaviour of the real benchmark at the level
+ * the rest of the system observes: phase structure (what SimPoint
+ * clusters), marker topology (what the cross-binary matcher maps),
+ * and memory locality (what drives CPI on the Table-1 hierarchy).
+ *
+ * `scale` multiplies the outer trip counts; 1.0 gives runs of roughly
+ * 10–25M source instructions (25–60M machine instructions when
+ * compiled unoptimized), sized so a full detailed simulation takes
+ * around a second.
+ */
+
+#ifndef XBSP_WORKLOADS_WORKLOADS_HH
+#define XBSP_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace xbsp::workloads
+{
+
+/** Registry entry for one workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string description;
+    ir::Program (*factory)(double scale);
+};
+
+/** All 21 workloads in the paper's benchmark order. */
+const std::vector<WorkloadInfo>& suite();
+
+/** Find a workload by name; nullptr when unknown. */
+const WorkloadInfo* findWorkload(const std::string& name);
+
+/** Build a workload by name; fatal() on unknown names. */
+ir::Program makeWorkload(const std::string& name, double scale = 1.0);
+
+/** All workload names, in suite order. */
+std::vector<std::string> workloadNames();
+
+/** Individual factories (also reachable through the registry). */
+ir::Program makeAmmp(double scale);
+ir::Program makeApplu(double scale);
+ir::Program makeApsi(double scale);
+ir::Program makeArt(double scale);
+ir::Program makeBzip2(double scale);
+ir::Program makeCrafty(double scale);
+ir::Program makeEon(double scale);
+ir::Program makeEquake(double scale);
+ir::Program makeFma3d(double scale);
+ir::Program makeGcc(double scale);
+ir::Program makeGzip(double scale);
+ir::Program makeLucas(double scale);
+ir::Program makeMcf(double scale);
+ir::Program makeMesa(double scale);
+ir::Program makePerlbmk(double scale);
+ir::Program makeSixtrack(double scale);
+ir::Program makeSwim(double scale);
+ir::Program makeTwolf(double scale);
+ir::Program makeVortex(double scale);
+ir::Program makeVpr(double scale);
+ir::Program makeWupwise(double scale);
+
+} // namespace xbsp::workloads
+
+#endif // XBSP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * wupwise analogue: lattice-QCD BiCGStab solver.  Iterations apply
+ * the Wilson-Dirac operator (streaming matrix-vector kernels over a
+ * 4 MiB lattice with unrollable SU(3) arithmetic) and BLAS-style
+ * vector updates (zaxpy/zdotc), which are fully inlined under -O2.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::workloads
+{
+
+ir::Program
+makeWupwise(double scale)
+{
+    ir::ProgramBuilder b("wupwise");
+
+    b.procedure("muldeo").loop(
+        trips(scale, 4800), [&](StmtSeq& outer) {
+            outer.block(16, 8,
+                    withDrift(stridePattern(1, 1_MiB, 8, 0.3, 0.0),
+                              1600, 0.3));
+            outer.loop(4, [&](StmtSeq& s) { s.compute(18); },
+                       LoopOpts{.unrollable = true});
+        });
+
+    b.procedure("muldoe").loop(
+        trips(scale, 4800), [&](StmtSeq& outer) {
+            outer.block(16, 8,
+                    withDrift(stridePattern(2, 1280_KiB, 8, 0.3, 0.0),
+                              1600, 0.3));
+            outer.loop(4, [&](StmtSeq& s) { s.compute(18); },
+                       LoopOpts{.unrollable = true});
+        });
+
+    b.procedure("zaxpy", ir::InlineHint::Always)
+        .loop(trips(scale, 2400), [&](StmtSeq& s) {
+            s.block(12, 6, stridePattern(3, 768_KiB, 8, 0.5, 0.0));
+        });
+
+    b.procedure("zdotc", ir::InlineHint::Always)
+        .loop(trips(scale, 2000), [&](StmtSeq& s) {
+            s.block(10, 5, stridePattern(4, 768_KiB, 8, 0.0, 0.0));
+            s.compute(6);
+        });
+
+    b.procedure("lattice_init").loop(
+        trips(scale, 2400), [&](StmtSeq& s) {
+            s.block(30, 13, stridePattern(5, 1_MiB, 8, 0.7, 0.0));
+        });
+
+    StmtSeq main = b.procedure("main");
+    main.call("lattice_init");
+    main.loop(trips(scale, 9), [&](StmtSeq& iter) {
+        iter.call("muldeo");
+        iter.call("zaxpy");
+        iter.call("muldoe");
+        iter.call("zdotc");
+    });
+    return b.build();
+}
+
+} // namespace xbsp::workloads

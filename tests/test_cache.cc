@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU cache level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace xbsp;
+using cache::LevelConfig;
+using cache::SetAssociativeCache;
+
+namespace
+{
+
+/** 2-way, 4-set toy cache: 8 lines of 64B. */
+LevelConfig
+toyConfig()
+{
+    return LevelConfig{"toy", 8 * 64, 2, 64, 3};
+}
+
+/** Address of set `set`, distinct tag `tag`. */
+Addr
+addrFor(u64 set, u64 tag)
+{
+    return (tag * 4 + set) * 64; // 4 sets
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    SetAssociativeCache cache(toyConfig());
+    EXPECT_FALSE(cache.lookup(0x1000, false));
+    cache.fill(0x1000, false);
+    EXPECT_TRUE(cache.lookup(0x1000, false));
+    // Same line, different byte offset.
+    EXPECT_TRUE(cache.lookup(0x103F, false));
+    EXPECT_EQ(cache.accesses(), 3u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    SetAssociativeCache cache(toyConfig());
+    const Addr a = addrFor(0, 1), b = addrFor(0, 2), c = addrFor(0, 3);
+    cache.fill(a, false);
+    cache.fill(b, false);
+    // Touch a so b becomes LRU.
+    EXPECT_TRUE(cache.lookup(a, false));
+    const cache::Eviction ev = cache.fill(c, false);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, b);
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    SetAssociativeCache cache(toyConfig());
+    const Addr a = addrFor(1, 1), b = addrFor(1, 2), c = addrFor(1, 3);
+    cache.fill(a, false);
+    EXPECT_TRUE(cache.lookup(a, true)); // make dirty
+    cache.fill(b, false);
+    cache.fill(c, false); // evicts a (LRU), which is dirty
+    EXPECT_EQ(cache.writebacksOut(), 1u);
+}
+
+TEST(Cache, FillDirtyInstallsDirtyLine)
+{
+    SetAssociativeCache cache(toyConfig());
+    const Addr a = addrFor(2, 1);
+    cache.fill(a, true);
+    // Evict it with two clean fills; the dirty line writes back.
+    cache.fill(addrFor(2, 2), false);
+    cache.fill(addrFor(2, 3), false);
+    EXPECT_EQ(cache.writebacksOut(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    SetAssociativeCache cache(toyConfig());
+    const Addr a = addrFor(0, 1), b = addrFor(0, 2), c = addrFor(0, 3);
+    cache.fill(a, false);
+    cache.fill(b, false);
+    // probe(a) must NOT refresh a; a stays LRU and gets evicted.
+    EXPECT_TRUE(cache.probe(a));
+    const cache::Eviction ev = cache.fill(c, false);
+    EXPECT_EQ(ev.lineAddr, a);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    SetAssociativeCache cache(toyConfig());
+    cache.fill(0x0, true);
+    cache.fill(0x40, false);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x0));
+    EXPECT_FALSE(cache.probe(0x40));
+    // Flush drops dirty data without writeback accounting.
+    cache.fill(addrFor(0, 7), false);
+    EXPECT_EQ(cache.writebacksOut(), 0u);
+}
+
+TEST(Cache, MissRateAndResetStats)
+{
+    SetAssociativeCache cache(toyConfig());
+    cache.lookup(0x0, false);
+    cache.fill(0x0, false);
+    cache.lookup(0x0, false);
+    EXPECT_DOUBLE_EQ(cache.missRate(), 0.5);
+    cache.resetStats();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_DOUBLE_EQ(cache.missRate(), 0.0);
+    EXPECT_TRUE(cache.probe(0x0)) << "contents survive resetStats";
+}
+
+TEST(Cache, AssociativityIsolation)
+{
+    // Filling every set's both ways keeps all lines resident.
+    SetAssociativeCache cache(toyConfig());
+    for (u64 set = 0; set < 4; ++set) {
+        cache.fill(addrFor(set, 1), false);
+        cache.fill(addrFor(set, 2), false);
+    }
+    for (u64 set = 0; set < 4; ++set) {
+        EXPECT_TRUE(cache.probe(addrFor(set, 1)));
+        EXPECT_TRUE(cache.probe(addrFor(set, 2)));
+    }
+}
+
+TEST(Cache, BadGeometryFatal)
+{
+    LevelConfig bad = toyConfig();
+    bad.lineSize = 48;
+    EXPECT_EXIT(SetAssociativeCache{bad},
+                ::testing::ExitedWithCode(1), "power of two");
+    bad = toyConfig();
+    bad.associativity = 0;
+    EXPECT_EXIT(SetAssociativeCache{bad},
+                ::testing::ExitedWithCode(1), "associativity");
+    bad = toyConfig();
+    bad.capacityBytes = 3 * 64; // not divisible into 2-way sets
+    EXPECT_EXIT(SetAssociativeCache{bad},
+                ::testing::ExitedWithCode(1), "divisible");
+}
+
+TEST(Cache, PaperGeometriesConstruct)
+{
+    (void)SetAssociativeCache(LevelConfig{"L1D", 32768, 2, 64, 3});
+    (void)SetAssociativeCache(LevelConfig{"L2D", 524288, 8, 64, 14});
+    (void)SetAssociativeCache(LevelConfig{"L3D", 1048576, 16, 64, 35});
+    SUCCEED();
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the model compiler: per-target scaling, debug-info
+ * emission, and the optimizer transforms that break mappability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "test_support.hh"
+#include "workloads/workloads.hh"
+
+using namespace xbsp;
+
+TEST(Compiler, FourTargetsInCanonicalOrder)
+{
+    const auto bins = test::compileFour(test::tinyProgram());
+    ASSERT_EQ(bins.size(), 4u);
+    EXPECT_EQ(bin::targetName(bins[0].target), "32u");
+    EXPECT_EQ(bin::targetName(bins[1].target), "32o");
+    EXPECT_EQ(bin::targetName(bins[2].target), "64u");
+    EXPECT_EQ(bin::targetName(bins[3].target), "64o");
+}
+
+TEST(Compiler, Deterministic)
+{
+    const ir::Program p = test::trickyProgram();
+    const bin::Binary a = compile::compileProgram(p, bin::target32o);
+    const bin::Binary b = compile::compileProgram(p, bin::target32o);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+        EXPECT_EQ(a.blocks[i].instrs, b.blocks[i].instrs);
+        EXPECT_EQ(a.blocks[i].memOps, b.blocks[i].memOps);
+    }
+    ASSERT_EQ(a.markers.size(), b.markers.size());
+}
+
+TEST(Compiler, UnoptimizedExecutesMoreInstructions)
+{
+    const auto bins = test::compileFour(test::tinyProgram());
+    const InstrCount i32u = bin::staticDynamicInstrCount(bins[0]);
+    const InstrCount i32o = bin::staticDynamicInstrCount(bins[1]);
+    const InstrCount i64u = bin::staticDynamicInstrCount(bins[2]);
+    const InstrCount i64o = bin::staticDynamicInstrCount(bins[3]);
+    EXPECT_GT(i32u, 2 * i32o);
+    EXPECT_GT(i64u, 2 * i64o);
+    // 64-bit code is denser.
+    EXPECT_LT(i64u, i32u);
+    EXPECT_LT(i64o, i32o);
+}
+
+TEST(Compiler, AlwaysInlineRemovesSymbolUnderO2)
+{
+    const ir::Program p = test::trickyProgram();
+    const bin::Binary unopt =
+        compile::compileProgram(p, bin::target32u);
+    const bin::Binary opt = compile::compileProgram(p, bin::target32o);
+    EXPECT_NE(unopt.findProc("helper"), invalidId);
+    EXPECT_EQ(opt.findProc("helper"), invalidId);
+}
+
+TEST(Compiler, PartialInlineKeepsSymbolWithLowerEntryCount)
+{
+    const ir::Program p = test::trickyProgram();
+    const bin::Binary unopt =
+        compile::compileProgram(p, bin::target32u);
+    const bin::Binary opt = compile::compileProgram(p, bin::target32o);
+    ASSERT_NE(opt.findProc("sometimes"), invalidId);
+
+    const auto profU = test::profileMarkers(unopt);
+    const auto profO = test::profileMarkers(opt);
+    const u64 entriesU = test::markerGroupCount(
+        unopt, profU, bin::MarkerKind::ProcEntry, "sometimes", 0);
+    const u64 entriesO = test::markerGroupCount(
+        opt, profO, bin::MarkerKind::ProcEntry, "sometimes", 0);
+    // Two static sites, each called 5x; one site inlined under -O2.
+    EXPECT_EQ(entriesU, 10u);
+    EXPECT_EQ(entriesO, 5u);
+}
+
+TEST(Compiler, InlinedLoopKeepsLineAndCount)
+{
+    const ir::Program p = test::trickyProgram();
+    const bin::Binary unopt =
+        compile::compileProgram(p, bin::target32u);
+    const bin::Binary opt = compile::compileProgram(p, bin::target32o);
+
+    // helper's loop is the first loop in the program (line 2: the
+    // procedure body starts at line 2 after... find it dynamically:
+    // take the loop line from the unoptimized binary's marker for
+    // proc "helper".
+    u32 helperLoopLine = 0;
+    for (const auto& marker : unopt.markers) {
+        if (marker.kind == bin::MarkerKind::LoopEntry &&
+            unopt.procs[marker.procId].name == "helper") {
+            helperLoopLine = marker.line;
+        }
+    }
+    ASSERT_GT(helperLoopLine, 0u);
+
+    const auto profU = test::profileMarkers(unopt);
+    const auto profO = test::profileMarkers(opt);
+    // 2 call sites x 5 outer iterations = 10 entries; the clones in
+    // the optimized binary sum to the same count.
+    EXPECT_EQ(test::markerGroupCount(unopt, profU,
+                                     bin::MarkerKind::LoopEntry, "",
+                                     helperLoopLine), 10u);
+    EXPECT_EQ(test::markerGroupCount(opt, profO,
+                                     bin::MarkerKind::LoopEntry, "",
+                                     helperLoopLine), 10u);
+    // ...and there are two clone markers in the optimized binary.
+    u32 clones = 0;
+    for (const auto& marker : opt.markers) {
+        if (marker.kind == bin::MarkerKind::LoopEntry &&
+            marker.line == helperLoopLine) {
+            ++clones;
+        }
+    }
+    EXPECT_EQ(clones, 2u);
+}
+
+TEST(Compiler, UnrollDividesBranchCountKeepsEntryCount)
+{
+    const ir::Program p = test::trickyProgram();
+    const bin::Binary unopt =
+        compile::compileProgram(p, bin::target32u);
+    const bin::Binary opt = compile::compileProgram(p, bin::target32o);
+
+    u32 innerLine = 0;
+    for (const auto& marker : unopt.markers) {
+        if (marker.kind == bin::MarkerKind::LoopBranch &&
+            unopt.procs[marker.procId].name == "unrolled" &&
+            marker.line > innerLine) {
+            innerLine = marker.line; // the nested (higher-line) loop
+        }
+    }
+    ASSERT_GT(innerLine, 0u);
+
+    const auto profU = test::profileMarkers(unopt);
+    const auto profO = test::profileMarkers(opt);
+    const u64 branchesU = test::markerGroupCount(
+        unopt, profU, bin::MarkerKind::LoopBranch, "", innerLine);
+    const u64 branchesO = test::markerGroupCount(
+        opt, profO, bin::MarkerKind::LoopBranch, "", innerLine);
+    // 5 calls x 40 outer x 16 iterations = 3200; unrolled by 4.
+    EXPECT_EQ(branchesU, 3200u);
+    EXPECT_EQ(branchesO, 800u);
+    EXPECT_EQ(test::markerGroupCount(unopt, profU,
+                                     bin::MarkerKind::LoopEntry, "",
+                                     innerLine),
+              test::markerGroupCount(opt, profO,
+                                     bin::MarkerKind::LoopEntry, "",
+                                     innerLine));
+}
+
+TEST(Compiler, SplitDuplicatesLoopMarkersOnSameLine)
+{
+    const ir::Program p = test::trickyProgram();
+    const bin::Binary unopt =
+        compile::compileProgram(p, bin::target32u);
+    const bin::Binary opt = compile::compileProgram(p, bin::target32o);
+
+    u32 splitLine = 0;
+    for (const auto& marker : unopt.markers) {
+        if (marker.kind == bin::MarkerKind::LoopEntry &&
+            unopt.procs[marker.procId].name == "split") {
+            splitLine = marker.line;
+        }
+    }
+    ASSERT_GT(splitLine, 0u);
+
+    const auto profU = test::profileMarkers(unopt);
+    const auto profO = test::profileMarkers(opt);
+    // 5 calls, 60 trips: entries 5 vs 10 (doubled), branches 300 vs
+    // 600 (doubled) -> count mismatch, which the matcher rejects.
+    EXPECT_EQ(test::markerGroupCount(unopt, profU,
+                                     bin::MarkerKind::LoopEntry, "",
+                                     splitLine), 5u);
+    EXPECT_EQ(test::markerGroupCount(opt, profO,
+                                     bin::MarkerKind::LoopEntry, "",
+                                     splitLine), 10u);
+    EXPECT_EQ(test::markerGroupCount(unopt, profU,
+                                     bin::MarkerKind::LoopBranch, "",
+                                     splitLine), 300u);
+    EXPECT_EQ(test::markerGroupCount(opt, profO,
+                                     bin::MarkerKind::LoopBranch, "",
+                                     splitLine), 600u);
+}
+
+TEST(Compiler, PassTogglesDisableTransforms)
+{
+    const ir::Program p = test::trickyProgram();
+    compile::CompileOptions off;
+    off.enableInlining = false;
+    off.enableUnrolling = false;
+    off.enableLoopSplitting = false;
+    const bin::Binary opt =
+        compile::compileProgram(p, bin::target32o, off);
+    EXPECT_NE(opt.findProc("helper"), invalidId);
+    // No split clones: exactly one loop-entry marker per source loop.
+    std::map<u32, int> perLine;
+    for (const auto& marker : opt.markers) {
+        if (marker.kind == bin::MarkerKind::LoopEntry)
+            ++perLine[marker.line];
+    }
+    for (const auto& [line, count] : perLine)
+        EXPECT_EQ(count, 1) << "line " << line;
+}
+
+TEST(Compiler, FootprintGrowsOn64BitForPointerData)
+{
+    ir::ProgramBuilder b("ptr");
+    b.procedure("main").block(
+        10, 4, ir::chasePattern(1, 1u << 20, 1.0));
+    const ir::Program p = b.build();
+    const bin::Binary b32 = compile::compileProgram(p, bin::target32o);
+    const bin::Binary b64 = compile::compileProgram(p, bin::target64o);
+    u64 ws32 = 0, ws64 = 0;
+    for (const auto& blk : b32.blocks)
+        ws32 = std::max(ws32, blk.pattern.workingSet);
+    for (const auto& blk : b64.blocks)
+        ws64 = std::max(ws64, blk.pattern.workingSet);
+    EXPECT_EQ(ws32, 1u << 20);
+    EXPECT_NEAR(static_cast<double>(ws64),
+                1.75 * static_cast<double>(ws32), 1.0);
+}
+
+TEST(Compiler, SpillTrafficHigherUnoptimized)
+{
+    const auto bins = test::compileFour(test::tinyProgram());
+    auto stackFraction = [](const bin::Binary& binary) {
+        u64 stack = 0, instrs = 0;
+        for (const auto& blk : binary.blocks) {
+            stack += blk.stackOps;
+            instrs += blk.instrs;
+        }
+        return static_cast<double>(stack) /
+               static_cast<double>(instrs);
+    };
+    EXPECT_GT(stackFraction(bins[0]), 2.0 * stackFraction(bins[1]));
+}
+
+TEST(Compiler, CheckBinaryAcceptsAllWorkloads)
+{
+    // compileProgram runs checkBinary internally; cover every
+    // workload x target combination.
+    for (const auto& info : workloads::suite()) {
+        const ir::Program p = info.factory(0.05);
+        for (const auto& target : compile::standardTargets())
+            (void)compile::compileProgram(p, target);
+    }
+    SUCCEED();
+}
+
+TEST(Compiler, DescribeMentionsProcsAndLoops)
+{
+    const bin::Binary b =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    const std::string text = bin::describe(b);
+    EXPECT_NE(text.find("proc main"), std::string::npos);
+    EXPECT_NE(text.find("proc work"), std::string::npos);
+    EXPECT_NE(text.find("loop trips=100"), std::string::npos);
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Cross-binary property tests over the full workload suite (scaled
+ * down): the invariants that make the paper's technique sound, as
+ * executable properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vli.hh"
+#include "sim/report.hh"
+#include "sim/study.hh"
+#include "workloads/workloads.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+sim::StudyConfig
+propertyConfig()
+{
+    sim::StudyConfig config;
+    config.intervalTarget = 60000;
+    config.detailed = true;
+    return config;
+}
+
+} // namespace
+
+class CrossBinaryPropertyTest
+    : public ::testing::TestWithParam<const char*>
+{
+  protected:
+    const sim::CrossBinaryStudy&
+    study() const
+    {
+        static std::map<std::string, sim::CrossBinaryStudy> cache;
+        const std::string name = GetParam();
+        auto it = cache.find(name);
+        if (it == cache.end()) {
+            it = cache
+                     .emplace(name,
+                              sim::CrossBinaryStudy::run(
+                                  workloads::makeWorkload(name, 0.12),
+                                  propertyConfig()))
+                     .first;
+        }
+        return it->second;
+    }
+};
+
+TEST_P(CrossBinaryPropertyTest, MappablePointsExist)
+{
+    EXPECT_GT(study().mappable().points.size(), 3u);
+}
+
+TEST_P(CrossBinaryPropertyTest, MappableCountsEqualEverywhere)
+{
+    // The defining property: each point's summed dynamic count is
+    // identical in all four binaries (verified against profiles
+    // inside findMappablePoints; here we assert points carry groups
+    // for every binary).
+    for (const auto& point : study().mappable().points) {
+        ASSERT_EQ(point.markerIds.size(), 4u);
+        for (const auto& group : point.markerIds)
+            EXPECT_FALSE(group.empty());
+        EXPECT_GT(point.execCount, 0u);
+    }
+}
+
+TEST_P(CrossBinaryPropertyTest, PartitionMapsToEveryBinary)
+{
+    const auto& s = study();
+    const std::size_t count = s.partition().intervalCount();
+    for (const auto& bs : s.perBinary()) {
+        ASSERT_EQ(bs.detailedRun.vliIntervals.size(), count)
+            << bin::targetName(bs.target);
+        InstrCount sum = 0;
+        for (const auto& iv : bs.detailedRun.vliIntervals)
+            sum += iv.instrs;
+        EXPECT_EQ(sum, bs.totalInstrs);
+    }
+}
+
+TEST_P(CrossBinaryPropertyTest, WeightsRecalculatedPerBinary)
+{
+    for (const auto& bs : study().perBinary()) {
+        double total = 0.0;
+        for (const auto& phase : bs.vliEstimate.phases) {
+            EXPECT_GE(phase.weight, 0.0);
+            EXPECT_LE(phase.weight, 1.0);
+            total += phase.weight;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST_P(CrossBinaryPropertyTest, EstimatesBoundedByIntervalExtremes)
+{
+    for (const auto& bs : study().perBinary()) {
+        double lo = 1e30, hi = 0.0;
+        for (const auto& iv : bs.detailedRun.vliIntervals) {
+            if (iv.instrs == 0)
+                continue;
+            lo = std::min(lo, iv.cpi());
+            hi = std::max(hi, iv.cpi());
+        }
+        EXPECT_GE(bs.vliEstimate.estCpi, lo - 1e-9);
+        EXPECT_LE(bs.vliEstimate.estCpi, hi + 1e-9);
+    }
+}
+
+TEST_P(CrossBinaryPropertyTest, TrueSpeedupsAreConsistentRatios)
+{
+    const auto& s = study();
+    // speedup(a,b) * speedup(b,c) == speedup(a,c)
+    const double ab = s.trueSpeedup(0, 1);
+    const double bc = s.trueSpeedup(1, 3);
+    const double ac = s.trueSpeedup(0, 3);
+    EXPECT_NEAR(ab * bc, ac, 1e-9);
+}
+
+TEST_P(CrossBinaryPropertyTest, StatsReportWellFormed)
+{
+    std::ostringstream os;
+    sim::dumpStudyStats(os, study());
+    const std::string out = os.str();
+    EXPECT_NE(out.find(".sim_insts"), std::string::npos);
+    EXPECT_NE(out.find(".vli.cpi_error"), std::string::npos);
+    EXPECT_NE(out.find("speedup.32u32o.true"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CrossBinaryPropertyTest,
+    ::testing::Values("ammp", "applu", "apsi", "art", "bzip2",
+                      "crafty", "eon", "equake", "fma3d", "gcc",
+                      "gzip", "lucas", "mcf", "mesa", "perlbmk",
+                      "sixtrack", "swim", "twolf", "vortex", "vpr",
+                      "wupwise"));

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the sampled-estimation math (weights, per-phase
+ * bias, speedup error) on hand-constructed inputs with known answers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/estimate.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+/** Clustering: intervals {0,2} -> phase 0 (rep 2), {1,3} -> 1 (rep 1). */
+sp::SimPointResult
+handmadeClustering()
+{
+    sp::SimPointResult result;
+    result.k = 2;
+    result.labels = {0, 1, 0, 1};
+    sp::Phase p0;
+    p0.id = 0;
+    p0.representative = 2;
+    p0.members = {0, 2};
+    sp::Phase p1;
+    p1.id = 1;
+    p1.representative = 1;
+    p1.members = {1, 3};
+    result.phases = {p0, p1};
+    return result;
+}
+
+std::vector<sim::IntervalStats>
+handmadeIntervals()
+{
+    // instrs, cycles (cpi): 100@2.0, 100@5.0, 100@3.0, 300@6.0
+    return {{100, 200}, {100, 500}, {100, 300}, {300, 1800}};
+}
+
+} // namespace
+
+TEST(Estimate, WeightsTruthAndSpCpi)
+{
+    const sim::BinaryEstimate est = sim::estimateSampled(
+        handmadeClustering(), handmadeIntervals());
+
+    EXPECT_EQ(est.totalInstrs, 600u);
+    EXPECT_DOUBLE_EQ(est.trueCycles, 2800.0);
+    EXPECT_NEAR(est.trueCpi, 2800.0 / 600.0, 1e-12);
+
+    ASSERT_EQ(est.phases.size(), 2u);
+    const auto& p0 = est.phases[0];
+    EXPECT_NEAR(p0.weight, 200.0 / 600.0, 1e-12);
+    EXPECT_NEAR(p0.trueCpi, 500.0 / 200.0, 1e-12); // (200+300)/200
+    EXPECT_DOUBLE_EQ(p0.spCpi, 3.0);               // rep interval 2
+    EXPECT_NEAR(p0.bias, (3.0 - 2.5) / 2.5, 1e-12);
+
+    const auto& p1 = est.phases[1];
+    EXPECT_NEAR(p1.weight, 400.0 / 600.0, 1e-12);
+    EXPECT_NEAR(p1.trueCpi, 2300.0 / 400.0, 1e-12);
+    EXPECT_DOUBLE_EQ(p1.spCpi, 5.0);
+
+    const double expectedEstCpi =
+        (200.0 / 600.0) * 3.0 + (400.0 / 600.0) * 5.0;
+    EXPECT_NEAR(est.estCpi, expectedEstCpi, 1e-12);
+    EXPECT_NEAR(est.estCycles, expectedEstCpi * 600.0, 1e-9);
+    EXPECT_NEAR(est.cpiError,
+                std::fabs((est.trueCpi - est.estCpi) / est.trueCpi),
+                1e-12);
+}
+
+TEST(Estimate, PerfectRepresentativesGiveZeroError)
+{
+    sp::SimPointResult clustering = handmadeClustering();
+    // Make every interval in each phase identical.
+    std::vector<sim::IntervalStats> intervals{
+        {100, 300}, {100, 500}, {100, 300}, {100, 500}};
+    const sim::BinaryEstimate est =
+        sim::estimateSampled(clustering, intervals);
+    EXPECT_NEAR(est.cpiError, 0.0, 1e-12);
+    for (const auto& phase : est.phases)
+        EXPECT_NEAR(phase.bias, 0.0, 1e-12);
+}
+
+TEST(Estimate, PhasesByWeightSorted)
+{
+    const sim::BinaryEstimate est = sim::estimateSampled(
+        handmadeClustering(), handmadeIntervals());
+    const auto sorted = est.phasesByWeight();
+    ASSERT_EQ(sorted.size(), 2u);
+    EXPECT_GE(sorted[0].weight, sorted[1].weight);
+    EXPECT_EQ(sorted[0].phaseId, 1u);
+}
+
+TEST(Estimate, SizeMismatchPanics)
+{
+    std::vector<sim::IntervalStats> tooFew{{100, 200}};
+    EXPECT_DEATH((void)sim::estimateSampled(handmadeClustering(),
+                                            tooFew),
+                 "intervals");
+}
+
+TEST(Estimate, SpeedupMath)
+{
+    EXPECT_DOUBLE_EQ(sim::speedup(200.0, 100.0), 2.0);
+    // true = 2.0, est = 2.2 -> 10% error.
+    EXPECT_NEAR(sim::speedupError(200.0, 100.0, 220.0, 100.0), 0.1,
+                1e-12);
+    // Error is symmetric in formulation |(t-e)/t|.
+    EXPECT_NEAR(sim::speedupError(200.0, 100.0, 180.0, 100.0), 0.1,
+                1e-12);
+}
+
+TEST(Estimate, SpeedupZeroDenominatorPanics)
+{
+    EXPECT_DEATH((void)sim::speedup(1.0, 0.0), "zero cycles");
+}

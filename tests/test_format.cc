@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for the std::format-subset shim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/format.hh"
+
+using namespace xbsp;
+
+TEST(Format, PlainText)
+{
+    EXPECT_EQ(format("hello"), "hello");
+    EXPECT_EQ(format(""), "");
+}
+
+TEST(Format, Integers)
+{
+    EXPECT_EQ(format("{}", 42), "42");
+    EXPECT_EQ(format("{}", -7), "-7");
+    EXPECT_EQ(format("{}", 0u), "0");
+    EXPECT_EQ(format("{:d}", 123), "123");
+    EXPECT_EQ(format("{:x}", 255), "ff");
+    EXPECT_EQ(format("{}", std::uint64_t(18446744073709551615ull)),
+              "18446744073709551615");
+}
+
+TEST(Format, Floats)
+{
+    EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+    EXPECT_EQ(format("{:.0f}", 2.6), "3");
+    EXPECT_EQ(format("{:.3g}", 1234.5), "1.23e+03");
+    EXPECT_EQ(format("{}", 0.5), "0.5");
+}
+
+TEST(Format, StringsAndBools)
+{
+    EXPECT_EQ(format("{}", "abc"), "abc");
+    EXPECT_EQ(format("{}", std::string("xyz")), "xyz");
+    EXPECT_EQ(format("{}", true), "true");
+    EXPECT_EQ(format("{}", false), "false");
+}
+
+TEST(Format, MultipleArguments)
+{
+    EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(format("{}{}", "a", "b"), "ab");
+}
+
+TEST(Format, EscapedBraces)
+{
+    EXPECT_EQ(format("{{}}"), "{}");
+    EXPECT_EQ(format("{{{}}}", 5), "{5}");
+}
+
+TEST(Format, ErrorsThrow)
+{
+    EXPECT_THROW((void)format("{"), std::runtime_error);
+    EXPECT_THROW((void)format("}"), std::runtime_error);
+    EXPECT_THROW((void)format("{}"), std::runtime_error);
+    EXPECT_THROW((void)format("{:q}", 1), std::runtime_error);
+    EXPECT_THROW((void)format("{:zz}", 1.0), std::runtime_error);
+}
+
+TEST(Format, EnumFormatsAsUnderlying)
+{
+    enum class Small : int { A = 3 };
+    EXPECT_EQ(format("{}", Small::A), "3");
+}

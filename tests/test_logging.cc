@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Tests for the logging layer's levels and failure modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+using namespace xbsp;
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom {}", 42), "panic: boom 42");
+}
+
+TEST(Logging, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad input {}", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad input x");
+}
+
+TEST(Logging, LevelsControlOutput)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    // Nothing observable, but the calls must be safe at every level.
+    warn("suppressed {}", 1);
+    inform("suppressed {}", 2);
+    debugLog("suppressed {}", 3);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(saved);
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the cross-binary mappable-point matcher — the heart
+ * of the paper's contribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mappable.hh"
+#include "test_support.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+struct Matched
+{
+    std::vector<bin::Binary> binaries;
+    std::vector<prof::MarkerProfile> profiles;
+    core::MappableSet set;
+};
+
+Matched
+matchProgram(const ir::Program& program)
+{
+    Matched m;
+    m.binaries = test::compileFour(program);
+    for (const auto& binary : m.binaries)
+        m.profiles.push_back(test::profileMarkers(binary));
+    std::vector<const bin::Binary*> bins;
+    std::vector<const prof::MarkerProfile*> profs;
+    for (std::size_t i = 0; i < m.binaries.size(); ++i) {
+        bins.push_back(&m.binaries[i]);
+        profs.push_back(&m.profiles[i]);
+    }
+    m.set = core::findMappablePoints(bins, profs);
+    return m;
+}
+
+const core::MappablePoint*
+findPoint(const core::MappableSet& set, bin::MarkerKind kind,
+          const std::string& symbol)
+{
+    for (const auto& point : set.points) {
+        if (point.key.kind == kind && point.key.symbol == symbol)
+            return &point;
+    }
+    return nullptr;
+}
+
+const core::RejectedKey*
+findRejected(const core::MappableSet& set, bin::MarkerKind kind,
+             const std::string& symbol)
+{
+    for (const auto& rejected : set.rejected) {
+        if (rejected.key.kind == kind &&
+            rejected.key.symbol == symbol) {
+            return &rejected;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace
+
+TEST(Mappable, NonInlinedProceduresMatchByName)
+{
+    const Matched m = matchProgram(test::tinyProgram());
+    for (const char* name : {"main", "setup", "work", "tail"}) {
+        const auto* point =
+            findPoint(m.set, bin::MarkerKind::ProcEntry, name);
+        ASSERT_NE(point, nullptr) << name;
+        EXPECT_EQ(point->markerIds.size(), 4u);
+        for (const auto& group : point->markerIds)
+            EXPECT_EQ(group.size(), 1u);
+    }
+    const auto* work =
+        findPoint(m.set, bin::MarkerKind::ProcEntry, "work");
+    EXPECT_EQ(work->execCount, 10u);
+}
+
+TEST(Mappable, CountsEqualAcrossBinariesByConstruction)
+{
+    const Matched m = matchProgram(test::tinyProgram());
+    for (const auto& point : m.set.points) {
+        for (std::size_t b = 0; b < 4; ++b) {
+            u64 count = 0;
+            for (u32 marker : point.markerIds[b])
+                count += m.profiles[b].counts[marker];
+            EXPECT_EQ(count, point.execCount)
+                << point.key.describe() << " in binary " << b;
+        }
+    }
+}
+
+TEST(Mappable, InlinedSymbolRejectedAsMissing)
+{
+    const Matched m = matchProgram(test::trickyProgram());
+    EXPECT_EQ(findPoint(m.set, bin::MarkerKind::ProcEntry, "helper"),
+              nullptr);
+    const auto* rejected =
+        findRejected(m.set, bin::MarkerKind::ProcEntry, "helper");
+    ASSERT_NE(rejected, nullptr);
+    EXPECT_EQ(rejected->reason,
+              core::RejectReason::MissingInSomeBinary);
+}
+
+TEST(Mappable, PartialInlineRejectedAsCountMismatch)
+{
+    const Matched m = matchProgram(test::trickyProgram());
+    EXPECT_EQ(
+        findPoint(m.set, bin::MarkerKind::ProcEntry, "sometimes"),
+        nullptr);
+    const auto* rejected =
+        findRejected(m.set, bin::MarkerKind::ProcEntry, "sometimes");
+    ASSERT_NE(rejected, nullptr);
+    EXPECT_EQ(rejected->reason, core::RejectReason::CountMismatch);
+    // Counts visible for diagnostics: 10 in unoptimized, 5 optimized.
+    EXPECT_EQ(rejected->countsPerBinary[0], 10u);
+    EXPECT_EQ(rejected->countsPerBinary[1], 5u);
+}
+
+TEST(Mappable, InlinedCloneGroupsAggregateAndMatch)
+{
+    // helper's loop survives inlining via its source line; the two
+    // clones in the optimized binaries form one marker group.
+    const Matched m = matchProgram(test::trickyProgram());
+    const core::MappablePoint* loopPoint = nullptr;
+    for (const auto& point : m.set.points) {
+        if (point.key.kind == bin::MarkerKind::LoopBranch &&
+            point.execCount == 5u * 2 * 8) { // 2 sites x 5 outer x 8
+            loopPoint = &point;
+        }
+    }
+    ASSERT_NE(loopPoint, nullptr)
+        << "helper's loop branch should stay mappable";
+    EXPECT_EQ(loopPoint->markerIds[0].size(), 1u); // 32u: one marker
+    EXPECT_EQ(loopPoint->markerIds[1].size(), 2u); // 32o: two clones
+}
+
+TEST(Mappable, UnrolledBranchRejectedEntryKept)
+{
+    const Matched m = matchProgram(test::trickyProgram());
+    // trips 16 unrolled by 4: branch counts 3200 vs 800.
+    bool entryMapped = false, branchMapped = false;
+    for (const auto& point : m.set.points) {
+        if (point.key.kind == bin::MarkerKind::LoopEntry &&
+            point.execCount == 200u) { // 5 x 40 entries
+            entryMapped = true;
+        }
+        if (point.key.kind == bin::MarkerKind::LoopBranch &&
+            (point.execCount == 3200u || point.execCount == 800u)) {
+            branchMapped = true;
+        }
+    }
+    EXPECT_TRUE(entryMapped);
+    EXPECT_FALSE(branchMapped);
+}
+
+TEST(Mappable, SplitLoopRejectedEntirely)
+{
+    const Matched m = matchProgram(test::trickyProgram());
+    // split's loop: entries 5 vs 10, branches 300 vs 600.
+    for (const auto& point : m.set.points) {
+        EXPECT_NE(point.execCount, 300u);
+        EXPECT_NE(point.execCount, 600u);
+    }
+    bool sawMismatch = false;
+    for (const auto& rejected : m.set.rejected) {
+        if (rejected.reason == core::RejectReason::CountMismatch &&
+            rejected.key.kind == bin::MarkerKind::LoopBranch &&
+            rejected.countsPerBinary[0] == 300u) {
+            sawMismatch = true;
+            EXPECT_EQ(rejected.countsPerBinary[1], 600u);
+        }
+    }
+    EXPECT_TRUE(sawMismatch);
+}
+
+TEST(Mappable, MarkerToPointInverseMapping)
+{
+    const Matched m = matchProgram(test::tinyProgram());
+    for (u32 p = 0; p < m.set.points.size(); ++p) {
+        for (std::size_t b = 0; b < 4; ++b) {
+            for (u32 marker : m.set.points[p].markerIds[b])
+                EXPECT_EQ(m.set.pointFor(b, marker), p);
+        }
+    }
+    // Unmapped markers resolve to invalidId.
+    u64 mapped = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+        for (u32 marker = 0; marker < m.binaries[b].markerCount();
+             ++marker) {
+            if (m.set.pointFor(b, marker) != invalidId)
+                ++mapped;
+        }
+    }
+    u64 expected = 0;
+    for (const auto& point : m.set.points) {
+        for (const auto& group : point.markerIds)
+            expected += group.size();
+    }
+    EXPECT_EQ(mapped, expected);
+}
+
+TEST(Mappable, SingleBinaryMatchesItself)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    const prof::MarkerProfile profile = test::profileMarkers(binary);
+    const core::MappableSet set =
+        core::findMappablePoints({&binary}, {&profile});
+    // Every executed marker maps (line-0 markers aside).
+    for (u32 m = 0; m < binary.markerCount(); ++m) {
+        const bool hasDebugInfo =
+            binary.markers[m].kind == bin::MarkerKind::ProcEntry ||
+            binary.markers[m].line != 0;
+        if (profile.counts[m] > 0 && hasDebugInfo)
+            EXPECT_NE(set.pointFor(0, m), invalidId);
+    }
+}
+
+TEST(Mappable, OptimizedPairMapsPartialInlineConsistently)
+{
+    // Between 32o and 64o alone, the Partial helper has consistent
+    // counts (both inline the same sites) and becomes mappable — a
+    // subtlety of the alternating-site model.
+    const ir::Program p = test::trickyProgram();
+    const bin::Binary b32o =
+        compile::compileProgram(p, bin::target32o);
+    const bin::Binary b64o =
+        compile::compileProgram(p, bin::target64o);
+    const auto prof32 = test::profileMarkers(b32o);
+    const auto prof64 = test::profileMarkers(b64o);
+    const core::MappableSet set = core::findMappablePoints(
+        {&b32o, &b64o}, {&prof32, &prof64});
+    bool sometimesMapped = false;
+    for (const auto& point : set.points) {
+        sometimesMapped |=
+            point.key.kind == bin::MarkerKind::ProcEntry &&
+            point.key.symbol == "sometimes";
+    }
+    EXPECT_TRUE(sometimesMapped);
+}
+
+TEST(Mappable, MismatchedInputsFatal)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    const prof::MarkerProfile profile = test::profileMarkers(binary);
+    EXPECT_EXIT((void)core::findMappablePoints({}, {}),
+                ::testing::ExitedWithCode(1), "at least one");
+    EXPECT_EXIT(
+        (void)core::findMappablePoints({&binary, &binary}, {&profile}),
+        ::testing::ExitedWithCode(1), "profiles");
+}
+
+TEST(Mappable, DescribeKeys)
+{
+    core::MappableKey proc{bin::MarkerKind::ProcEntry, "main", 0};
+    EXPECT_EQ(proc.describe(), "proc-entry main");
+    core::MappableKey loop{bin::MarkerKind::LoopBranch, "", 17};
+    EXPECT_EQ(loop.describe(), "loop-branch @17");
+}

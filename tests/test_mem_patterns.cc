@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the address-stream generators.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "mem/pattern.hh"
+
+using namespace xbsp;
+using ir::operator""_KiB;
+
+TEST(MemPattern, RegionBasesDisjoint)
+{
+    // Regions are 4 GiB apart and the stack windows live in the high
+    // half, so no generator can alias another region.
+    EXPECT_EQ(mem::regionBase(1) - mem::regionBase(0), 1ull << 32);
+    EXPECT_GE(mem::stackBase(0), 1ull << 63);
+    EXPECT_NE(mem::stackBase(1), mem::stackBase(2));
+}
+
+TEST(MemPattern, StrideSequenceWraps)
+{
+    ir::MemPattern p = ir::stridePattern(1, 256, 64, 0.0, 0.0);
+    mem::AddressGenerator gen(p, 1);
+    const Addr base = mem::regionBase(1);
+    for (int pass = 0; pass < 3; ++pass) {
+        for (u64 i = 0; i < 4; ++i)
+            EXPECT_EQ(gen.next().addr, base + i * 64);
+    }
+}
+
+TEST(MemPattern, RandomStaysInWorkingSet)
+{
+    ir::MemPattern p = ir::randomPattern(2, 64_KiB);
+    mem::AddressGenerator gen(p, 2);
+    const Addr base = mem::regionBase(2);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = gen.next().addr;
+        EXPECT_GE(addr, base);
+        EXPECT_LT(addr, base + 64_KiB);
+        EXPECT_EQ(addr % 64, 0u);
+    }
+}
+
+TEST(MemPattern, ChaseVisitsFullCycle)
+{
+    // The LCG walk has full period over the power-of-two line set.
+    ir::MemPattern p = ir::chasePattern(3, 64 * 64); // 64 lines
+    mem::AddressGenerator gen(p, 3);
+    std::set<Addr> seen;
+    for (int i = 0; i < 64; ++i)
+        seen.insert(gen.next().addr);
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(MemPattern, GatherHotColdSplit)
+{
+    ir::MemPattern p = ir::gatherPattern(4, 512_KiB, 0.9, 0.0, 0.0);
+    mem::AddressGenerator gen(p, 4);
+    const Addr base = mem::regionBase(4);
+    const Addr hotEnd = base + 512_KiB / 8; // hot subset = 1/8
+    int hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (gen.next().addr < hotEnd)
+            ++hot;
+    }
+    // P(addr < hotEnd) = 0.9 + 0.1/8.
+    EXPECT_NEAR(hot / static_cast<double>(n), 0.9125, 0.02);
+}
+
+TEST(MemPattern, WriteFractionDeterministic)
+{
+    ir::MemPattern p = ir::stridePattern(5, 64_KiB, 8, 0.25, 0.0);
+    mem::AddressGenerator gen(p, 5);
+    int writes = 0;
+    for (int i = 0; i < 1000; ++i)
+        writes += gen.next().isWrite ? 1 : 0;
+    EXPECT_EQ(writes, 250);
+}
+
+TEST(MemPattern, DeterministicBySeed)
+{
+    ir::MemPattern p = ir::randomPattern(6, 128_KiB);
+    mem::AddressGenerator a(p, 42), b(p, 42), c(p, 43);
+    bool differs = false;
+    for (int i = 0; i < 200; ++i) {
+        const Addr va = a.next().addr;
+        EXPECT_EQ(va, b.next().addr);
+        differs |= va != c.next().addr;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(MemPattern, DriftChangesFootprintOverTime)
+{
+    ir::MemPattern p = ir::withDrift(
+        ir::randomPattern(7, 64_KiB), 100, 0.5);
+    mem::AddressGenerator gen(p, 7);
+    const Addr base = mem::regionBase(7);
+
+    auto maxAddrOverLevel = [&]() {
+        Addr maxAddr = 0;
+        for (int e = 0; e < 100; ++e) {
+            gen.beginBlock();
+            for (int r = 0; r < 8; ++r)
+                maxAddr = std::max(maxAddr, gen.next().addr);
+        }
+        return maxAddr - base;
+    };
+    // Level 0: nominal; level 1: grown by amp.
+    const Addr level0 = maxAddrOverLevel();
+    const Addr level1 = maxAddrOverLevel();
+    EXPECT_LE(level0, 64_KiB);
+    EXPECT_GT(level1, 64_KiB); // grew ~1.5x
+}
+
+TEST(MemPattern, DriftIsPeriodic)
+{
+    ir::MemPattern p = ir::withDrift(
+        ir::randomPattern(8, 64_KiB), 50, 0.4);
+    // Two generators with the same seed stay in lockstep through
+    // level changes.
+    mem::AddressGenerator a(p, 9), b(p, 9);
+    for (int e = 0; e < 500; ++e) {
+        a.beginBlock();
+        b.beginBlock();
+        for (int r = 0; r < 4; ++r)
+            EXPECT_EQ(a.next().addr, b.next().addr);
+    }
+}
+
+TEST(MemPattern, NoDriftWithoutPeriod)
+{
+    ir::MemPattern p = ir::randomPattern(9, 64_KiB);
+    mem::AddressGenerator gen(p, 10);
+    const Addr base = mem::regionBase(9);
+    for (int e = 0; e < 1000; ++e) {
+        gen.beginBlock();
+        const Addr addr = gen.next().addr;
+        EXPECT_LT(addr, base + 64_KiB);
+    }
+}
+
+TEST(MemPattern, FootprintLines)
+{
+    EXPECT_EQ(mem::AddressGenerator(ir::randomPattern(1, 64_KiB), 1)
+                  .footprintLines(),
+              64_KiB / 64);
+    EXPECT_EQ(mem::AddressGenerator(
+                  ir::stridePattern(1, 64_KiB, 8), 1)
+                  .footprintLines(),
+              64_KiB / 64);
+    EXPECT_EQ(mem::AddressGenerator(ir::MemPattern{}, 1)
+                  .footprintLines(),
+              0u);
+}
+
+TEST(MemPattern, CeilPow2)
+{
+    EXPECT_EQ(mem::ceilPow2(0), 1u);
+    EXPECT_EQ(mem::ceilPow2(1), 1u);
+    EXPECT_EQ(mem::ceilPow2(3), 4u);
+    EXPECT_EQ(mem::ceilPow2(4), 4u);
+    EXPECT_EQ(mem::ceilPow2(1000), 1024u);
+}
+
+TEST(MemPattern, NextOnNonePatternPanics)
+{
+    mem::AddressGenerator gen(ir::MemPattern{}, 1);
+    EXPECT_DEATH((void)gen.next(), "without memory ops");
+}

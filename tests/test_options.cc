@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the command-line option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/options.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+Options
+makeParser()
+{
+    Options options("test");
+    options.addString("name", "a string", "default");
+    options.addUint("count", "an int", 7);
+    options.addDouble("ratio", "a double", 0.5);
+    options.addBool("flag", "a bool", false);
+    options.addBool("on", "a default-true bool", true);
+    return options;
+}
+
+bool
+parse(Options& options, std::vector<const char*> args)
+{
+    args.insert(args.begin(), "prog");
+    return options.parse(static_cast<int>(args.size()), args.data());
+}
+
+} // namespace
+
+TEST(Options, Defaults)
+{
+    Options options = makeParser();
+    EXPECT_TRUE(parse(options, {}));
+    EXPECT_EQ(options.getString("name"), "default");
+    EXPECT_EQ(options.getUint("count"), 7u);
+    EXPECT_DOUBLE_EQ(options.getDouble("ratio"), 0.5);
+    EXPECT_FALSE(options.getBool("flag"));
+    EXPECT_TRUE(options.getBool("on"));
+}
+
+TEST(Options, EqualsForm)
+{
+    Options options = makeParser();
+    EXPECT_TRUE(parse(options, {"--name=abc", "--count=12",
+                                "--ratio=1.25", "--flag=true"}));
+    EXPECT_EQ(options.getString("name"), "abc");
+    EXPECT_EQ(options.getUint("count"), 12u);
+    EXPECT_DOUBLE_EQ(options.getDouble("ratio"), 1.25);
+    EXPECT_TRUE(options.getBool("flag"));
+}
+
+TEST(Options, SpaceForm)
+{
+    Options options = makeParser();
+    EXPECT_TRUE(parse(options, {"--name", "xyz", "--count", "3"}));
+    EXPECT_EQ(options.getString("name"), "xyz");
+    EXPECT_EQ(options.getUint("count"), 3u);
+}
+
+TEST(Options, BareAndNegatedBools)
+{
+    Options options = makeParser();
+    EXPECT_TRUE(parse(options, {"--flag", "--no-on"}));
+    EXPECT_TRUE(options.getBool("flag"));
+    EXPECT_FALSE(options.getBool("on"));
+}
+
+TEST(Options, Positional)
+{
+    Options options = makeParser();
+    EXPECT_TRUE(parse(options, {"pos1", "--count", "2", "pos2"}));
+    ASSERT_EQ(options.positional().size(), 2u);
+    EXPECT_EQ(options.positional()[0], "pos1");
+    EXPECT_EQ(options.positional()[1], "pos2");
+}
+
+TEST(Options, HelpReturnsFalse)
+{
+    Options options = makeParser();
+    EXPECT_FALSE(parse(options, {"--help"}));
+}
+
+TEST(Options, UnknownOptionFatal)
+{
+    Options options = makeParser();
+    EXPECT_EXIT(parse(options, {"--bogus"}),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(Options, BadIntegerFatal)
+{
+    Options options = makeParser();
+    EXPECT_EXIT(parse(options, {"--count", "abc"}),
+                ::testing::ExitedWithCode(1), "unsigned integer");
+}
+
+TEST(Options, MissingValueFatal)
+{
+    Options options = makeParser();
+    EXPECT_EXIT(parse(options, {"--name"}),
+                ::testing::ExitedWithCode(1), "requires a value");
+}
+
+TEST(Options, WrongTypeAccessPanics)
+{
+    Options options = makeParser();
+    EXPECT_TRUE(parse(options, {}));
+    EXPECT_DEATH((void)options.getUint("name"), "wrong type");
+}

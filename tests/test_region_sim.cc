@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Integration tests: standalone region simulation must agree exactly
+ * with the snapshot-gated statistics of a full detailed run (warm
+ * sampling), and cold sampling must differ in the expected direction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vli.hh"
+#include "sim/detailed.hh"
+#include "sim/region.hh"
+#include "test_support.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+struct Fixture
+{
+    std::vector<bin::Binary> binaries;
+    std::vector<prof::ProfilePass> passes;
+    core::MappableSet set;
+    core::VliBuild build;
+    cache::HierarchyConfig memory;
+
+    explicit Fixture(InstrCount target)
+    {
+        binaries = test::compileFour(test::tinyProgram());
+        for (const auto& binary : binaries)
+            passes.push_back(prof::runProfilePass(binary, target));
+        std::vector<const bin::Binary*> bins;
+        std::vector<const prof::MarkerProfile*> profs;
+        for (std::size_t i = 0; i < binaries.size(); ++i) {
+            bins.push_back(&binaries[i]);
+            profs.push_back(&passes[i].markers);
+        }
+        set = core::findMappablePoints(bins, profs);
+        build = core::buildVliPartition(binaries[0], set, 0, target);
+    }
+};
+
+} // namespace
+
+TEST(RegionSim, WarmFliRegionsMatchGatedFullRun)
+{
+    Fixture f(5000);
+    const std::size_t binaryIdx = 0;
+    sim::DetailedRunRequest request;
+    request.fliBoundaries = f.passes[binaryIdx].fliBoundaries;
+    const auto detailed =
+        sim::runDetailed(f.binaries[binaryIdx], request);
+
+    for (std::size_t region : {std::size_t(0), std::size_t(2),
+                               detailed.fliIntervals.size() - 1}) {
+        const sim::IntervalStats standalone = sim::simulateFliRegion(
+            f.binaries[binaryIdx], f.memory,
+            f.passes[binaryIdx].fliBoundaries, region,
+            sim::RegionWarming::Warm);
+        EXPECT_EQ(standalone.instrs,
+                  detailed.fliIntervals[region].instrs);
+        EXPECT_EQ(standalone.cycles,
+                  detailed.fliIntervals[region].cycles);
+    }
+}
+
+TEST(RegionSim, WarmVliRegionsMatchGatedFullRun)
+{
+    Fixture f(5000);
+    for (std::size_t binaryIdx : {std::size_t(0), std::size_t(3)}) {
+        sim::DetailedRunRequest request;
+        request.mappable = &f.set;
+        request.binaryIdx = binaryIdx;
+        request.partition = &f.build.partition;
+        const auto detailed =
+            sim::runDetailed(f.binaries[binaryIdx], request);
+        ASSERT_EQ(detailed.vliIntervals.size(),
+                  f.build.partition.intervalCount());
+
+        for (std::size_t region :
+             {std::size_t(0), std::size_t(1),
+              f.build.partition.intervalCount() - 1}) {
+            const sim::IntervalStats standalone =
+                sim::simulateVliRegion(
+                    f.binaries[binaryIdx], f.memory, f.set, binaryIdx,
+                    f.build.partition, region,
+                    sim::RegionWarming::Warm);
+            EXPECT_EQ(standalone.instrs,
+                      detailed.vliIntervals[region].instrs)
+                << "binary " << binaryIdx << " region " << region;
+            EXPECT_EQ(standalone.cycles,
+                      detailed.vliIntervals[region].cycles);
+        }
+    }
+}
+
+TEST(RegionSim, ColdStartCostsMoreCycles)
+{
+    Fixture f(5000);
+    // A middle region: cold caches force extra misses, so the cold
+    // replay takes at least as many cycles over the same work.
+    const std::size_t region = 2;
+    const sim::IntervalStats warm = sim::simulateVliRegion(
+        f.binaries[0], f.memory, f.set, 0, f.build.partition, region,
+        sim::RegionWarming::Warm);
+    const sim::IntervalStats cold = sim::simulateVliRegion(
+        f.binaries[0], f.memory, f.set, 0, f.build.partition, region,
+        sim::RegionWarming::Cold);
+    EXPECT_EQ(warm.instrs, cold.instrs);
+    EXPECT_GT(cold.cycles, warm.cycles);
+}
+
+TEST(RegionSim, FirstRegionWarmEqualsCold)
+{
+    Fixture f(5000);
+    // Region 0 starts at program start where caches are cold anyway.
+    const sim::IntervalStats warm = sim::simulateFliRegion(
+        f.binaries[0], f.memory, f.passes[0].fliBoundaries, 0,
+        sim::RegionWarming::Warm);
+    const sim::IntervalStats cold = sim::simulateFliRegion(
+        f.binaries[0], f.memory, f.passes[0].fliBoundaries, 0,
+        sim::RegionWarming::Cold);
+    EXPECT_EQ(warm.instrs, cold.instrs);
+    EXPECT_EQ(warm.cycles, cold.cycles);
+}
+
+TEST(RegionSim, OutOfRangeIndexFatal)
+{
+    Fixture f(5000);
+    EXPECT_EXIT((void)sim::simulateFliRegion(
+                    f.binaries[0], f.memory,
+                    f.passes[0].fliBoundaries, 9999,
+                    sim::RegionWarming::Warm),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT((void)sim::simulateVliRegion(
+                    f.binaries[0], f.memory, f.set, 0,
+                    f.build.partition, 9999,
+                    sim::RegionWarming::Warm),
+                ::testing::ExitedWithCode(1), "out of range");
+}

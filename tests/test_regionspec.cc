@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the per-binary region-spec exporter (§3.2.5).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/regionspec.hh"
+#include "sim/study.hh"
+#include "test_support.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+sim::CrossBinaryStudy
+makeStudy()
+{
+    sim::StudyConfig config;
+    config.intervalTarget = 30000;
+    return sim::CrossBinaryStudy::run(test::tinyProgram(), config);
+}
+
+std::vector<double>
+weightsOf(const sim::BinaryStudy& bs)
+{
+    std::vector<double> weights;
+    for (const auto& phase : bs.vliEstimate.phases)
+        weights.push_back(phase.weight);
+    return weights;
+}
+
+} // namespace
+
+TEST(RegionSpec, OneSpecPerPhaseWithBinaryWeights)
+{
+    const auto study = makeStudy();
+    for (std::size_t b = 0; b < 4; ++b) {
+        const auto& bs = study.perBinary()[b];
+        const auto specs = core::buildRegionSpecs(
+            study.mappable(), study.partition(),
+            study.vliClustering(), b, weightsOf(bs));
+        ASSERT_EQ(specs.size(), study.vliClustering().phases.size());
+        double total = 0.0;
+        for (const auto& spec : specs)
+            total += spec.weight;
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+TEST(RegionSpec, AnchorsResolveToBinaryMarkers)
+{
+    const auto study = makeStudy();
+    const std::size_t b = 1; // 32o
+    const auto specs = core::buildRegionSpecs(
+        study.mappable(), study.partition(), study.vliClustering(), b,
+        weightsOf(study.perBinary()[b]));
+    const u32 markerCount = study.binaries()[b].markerCount();
+    for (const auto& spec : specs) {
+        for (const core::RegionAnchor* anchor :
+             {&spec.start, &spec.end}) {
+            if (anchor->atProgramEdge)
+                continue;
+            EXPECT_FALSE(anchor->markerIds.empty());
+            for (u32 marker : anchor->markerIds)
+                EXPECT_LT(marker, markerCount);
+            EXPECT_GE(anchor->fireCount, 1u);
+        }
+    }
+}
+
+TEST(RegionSpec, FirstAndLastIntervalsUseProgramEdges)
+{
+    const auto study = makeStudy();
+    const auto specs = core::buildRegionSpecs(
+        study.mappable(), study.partition(), study.vliClustering(), 0,
+        weightsOf(study.perBinary()[0]));
+    const std::size_t last = study.partition().intervalCount() - 1;
+    for (std::size_t p = 0;
+         p < study.vliClustering().phases.size(); ++p) {
+        const u32 rep = study.vliClustering().phases[p].representative;
+        EXPECT_EQ(specs[p].start.atProgramEdge, rep == 0);
+        EXPECT_EQ(specs[p].end.atProgramEdge, rep == last);
+    }
+}
+
+TEST(RegionSpec, SerializationFormat)
+{
+    const auto study = makeStudy();
+    const auto specs = core::buildRegionSpecs(
+        study.mappable(), study.partition(), study.vliClustering(), 0,
+        weightsOf(study.perBinary()[0]));
+    std::ostringstream os;
+    core::writeRegionSpecs(os, specs);
+    const std::string out = os.str();
+    EXPECT_EQ(out.rfind("# phase weight", 0), 0u);
+    // One line per spec plus the header.
+    std::size_t lines = 0;
+    for (char ch : out)
+        lines += ch == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, specs.size() + 1);
+}
+
+TEST(RegionSpec, WeightCountMismatchFatal)
+{
+    const auto study = makeStudy();
+    EXPECT_EXIT((void)core::buildRegionSpecs(
+                    study.mappable(), study.partition(),
+                    study.vliClustering(), 0, {0.5}),
+                ::testing::ExitedWithCode(1), "weights");
+}
+
+TEST(RegionSpec, BadBinaryIndexFatal)
+{
+    const auto study = makeStudy();
+    EXPECT_EXIT((void)core::buildRegionSpecs(
+                    study.mappable(), study.partition(),
+                    study.vliClustering(), 9,
+                    weightsOf(study.perBinary()[0])),
+                ::testing::ExitedWithCode(1), "out of range");
+}

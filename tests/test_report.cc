@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for the gem5-style statistics dump.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+#include "test_support.hh"
+
+using namespace xbsp;
+
+TEST(Report, RunStatsContainExactCounters)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    const sim::DetailedRunResult result =
+        sim::runDetailed(binary, sim::DetailedRunRequest{});
+
+    std::ostringstream os;
+    sim::dumpRunStats(os, "tiny.32u", result);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("tiny.32u.sim_insts"), std::string::npos);
+    EXPECT_NE(out.find(std::to_string(result.totals.instructions)),
+              std::string::npos);
+    EXPECT_NE(out.find(std::to_string(result.totals.cycles)),
+              std::string::npos);
+    EXPECT_NE(out.find("tiny.32u.mem.l1_hits"), std::string::npos);
+    // Every line carries a '#' description.
+    std::istringstream lines(out);
+    std::string line;
+    while (std::getline(lines, line))
+        EXPECT_NE(line.find('#'), std::string::npos) << line;
+}
+
+TEST(Report, StudyStatsCoverAllBinariesAndPairs)
+{
+    sim::StudyConfig config;
+    config.intervalTarget = 50000;
+    const auto study =
+        sim::CrossBinaryStudy::run(test::tinyProgram(), config);
+    std::ostringstream os;
+    sim::dumpStudyStats(os, study);
+    const std::string out = os.str();
+    for (const char* target : {"32u", "32o", "64u", "64o"}) {
+        EXPECT_NE(out.find(std::string("tiny.") + target +
+                           ".sim_insts"),
+                  std::string::npos)
+            << target;
+    }
+    for (const char* pair : {"32u32o", "64u64o", "32u64u", "32o64o"}) {
+        EXPECT_NE(out.find(std::string("speedup.") + pair + ".true"),
+                  std::string::npos)
+            << pair;
+    }
+    EXPECT_NE(out.find("mappable.points"), std::string::npos);
+}

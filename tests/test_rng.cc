@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+using namespace xbsp;
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(123), b(123), c(124);
+    bool anyDiff = false;
+    for (int i = 0; i < 100; ++i) {
+        const u64 va = a.next();
+        EXPECT_EQ(va, b.next());
+        anyDiff |= va != c.next();
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (u64 bound : {1ull, 2ull, 3ull, 17ull, 1000000007ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(9);
+    std::set<u64> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const u64 v = rng.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        sawLo |= v == 5;
+        sawHi |= v == 9;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0.0, sumSq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sumSq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFraction)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(23);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    std::vector<int> sorted = shuffled;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ForkIndependentAndStable)
+{
+    Rng parent(31);
+    Rng childA = parent.fork(1);
+    Rng childA2 = parent.fork(1);
+    Rng childB = parent.fork(2);
+    bool differs = false;
+    for (int i = 0; i < 50; ++i) {
+        const u64 va = childA.next();
+        EXPECT_EQ(va, childA2.next());
+        differs |= va != childB.next();
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, HashMixAvalanche)
+{
+    // Flipping one input bit should flip roughly half the output bits.
+    int totalFlips = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+        const u64 a = hashMix(0x1234567890abcdefull);
+        const u64 b = hashMix(0x1234567890abcdefull ^ (1ull << bit));
+        totalFlips += __builtin_popcountll(a ^ b);
+    }
+    const double avg = totalFlips / 64.0;
+    EXPECT_GT(avg, 24.0);
+    EXPECT_LT(avg, 40.0);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the SimPoint file-format interoperability layer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "simpoint/io.hh"
+
+using namespace xbsp;
+using namespace xbsp::sp;
+
+namespace
+{
+
+FrequencyVectorSet
+sampleFvs()
+{
+    FrequencyVectorSet fvs;
+    fvs.dimension = 20;
+    fvs.addInterval(SparseVec{{0, 10.0}, {5, 2.5}}, 1000);
+    fvs.addInterval(SparseVec{{3, 7.0}}, 2000);
+    fvs.addInterval(SparseVec{{0, 1.0}, {19, 4.0}}, 1500);
+    return fvs;
+}
+
+} // namespace
+
+TEST(SimPointIo, BbvRoundTrip)
+{
+    const FrequencyVectorSet original = sampleFvs();
+    std::stringstream ss;
+    writeBbvFile(ss, original);
+    const FrequencyVectorSet parsed = readBbvFile(ss, 20);
+    ASSERT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(parsed.dimension, 20u);
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        ASSERT_EQ(parsed.vectors[i].size(), original.vectors[i].size());
+        for (std::size_t j = 0; j < original.vectors[i].size(); ++j) {
+            EXPECT_EQ(parsed.vectors[i][j].first,
+                      original.vectors[i][j].first);
+            EXPECT_DOUBLE_EQ(parsed.vectors[i][j].second,
+                             original.vectors[i][j].second);
+        }
+    }
+}
+
+TEST(SimPointIo, BbvFormatIsOneBased)
+{
+    FrequencyVectorSet fvs;
+    fvs.dimension = 3;
+    fvs.addInterval(SparseVec{{0, 2.0}}, 1);
+    std::stringstream ss;
+    writeBbvFile(ss, fvs);
+    EXPECT_EQ(ss.str(), "T:1:2 \n");
+}
+
+TEST(SimPointIo, LengthsRoundTrip)
+{
+    const FrequencyVectorSet original = sampleFvs();
+    std::stringstream ss;
+    writeLengthsFile(ss, original);
+    FrequencyVectorSet parsed = sampleFvs();
+    parsed.lengths = {1, 1, 1};
+    readLengthsFile(ss, parsed);
+    EXPECT_EQ(parsed.lengths, original.lengths);
+}
+
+TEST(SimPointIo, LengthsCountMismatchFatal)
+{
+    FrequencyVectorSet fvs = sampleFvs();
+    std::stringstream ss("5 6"); // two lengths, three intervals
+    EXPECT_EXIT(readLengthsFile(ss, fvs),
+                ::testing::ExitedWithCode(1), "entries");
+}
+
+TEST(SimPointIo, BadBbvLinesFatal)
+{
+    std::stringstream noPrefix("X:1:2\n");
+    EXPECT_EXIT((void)readBbvFile(noPrefix),
+                ::testing::ExitedWithCode(1), "expected 'T'");
+    std::stringstream zeroIdx("T:0:2\n");
+    EXPECT_EXIT((void)readBbvFile(zeroIdx),
+                ::testing::ExitedWithCode(1), "dimension index");
+}
+
+TEST(SimPointIo, SimpointFilesRoundTrip)
+{
+    // Cluster on synthetic data, write all three files, read back.
+    FrequencyVectorSet fvs;
+    fvs.dimension = 16;
+    Rng rng(4);
+    for (int i = 0; i < 40; ++i) {
+        const u32 behaviour = i % 3;
+        SparseVec vec{{behaviour * 5,
+                       50.0 + rng.nextDouble(-1.0, 1.0)},
+                      {behaviour * 5 + 1, 25.0}};
+        fvs.addInterval(std::move(vec), 1000);
+    }
+    SimPointOptions options;
+    options.maxK = 6;
+    const SimPointResult original = pickSimulationPoints(fvs, options);
+
+    std::stringstream sims, weights, labels;
+    writeSimpointsFile(sims, original);
+    writeWeightsFile(weights, original);
+    writeLabelsFile(labels, original);
+
+    const SimPointResult parsed =
+        readSimPointFiles(sims, weights, labels);
+    EXPECT_EQ(parsed.labels, original.labels);
+    ASSERT_EQ(parsed.phases.size(), original.phases.size());
+    for (std::size_t p = 0; p < parsed.phases.size(); ++p) {
+        EXPECT_EQ(parsed.phases[p].id, original.phases[p].id);
+        EXPECT_EQ(parsed.phases[p].representative,
+                  original.phases[p].representative);
+        EXPECT_NEAR(parsed.phases[p].weight,
+                    original.phases[p].weight, 1e-6);
+        EXPECT_EQ(parsed.phases[p].members,
+                  original.phases[p].members);
+    }
+}
+
+TEST(SimPointIo, InconsistentFilesFatal)
+{
+    std::stringstream sims("0 0\n"), weights("0.5 0\n1.0 1\n"),
+        labels("0\n0\n");
+    EXPECT_EXIT((void)readSimPointFiles(sims, weights, labels),
+                ::testing::ExitedWithCode(1), "phases");
+
+    std::stringstream sims2("3 0\n"), weights2("1.0 0\n"),
+        labels2("0\n0\n");
+    EXPECT_EXIT((void)readSimPointFiles(sims2, weights2, labels2),
+                ::testing::ExitedWithCode(1), "representative");
+}
+
+TEST(SimPointIo, EmptyLabelsFatal)
+{
+    std::stringstream sims("0 0\n"), weights("1.0 0\n"), labels("");
+    EXPECT_EXIT((void)readSimPointFiles(sims, weights, labels),
+                ::testing::ExitedWithCode(1), "labels file");
+}

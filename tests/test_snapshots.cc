@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the snapshot collectors and the detailed-run driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/detailed.hh"
+#include "test_support.hh"
+
+using namespace xbsp;
+
+TEST(SnapshotSeries, DeltasFromAbsoluteCuts)
+{
+    sim::SnapshotSeries series;
+    series.snapshot(100, 300);
+    series.snapshot(250, 900);
+    series.finish(400, 1000);
+    const auto& intervals = series.intervals();
+    ASSERT_EQ(intervals.size(), 3u);
+    EXPECT_EQ(intervals[0].instrs, 100u);
+    EXPECT_EQ(intervals[0].cycles, 300u);
+    EXPECT_EQ(intervals[1].instrs, 150u);
+    EXPECT_EQ(intervals[1].cycles, 600u);
+    EXPECT_EQ(intervals[2].instrs, 150u);
+    EXPECT_EQ(intervals[2].cycles, 100u);
+    EXPECT_DOUBLE_EQ(intervals[0].cpi(), 3.0);
+}
+
+TEST(SnapshotSeries, TrailingCutAtEndIsMerged)
+{
+    sim::SnapshotSeries series;
+    series.snapshot(100, 300);
+    series.snapshot(400, 1000);
+    series.finish(400, 1000); // coincides with last snapshot
+    EXPECT_EQ(series.intervals().size(), 2u);
+}
+
+TEST(SnapshotSeries, MisusePanics)
+{
+    sim::SnapshotSeries series;
+    series.finish(10, 10);
+    EXPECT_DEATH(series.snapshot(20, 20), "after finish");
+    sim::SnapshotSeries unfinished;
+    EXPECT_DEATH((void)unfinished.intervals(), "before finish");
+    sim::SnapshotSeries backwards;
+    backwards.snapshot(100, 100);
+    EXPECT_DEATH(backwards.finish(50, 200), "monotonic");
+}
+
+TEST(DetailedRun, FullTotalsMatchPlainSimulation)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    sim::DetailedRunRequest request;
+    const sim::DetailedRunResult result =
+        sim::runDetailed(binary, request);
+    EXPECT_EQ(result.totals.instructions,
+              bin::staticDynamicInstrCount(binary));
+    EXPECT_GT(result.totals.cycles, result.totals.instructions);
+    EXPECT_GT(result.memory.refs, 0u);
+    EXPECT_EQ(result.memory.refs,
+              result.memory.l1Hits + result.memory.l2Hits +
+                  result.memory.l3Hits + result.memory.dramAccesses);
+    EXPECT_TRUE(result.fliIntervals.empty());
+    EXPECT_TRUE(result.vliIntervals.empty());
+}
+
+TEST(DetailedRun, FliIntervalsMatchProfileBoundaries)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    const prof::ProfilePass pass = prof::runProfilePass(binary, 5000);
+
+    sim::DetailedRunRequest request;
+    request.fliBoundaries = pass.fliBoundaries;
+    const sim::DetailedRunResult result =
+        sim::runDetailed(binary, request);
+
+    ASSERT_EQ(result.fliIntervals.size(), pass.fliIntervals.size());
+    Cycles totalCycles = 0;
+    for (std::size_t i = 0; i < result.fliIntervals.size(); ++i) {
+        EXPECT_EQ(result.fliIntervals[i].instrs,
+                  pass.fliIntervals.lengths[i]);
+        totalCycles += result.fliIntervals[i].cycles;
+    }
+    EXPECT_EQ(totalCycles, result.totals.cycles);
+}
+
+TEST(DetailedRun, WrongBoundariesPanic)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    sim::DetailedRunRequest request;
+    request.fliBoundaries = {1234}; // not a real block boundary
+    EXPECT_DEATH((void)sim::runDetailed(binary, request), "missed");
+}
+
+TEST(DetailedRun, CyclesDeterministic)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target64o);
+    sim::DetailedRunRequest request;
+    const auto a = sim::runDetailed(binary, request);
+    const auto b = sim::runDetailed(binary, request);
+    EXPECT_EQ(a.totals.cycles, b.totals.cycles);
+    EXPECT_EQ(a.memory.l1Hits, b.memory.l1Hits);
+}
+
+TEST(DetailedRun, UnoptimizedFasterPerInstructionButSlowerOverall)
+{
+    // Optimized binaries drop cheap instructions, so their CPI rises
+    // while total cycles fall — the pattern the speedup studies need.
+    const auto bins = test::compileFour(test::tinyProgram());
+    sim::DetailedRunRequest request;
+    const auto unopt = sim::runDetailed(bins[0], request);
+    const auto opt = sim::runDetailed(bins[1], request);
+    EXPECT_GT(unopt.totals.cycles, opt.totals.cycles);
+    EXPECT_LT(unopt.totals.cpi(), opt.totals.cpi());
+}

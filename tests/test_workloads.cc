@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Property tests over the whole 21-program workload suite: every
+ * program validates, compiles for all four targets, and satisfies
+ * the structural expectations the experiments rely on.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "compile/compiler.hh"
+#include "ir/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace xbsp;
+
+TEST(WorkloadSuite, TwentyOneBenchmarksInPaperOrder)
+{
+    const auto names = workloads::workloadNames();
+    ASSERT_EQ(names.size(), 21u);
+    EXPECT_EQ(names.front(), "ammp");
+    EXPECT_EQ(names.back(), "wupwise");
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+    // Sorted alphabetically, like the paper's figures.
+    auto sorted = names;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, names);
+}
+
+TEST(WorkloadSuite, RegistryLookup)
+{
+    EXPECT_NE(workloads::findWorkload("gcc"), nullptr);
+    EXPECT_EQ(workloads::findWorkload("doom"), nullptr);
+    EXPECT_EXIT((void)workloads::makeWorkload("doom"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadSuite, DescriptionsPresent)
+{
+    for (const auto& info : workloads::suite())
+        EXPECT_FALSE(info.description.empty()) << info.name;
+}
+
+class WorkloadTest : public ::testing::TestWithParam<const char*>
+{
+  protected:
+    ir::Program program = workloads::makeWorkload(GetParam(), 1.0);
+};
+
+TEST_P(WorkloadTest, NameMatchesRegistry)
+{
+    EXPECT_EQ(program.name, GetParam());
+}
+
+TEST_P(WorkloadTest, SourceSizeInExpectedRange)
+{
+    const InstrCount count = ir::sourceInstructionCount(program);
+    EXPECT_GT(count, 2'000'000u) << "too small for the experiments";
+    EXPECT_LT(count, 80'000'000u) << "too slow to simulate";
+}
+
+TEST_P(WorkloadTest, ScaleChangesWork)
+{
+    const ir::Program half = workloads::makeWorkload(GetParam(), 0.5);
+    EXPECT_LT(ir::sourceInstructionCount(half),
+              ir::sourceInstructionCount(program));
+}
+
+TEST_P(WorkloadTest, CompilesForAllTargetsWithExpectedOrdering)
+{
+    const auto bins = compile::compileAllTargets(program);
+    ASSERT_EQ(bins.size(), 4u);
+    const InstrCount i32u = bin::staticDynamicInstrCount(bins[0]);
+    const InstrCount i32o = bin::staticDynamicInstrCount(bins[1]);
+    const InstrCount i64u = bin::staticDynamicInstrCount(bins[2]);
+    const InstrCount i64o = bin::staticDynamicInstrCount(bins[3]);
+    EXPECT_GT(i32u, i32o);
+    EXPECT_GT(i64u, i64o);
+    EXPECT_GT(i32u, i64u);
+    for (const auto& binary : bins) {
+        EXPECT_GT(binary.blockCount(), 0u);
+        EXPECT_GT(binary.markerCount(), 0u);
+        EXPECT_NE(binary.findProc("main"), invalidId);
+    }
+}
+
+TEST_P(WorkloadTest, OptimizedBinariesHaveFewerOrEqualSymbols)
+{
+    const auto bins = compile::compileAllTargets(program);
+    EXPECT_LE(bins[1].procs.size(), bins[0].procs.size());
+    EXPECT_LE(bins[3].procs.size(), bins[2].procs.size());
+}
+
+TEST_P(WorkloadTest, HasMemoryBehaviour)
+{
+    const auto binary =
+        compile::compileProgram(program, bin::target32o);
+    u64 memOps = 0;
+    for (const auto& blk : binary.blocks)
+        memOps += blk.memOps;
+    EXPECT_GT(memOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadTest,
+    ::testing::Values("ammp", "applu", "apsi", "art", "bzip2",
+                      "crafty", "eon", "equake", "fma3d", "gcc",
+                      "gzip", "lucas", "mcf", "mesa", "perlbmk",
+                      "sixtrack", "swim", "twolf", "vortex", "vpr",
+                      "wupwise"));
+
+TEST(WorkloadApplu, OptimizerDestroysInnerStructure)
+{
+    // The applu scenario: under -O2 the five solver symbols are gone
+    // and their loops are split.
+    const ir::Program applu = workloads::makeApplu(1.0);
+    const auto bins = compile::compileAllTargets(applu);
+    for (const char* solver :
+         {"jacld", "blts", "jacu", "buts", "rhs"}) {
+        EXPECT_NE(bins[0].findProc(solver), invalidId) << solver;
+        EXPECT_EQ(bins[1].findProc(solver), invalidId) << solver;
+    }
+}
+
+TEST(WorkloadGcc, HasMoreBehavioursThanMaxK)
+{
+    // gcc's pass x size-class structure provides > 10 distinct
+    // static kernels, which is what drives Table 2.
+    const ir::Program gcc = workloads::makeWorkload("gcc", 1.0);
+    std::size_t kernels = 0;
+    for (const auto& proc : gcc.procedures) {
+        if (proc.name.rfind("parse_", 0) == 0 ||
+            proc.name.rfind("ssa_opt_", 0) == 0 ||
+            proc.name.rfind("regalloc_", 0) == 0 ||
+            proc.name.rfind("emit_", 0) == 0) {
+            ++kernels;
+        }
+    }
+    EXPECT_GT(kernels, 10u);
+}

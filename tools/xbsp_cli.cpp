@@ -1,0 +1,220 @@
+/**
+ * @file
+ * `xbsp` — command-line driver for the library.
+ *
+ *   xbsp list                         workloads and descriptions
+ *   xbsp describe  --workload W --target 32o
+ *                                     dump the compiled binary
+ *   xbsp bbv       --workload W --target 32u --interval 250000
+ *                  --out prefix       collect BBVs -> prefix.bb
+ *                                     (+ prefix.lens VLI lengths)
+ *   xbsp simpoints --bb file [--lengths file] --maxk 10
+ *                  --out prefix       cluster a .bb file (stock
+ *                                     SimPoint replacement) ->
+ *                                     prefix.simpoints/.weights/.labels
+ *   xbsp study     --workload W [--stats] [--regions prefix]
+ *                                     full cross-binary pipeline; with
+ *                                     --regions, write per-binary
+ *                                     region-spec files
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "binary/binary.hh"
+#include "core/regionspec.hh"
+#include "harness/experiments.hh"
+#include "profile/profile.hh"
+#include "sim/report.hh"
+#include "sim/study.hh"
+#include "simpoint/io.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "workloads/workloads.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+bin::Target
+parseTarget(const std::string& name)
+{
+    for (const auto& target : compile::standardTargets()) {
+        if (bin::targetName(target) == name)
+            return target;
+    }
+    fatal("unknown target '{}' (expected 32u/32o/64u/64o)", name);
+}
+
+int
+cmdList()
+{
+    for (const auto& info : workloads::suite())
+        std::printf("%-10s %s\n", info.name.c_str(),
+                    info.description.c_str());
+    return 0;
+}
+
+int
+cmdDescribe(const Options& options)
+{
+    const bin::Binary binary = compile::compileProgram(
+        workloads::makeWorkload(options.getString("workload"),
+                                options.getDouble("scale")),
+        parseTarget(options.getString("target")));
+    std::cout << bin::describe(binary);
+    return 0;
+}
+
+int
+cmdBbv(const Options& options)
+{
+    const bin::Binary binary = compile::compileProgram(
+        workloads::makeWorkload(options.getString("workload"),
+                                options.getDouble("scale")),
+        parseTarget(options.getString("target")));
+    const prof::ProfilePass pass = prof::runProfilePass(
+        binary, options.getUint("interval"));
+
+    const std::string prefix = options.getString("out");
+    if (prefix.empty())
+        fatal("bbv requires --out <prefix>");
+    std::ofstream bb(prefix + ".bb");
+    sp::writeBbvFile(bb, pass.fliIntervals);
+    std::ofstream lens(prefix + ".lens");
+    sp::writeLengthsFile(lens, pass.fliIntervals);
+    inform("wrote {} intervals to {}.bb / {}.lens",
+           pass.fliIntervals.size(), prefix, prefix);
+    return 0;
+}
+
+int
+cmdSimpoints(const Options& options)
+{
+    const std::string bbPath = options.getString("bb");
+    if (bbPath.empty())
+        fatal("simpoints requires --bb <file>");
+    std::ifstream bb(bbPath);
+    if (!bb)
+        fatal("cannot open '{}'", bbPath);
+    sp::FrequencyVectorSet fvs = sp::readBbvFile(bb);
+    if (const std::string lens = options.getString("lengths");
+        !lens.empty()) {
+        std::ifstream ls(lens);
+        if (!ls)
+            fatal("cannot open '{}'", lens);
+        sp::readLengthsFile(ls, fvs);
+    }
+
+    sp::SimPointOptions spOptions;
+    spOptions.maxK = static_cast<u32>(options.getUint("maxk"));
+    spOptions.seed = options.getUint("seed");
+    const sp::SimPointResult result =
+        sp::pickSimulationPoints(fvs, spOptions);
+
+    const std::string prefix = options.getString("out");
+    if (prefix.empty())
+        fatal("simpoints requires --out <prefix>");
+    std::ofstream sims(prefix + ".simpoints");
+    sp::writeSimpointsFile(sims, result);
+    std::ofstream weights(prefix + ".weights");
+    sp::writeWeightsFile(weights, result);
+    std::ofstream labels(prefix + ".labels");
+    sp::writeLabelsFile(labels, result);
+    inform("{} intervals -> {} phases; wrote {}.simpoints/.weights/"
+           ".labels", fvs.size(), result.phases.size(), prefix);
+    return 0;
+}
+
+int
+cmdStudy(const Options& options)
+{
+    sim::StudyConfig config = harness::defaultStudyConfig();
+    config.intervalTarget = options.getUint("interval");
+    config.simpoint.maxK = static_cast<u32>(options.getUint("maxk"));
+    config.simpoint.seed = options.getUint("seed");
+    const sim::CrossBinaryStudy study = sim::CrossBinaryStudy::run(
+        workloads::makeWorkload(options.getString("workload"),
+                                options.getDouble("scale")),
+        config);
+
+    if (options.getBool("stats")) {
+        sim::dumpStudyStats(std::cout, study);
+    } else {
+        std::printf("%s: %zu mappable points, %zu VLI intervals, "
+                    "%zu phases\n", study.programName().c_str(),
+                    study.mappable().points.size(),
+                    study.partition().intervalCount(),
+                    study.vliClustering().phases.size());
+        for (const auto& bs : study.perBinary()) {
+            std::printf("  %-4s true CPI %7.3f  fli err %6.2f%%  "
+                        "vli err %6.2f%%\n",
+                        bin::targetName(bs.target).c_str(),
+                        bs.vliEstimate.trueCpi,
+                        bs.fliEstimate.cpiError * 100.0,
+                        bs.vliEstimate.cpiError * 100.0);
+        }
+    }
+
+    if (const std::string prefix = options.getString("regions");
+        !prefix.empty()) {
+        for (std::size_t b = 0; b < study.perBinary().size(); ++b) {
+            const auto& bs = study.perBinary()[b];
+            std::vector<double> weights;
+            for (const auto& phase : bs.vliEstimate.phases)
+                weights.push_back(phase.weight);
+            const auto specs = core::buildRegionSpecs(
+                study.mappable(), study.partition(),
+                study.vliClustering(), b, weights);
+            const std::string path =
+                prefix + "." + bin::targetName(bs.target) + ".regions";
+            std::ofstream os(path);
+            core::writeRegionSpecs(os, specs);
+            inform("wrote {}", path);
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options options(
+        "xbsp <command> [options] — commands: list, describe, bbv, "
+        "simpoints, study");
+    options.addString("workload", "workload name", "swim");
+    options.addString("target", "binary target (32u/32o/64u/64o)",
+                      "32u");
+    options.addDouble("scale", "work scale", 1.0);
+    options.addUint("interval", "interval target (instructions)",
+                    250000);
+    options.addUint("maxk", "SimPoint cluster cap", 10);
+    options.addUint("seed", "SimPoint seed", 42);
+    options.addString("bb", "input .bb file (simpoints command)", "");
+    options.addString("lengths", "input lengths file", "");
+    options.addString("out", "output path prefix", "");
+    options.addString("regions", "region-spec output prefix", "");
+    options.addBool("stats", "dump gem5-style stats (study)", false);
+    if (!options.parse(argc, argv))
+        return 0;
+
+    if (options.positional().empty()) {
+        options.printHelp();
+        return 1;
+    }
+    const std::string& command = options.positional()[0];
+    if (command == "list")
+        return cmdList();
+    if (command == "describe")
+        return cmdDescribe(options);
+    if (command == "bbv")
+        return cmdBbv(options);
+    if (command == "simpoints")
+        return cmdSimpoints(options);
+    if (command == "study")
+        return cmdStudy(options);
+    fatal("unknown command '{}'", command);
+}
