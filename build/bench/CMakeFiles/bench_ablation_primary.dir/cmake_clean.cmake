@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_primary.dir/bench_ablation_primary.cpp.o"
+  "CMakeFiles/bench_ablation_primary.dir/bench_ablation_primary.cpp.o.d"
+  "bench_ablation_primary"
+  "bench_ablation_primary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_primary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_simpoint.dir/bench_ablation_simpoint.cpp.o"
+  "CMakeFiles/bench_ablation_simpoint.dir/bench_ablation_simpoint.cpp.o.d"
+  "bench_ablation_simpoint"
+  "bench_ablation_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_warming.dir/bench_ablation_warming.cpp.o"
+  "CMakeFiles/bench_ablation_warming.dir/bench_ablation_warming.cpp.o.d"
+  "bench_ablation_warming"
+  "bench_ablation_warming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_warming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

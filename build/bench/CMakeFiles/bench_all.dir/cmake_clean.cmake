@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_all.dir/bench_all.cpp.o"
+  "CMakeFiles/bench_all.dir/bench_all.cpp.o.d"
+  "bench_all"
+  "bench_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

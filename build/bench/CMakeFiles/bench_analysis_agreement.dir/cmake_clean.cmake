@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_agreement.dir/bench_analysis_agreement.cpp.o"
+  "CMakeFiles/bench_analysis_agreement.dir/bench_analysis_agreement.cpp.o.d"
+  "bench_analysis_agreement"
+  "bench_analysis_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

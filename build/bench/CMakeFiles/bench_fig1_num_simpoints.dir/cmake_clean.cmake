@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_num_simpoints.dir/bench_fig1_num_simpoints.cpp.o"
+  "CMakeFiles/bench_fig1_num_simpoints.dir/bench_fig1_num_simpoints.cpp.o.d"
+  "bench_fig1_num_simpoints"
+  "bench_fig1_num_simpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_num_simpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

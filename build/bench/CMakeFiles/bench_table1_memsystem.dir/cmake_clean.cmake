@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_memsystem.dir/bench_table1_memsystem.cpp.o"
+  "CMakeFiles/bench_table1_memsystem.dir/bench_table1_memsystem.cpp.o.d"
+  "bench_table1_memsystem"
+  "bench_table1_memsystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_memsystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gcc_phases.dir/bench_table2_gcc_phases.cpp.o"
+  "CMakeFiles/bench_table2_gcc_phases.dir/bench_table2_gcc_phases.cpp.o.d"
+  "bench_table2_gcc_phases"
+  "bench_table2_gcc_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gcc_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

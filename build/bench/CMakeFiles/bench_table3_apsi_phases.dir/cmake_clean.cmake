@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_apsi_phases.dir/bench_table3_apsi_phases.cpp.o"
+  "CMakeFiles/bench_table3_apsi_phases.dir/bench_table3_apsi_phases.cpp.o.d"
+  "bench_table3_apsi_phases"
+  "bench_table3_apsi_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_apsi_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_optimization_study.dir/compiler_optimization_study.cpp.o"
+  "CMakeFiles/compiler_optimization_study.dir/compiler_optimization_study.cpp.o.d"
+  "compiler_optimization_study"
+  "compiler_optimization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_optimization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

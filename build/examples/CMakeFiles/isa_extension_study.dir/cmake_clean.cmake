@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_extension_study.dir/isa_extension_study.cpp.o"
+  "CMakeFiles/isa_extension_study.dir/isa_extension_study.cpp.o.d"
+  "isa_extension_study"
+  "isa_extension_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_extension_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("ir")
+subdirs("binary")
+subdirs("compile")
+subdirs("mem")
+subdirs("exec")
+subdirs("cache")
+subdirs("cpu")
+subdirs("profile")
+subdirs("simpoint")
+subdirs("core")
+subdirs("sim")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_binary.dir/binary.cc.o"
+  "CMakeFiles/xbsp_binary.dir/binary.cc.o.d"
+  "libxbsp_binary.a"
+  "libxbsp_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

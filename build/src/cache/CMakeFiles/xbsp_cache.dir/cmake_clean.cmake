@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_cache.dir/cache.cc.o"
+  "CMakeFiles/xbsp_cache.dir/cache.cc.o.d"
+  "CMakeFiles/xbsp_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/xbsp_cache.dir/hierarchy.cc.o.d"
+  "libxbsp_cache.a"
+  "libxbsp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

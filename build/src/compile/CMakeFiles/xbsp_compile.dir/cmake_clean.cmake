@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_compile.dir/compiler.cc.o"
+  "CMakeFiles/xbsp_compile.dir/compiler.cc.o.d"
+  "CMakeFiles/xbsp_compile.dir/target.cc.o"
+  "CMakeFiles/xbsp_compile.dir/target.cc.o.d"
+  "libxbsp_compile.a"
+  "libxbsp_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxbsp_compile.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_core.dir/agreement.cc.o"
+  "CMakeFiles/xbsp_core.dir/agreement.cc.o.d"
+  "CMakeFiles/xbsp_core.dir/mappable.cc.o"
+  "CMakeFiles/xbsp_core.dir/mappable.cc.o.d"
+  "CMakeFiles/xbsp_core.dir/regionspec.cc.o"
+  "CMakeFiles/xbsp_core.dir/regionspec.cc.o.d"
+  "CMakeFiles/xbsp_core.dir/vli.cc.o"
+  "CMakeFiles/xbsp_core.dir/vli.cc.o.d"
+  "libxbsp_core.a"
+  "libxbsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

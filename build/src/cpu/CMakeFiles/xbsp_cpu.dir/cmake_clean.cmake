@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_cpu.dir/core.cc.o"
+  "CMakeFiles/xbsp_cpu.dir/core.cc.o.d"
+  "libxbsp_cpu.a"
+  "libxbsp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_exec.dir/engine.cc.o"
+  "CMakeFiles/xbsp_exec.dir/engine.cc.o.d"
+  "CMakeFiles/xbsp_exec.dir/trace.cc.o"
+  "CMakeFiles/xbsp_exec.dir/trace.cc.o.d"
+  "libxbsp_exec.a"
+  "libxbsp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

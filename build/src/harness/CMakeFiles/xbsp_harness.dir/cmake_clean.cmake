@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_harness.dir/experiments.cc.o"
+  "CMakeFiles/xbsp_harness.dir/experiments.cc.o.d"
+  "libxbsp_harness.a"
+  "libxbsp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_ir.dir/builder.cc.o"
+  "CMakeFiles/xbsp_ir.dir/builder.cc.o.d"
+  "CMakeFiles/xbsp_ir.dir/program.cc.o"
+  "CMakeFiles/xbsp_ir.dir/program.cc.o.d"
+  "libxbsp_ir.a"
+  "libxbsp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

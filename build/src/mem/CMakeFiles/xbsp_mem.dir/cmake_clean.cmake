@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_mem.dir/pattern.cc.o"
+  "CMakeFiles/xbsp_mem.dir/pattern.cc.o.d"
+  "libxbsp_mem.a"
+  "libxbsp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_profile.dir/profile.cc.o"
+  "CMakeFiles/xbsp_profile.dir/profile.cc.o.d"
+  "libxbsp_profile.a"
+  "libxbsp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_sim.dir/detailed.cc.o"
+  "CMakeFiles/xbsp_sim.dir/detailed.cc.o.d"
+  "CMakeFiles/xbsp_sim.dir/estimate.cc.o"
+  "CMakeFiles/xbsp_sim.dir/estimate.cc.o.d"
+  "CMakeFiles/xbsp_sim.dir/region.cc.o"
+  "CMakeFiles/xbsp_sim.dir/region.cc.o.d"
+  "CMakeFiles/xbsp_sim.dir/report.cc.o"
+  "CMakeFiles/xbsp_sim.dir/report.cc.o.d"
+  "CMakeFiles/xbsp_sim.dir/snapshots.cc.o"
+  "CMakeFiles/xbsp_sim.dir/snapshots.cc.o.d"
+  "CMakeFiles/xbsp_sim.dir/study.cc.o"
+  "CMakeFiles/xbsp_sim.dir/study.cc.o.d"
+  "libxbsp_sim.a"
+  "libxbsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

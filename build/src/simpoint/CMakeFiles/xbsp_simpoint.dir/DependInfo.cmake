@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simpoint/bic.cc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/bic.cc.o" "gcc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/bic.cc.o.d"
+  "/root/repo/src/simpoint/fvec.cc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/fvec.cc.o" "gcc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/fvec.cc.o.d"
+  "/root/repo/src/simpoint/io.cc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/io.cc.o" "gcc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/io.cc.o.d"
+  "/root/repo/src/simpoint/kmeans.cc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/kmeans.cc.o" "gcc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/kmeans.cc.o.d"
+  "/root/repo/src/simpoint/projection.cc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/projection.cc.o" "gcc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/projection.cc.o.d"
+  "/root/repo/src/simpoint/simpoint.cc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/simpoint.cc.o" "gcc" "src/simpoint/CMakeFiles/xbsp_simpoint.dir/simpoint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_simpoint.dir/bic.cc.o"
+  "CMakeFiles/xbsp_simpoint.dir/bic.cc.o.d"
+  "CMakeFiles/xbsp_simpoint.dir/fvec.cc.o"
+  "CMakeFiles/xbsp_simpoint.dir/fvec.cc.o.d"
+  "CMakeFiles/xbsp_simpoint.dir/io.cc.o"
+  "CMakeFiles/xbsp_simpoint.dir/io.cc.o.d"
+  "CMakeFiles/xbsp_simpoint.dir/kmeans.cc.o"
+  "CMakeFiles/xbsp_simpoint.dir/kmeans.cc.o.d"
+  "CMakeFiles/xbsp_simpoint.dir/projection.cc.o"
+  "CMakeFiles/xbsp_simpoint.dir/projection.cc.o.d"
+  "CMakeFiles/xbsp_simpoint.dir/simpoint.cc.o"
+  "CMakeFiles/xbsp_simpoint.dir/simpoint.cc.o.d"
+  "libxbsp_simpoint.a"
+  "libxbsp_simpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_simpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxbsp_simpoint.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_util.dir/format.cc.o"
+  "CMakeFiles/xbsp_util.dir/format.cc.o.d"
+  "CMakeFiles/xbsp_util.dir/logging.cc.o"
+  "CMakeFiles/xbsp_util.dir/logging.cc.o.d"
+  "CMakeFiles/xbsp_util.dir/options.cc.o"
+  "CMakeFiles/xbsp_util.dir/options.cc.o.d"
+  "CMakeFiles/xbsp_util.dir/rng.cc.o"
+  "CMakeFiles/xbsp_util.dir/rng.cc.o.d"
+  "CMakeFiles/xbsp_util.dir/stats.cc.o"
+  "CMakeFiles/xbsp_util.dir/stats.cc.o.d"
+  "CMakeFiles/xbsp_util.dir/table.cc.o"
+  "CMakeFiles/xbsp_util.dir/table.cc.o.d"
+  "libxbsp_util.a"
+  "libxbsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

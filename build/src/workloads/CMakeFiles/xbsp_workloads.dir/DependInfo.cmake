@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ammp.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/ammp.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/ammp.cc.o.d"
+  "/root/repo/src/workloads/applu.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/applu.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/applu.cc.o.d"
+  "/root/repo/src/workloads/apsi.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/apsi.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/apsi.cc.o.d"
+  "/root/repo/src/workloads/art.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/art.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/art.cc.o.d"
+  "/root/repo/src/workloads/bzip2.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/bzip2.cc.o.d"
+  "/root/repo/src/workloads/crafty.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/crafty.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/crafty.cc.o.d"
+  "/root/repo/src/workloads/eon.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/eon.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/eon.cc.o.d"
+  "/root/repo/src/workloads/equake.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/equake.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/equake.cc.o.d"
+  "/root/repo/src/workloads/fma3d.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/fma3d.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/fma3d.cc.o.d"
+  "/root/repo/src/workloads/gcc.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/gcc.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/gcc.cc.o.d"
+  "/root/repo/src/workloads/gzip.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/gzip.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/gzip.cc.o.d"
+  "/root/repo/src/workloads/lucas.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/lucas.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/lucas.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/mcf.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/mcf.cc.o.d"
+  "/root/repo/src/workloads/mesa.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/mesa.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/mesa.cc.o.d"
+  "/root/repo/src/workloads/perlbmk.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/perlbmk.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/perlbmk.cc.o.d"
+  "/root/repo/src/workloads/sixtrack.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/sixtrack.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/sixtrack.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/suite.cc.o.d"
+  "/root/repo/src/workloads/swim.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/swim.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/swim.cc.o.d"
+  "/root/repo/src/workloads/twolf.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/twolf.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/twolf.cc.o.d"
+  "/root/repo/src/workloads/vortex.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/vortex.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/vortex.cc.o.d"
+  "/root/repo/src/workloads/vpr.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/vpr.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/vpr.cc.o.d"
+  "/root/repo/src/workloads/wupwise.cc" "src/workloads/CMakeFiles/xbsp_workloads.dir/wupwise.cc.o" "gcc" "src/workloads/CMakeFiles/xbsp_workloads.dir/wupwise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xbsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xbsp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

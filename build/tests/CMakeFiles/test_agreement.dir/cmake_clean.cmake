@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agreement.dir/test_agreement.cc.o"
+  "CMakeFiles/test_agreement.dir/test_agreement.cc.o.d"
+  "test_agreement"
+  "test_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

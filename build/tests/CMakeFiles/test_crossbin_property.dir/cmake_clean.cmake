@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossbin_property.dir/test_crossbin_property.cc.o"
+  "CMakeFiles/test_crossbin_property.dir/test_crossbin_property.cc.o.d"
+  "test_crossbin_property"
+  "test_crossbin_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossbin_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mappable.dir/test_mappable.cc.o"
+  "CMakeFiles/test_mappable.dir/test_mappable.cc.o.d"
+  "test_mappable"
+  "test_mappable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mappable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_patterns.dir/test_mem_patterns.cc.o"
+  "CMakeFiles/test_mem_patterns.dir/test_mem_patterns.cc.o.d"
+  "test_mem_patterns"
+  "test_mem_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regionspec.dir/test_regionspec.cc.o"
+  "CMakeFiles/test_regionspec.dir/test_regionspec.cc.o.d"
+  "test_regionspec"
+  "test_regionspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regionspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/test_rng.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_rng.dir/test_rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/xbsp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xbsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/xbsp_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/xbsp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/xbsp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xbsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/xbsp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/xbsp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/xbsp_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/xbsp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/simpoint/CMakeFiles/xbsp_simpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xbsp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/xbsp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xbsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

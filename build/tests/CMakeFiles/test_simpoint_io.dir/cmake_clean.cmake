@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simpoint_io.dir/test_simpoint_io.cc.o"
+  "CMakeFiles/test_simpoint_io.dir/test_simpoint_io.cc.o.d"
+  "test_simpoint_io"
+  "test_simpoint_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simpoint_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapshots.dir/test_snapshots.cc.o"
+  "CMakeFiles/test_snapshots.dir/test_snapshots.cc.o.d"
+  "test_snapshots"
+  "test_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study.dir/test_study.cc.o"
+  "CMakeFiles/test_study.dir/test_study.cc.o.d"
+  "test_study"
+  "test_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vli.dir/test_vli.cc.o"
+  "CMakeFiles/test_vli.dir/test_vli.cc.o.d"
+  "test_vli"
+  "test_vli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xbsp_cli.dir/xbsp_cli.cpp.o"
+  "CMakeFiles/xbsp_cli.dir/xbsp_cli.cpp.o.d"
+  "xbsp"
+  "xbsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xbsp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
