@@ -4,11 +4,33 @@
  * each workload simulates once): Table 1, Figures 1–5, Tables 2–3,
  * plus the mappability diagnostic.  This is the one-shot
  * "reproduce the evaluation section" binary.
+ *
+ * Besides the tables, it writes a machine-readable timing summary
+ * (default BENCH_pipeline.json, override with --json): wall-clock
+ * seconds per figure/table, the job count, and the aggregate
+ * instructions-simulated-per-second rate of the study pipeline.
  */
 
+#include <chrono>
+#include <fstream>
+#include <functional>
+
 #include "bench_common.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
 
 using namespace xbsp;
+
+namespace
+{
+
+struct FigureTiming
+{
+    std::string name;
+    double seconds = 0.0;
+};
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -20,13 +42,26 @@ main(int argc, char** argv)
     harness::ExperimentConfig config = bench::makeConfig(options);
     harness::ExperimentSuite suite(config);
 
-    bench::emit(harness::ExperimentSuite::table1(config.study.memory),
-                options);
-    bench::emit(suite.figure1(), options);
-    bench::emit(suite.figure2(), options);
-    bench::emit(suite.figure3(), options);
-    bench::emit(suite.figure4(), options);
-    bench::emit(suite.figure5(), options);
+    using clock = std::chrono::steady_clock;
+    std::vector<FigureTiming> timings;
+    const auto suiteStart = clock::now();
+    auto timed = [&](const std::string& name,
+                     const std::function<Table()>& make) {
+        const auto start = clock::now();
+        bench::emit(make(), options);
+        timings.push_back(
+            {name, std::chrono::duration<double>(clock::now() - start)
+                       .count()});
+    };
+
+    timed("table1", [&] {
+        return harness::ExperimentSuite::table1(config.study.memory);
+    });
+    timed("figure1", [&] { return suite.figure1(); });
+    timed("figure2", [&] { return suite.figure2(); });
+    timed("figure3", [&] { return suite.figure3(); });
+    timed("figure4", [&] { return suite.figure4(); });
+    timed("figure5", [&] { return suite.figure5(); });
 
     const auto& names = suite.workloads();
     auto has = [&names](const std::string& workload) {
@@ -37,9 +72,44 @@ main(int argc, char** argv)
         return false;
     };
     if (has("gcc"))
-        bench::emit(suite.table2(), options);
+        timed("table2", [&] { return suite.table2(); });
     if (has("apsi"))
-        bench::emit(suite.table3(), options);
-    bench::emit(suite.mappabilityReport(), options);
+        timed("table3", [&] { return suite.table3(); });
+    timed("mappability", [&] { return suite.mappabilityReport(); });
+
+    const double totalSeconds =
+        std::chrono::duration<double>(clock::now() - suiteStart)
+            .count();
+    // Instructions the pipeline simulated: each binary's full
+    // instruction stream (the detailed timing run; profiling and the
+    // sampled replays are secondary passes over the same stream).
+    u64 instructions = 0;
+    for (const std::string& name : names) {
+        for (const auto& bs : suite.study(name).perBinary())
+            instructions += bs.totalInstrs;
+    }
+
+    std::string jsonPath = options.getString("json");
+    if (jsonPath.empty())
+        jsonPath = "BENCH_pipeline.json";
+    std::ofstream json(jsonPath);
+    if (!json)
+        fatal("cannot write '{}'", jsonPath);
+    json << "{\n";
+    json << "  \"jobs\": " << configuredJobs() << ",\n";
+    json << "  \"workloads\": " << names.size() << ",\n";
+    json << format("  \"total_seconds\": {:.3f},\n", totalSeconds);
+    json << "  \"instructions_simulated\": " << instructions << ",\n";
+    json << format("  \"instructions_per_second\": {:.0f},\n",
+                   static_cast<double>(instructions) / totalSeconds);
+    json << "  \"figures\": [\n";
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        json << format("    {{\"name\": \"{}\", \"seconds\": {:.3f}}}",
+                       timings[i].name, timings[i].seconds);
+        json << (i + 1 < timings.size() ? ",\n" : "\n");
+    }
+    json << "  ]\n";
+    json << "}\n";
+    inform("wrote timing summary to {}", jsonPath);
     return 0;
 }

@@ -36,6 +36,11 @@ makeOptions(const std::string& description)
     options.addUint("seed", "SimPoint seed", 42);
     options.addBool("csv", "also emit CSV after the table", false);
     options.addBool("verbose", "per-study progress on stderr", true);
+    options.addJobs();
+    options.addString("json",
+                      "write a machine-readable timing summary to "
+                      "this path (empty = binary's default, if any)",
+                      "");
     return options;
 }
 
@@ -58,6 +63,7 @@ inline harness::ExperimentConfig
 makeConfig(const Options& options)
 {
     harness::ExperimentConfig config;
+    options.applyJobs();
     config.workloads = splitList(options.getString("workloads"));
     config.workScale = options.getDouble("scale");
     config.study = harness::defaultStudyConfig();

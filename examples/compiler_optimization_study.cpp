@@ -49,8 +49,10 @@ main(int argc, char** argv)
                     "with both sampling schemes");
     options.addString("workload", "workload name", "gcc");
     options.addDouble("scale", "work scale", 1.0);
+    options.addJobs();
     if (!options.parse(argc, argv))
         return 0;
+    options.applyJobs();
 
     const std::string name = options.getString("workload");
     const sim::CrossBinaryStudy study = sim::CrossBinaryStudy::run(

@@ -75,8 +75,10 @@ main(int argc, char** argv)
                     "and run the whole pipeline on it");
     options.addBool("dump-binaries", "print the compiled binaries",
                     false);
+    options.addJobs();
     if (!options.parse(argc, argv))
         return 0;
+    options.applyJobs();
 
     const ir::Program program = buildDemoProgram();
     std::printf("Program '%s': %zu procedures, %.2fM source "

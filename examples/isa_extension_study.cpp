@@ -29,8 +29,10 @@ main(int argc, char** argv)
     options.addDouble("scale", "work scale", 1.0);
     options.addBool("optimized", "compare the optimized pair (32o/64o)"
                     " instead of the unoptimized pair", true);
+    options.addJobs();
     if (!options.parse(argc, argv))
         return 0;
+    options.applyJobs();
 
     const std::string name = options.getString("workload");
     sim::StudyConfig config = harness::defaultStudyConfig();

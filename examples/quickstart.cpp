@@ -30,8 +30,10 @@ main(int argc, char** argv)
                     250000);
     options.addBool("stats", "dump gem5-style statistics at the end",
                     false);
+    options.addJobs();
     if (!options.parse(argc, argv))
         return 0;
+    options.applyJobs();
 
     const std::string name = options.getString("workload");
     ir::Program program =

@@ -1,5 +1,6 @@
 #include "cache/hierarchy.hh"
 
+#include "mem/pattern.hh"
 #include "util/logging.hh"
 
 namespace xbsp::cache
@@ -74,6 +75,15 @@ Hierarchy::access(Addr addr, bool isWrite)
     }
     ++serviced[static_cast<std::size_t>(result)];
     return result;
+}
+
+Cycles
+Hierarchy::accessBatch(std::span<const mem::MemRef> refs)
+{
+    Cycles total = 0;
+    for (const mem::MemRef& ref : refs)
+        total += latency(access(ref.addr, ref.isWrite));
+    return total;
 }
 
 Cycles

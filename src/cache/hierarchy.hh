@@ -10,9 +10,15 @@
 #define XBSP_CACHE_HIERARCHY_HH
 
 #include <array>
+#include <span>
 
 #include "cache/cache.hh"
 #include "util/types.hh"
+
+namespace xbsp::mem
+{
+struct MemRef;
+}
 
 namespace xbsp::cache
 {
@@ -50,6 +56,15 @@ class Hierarchy
 
     /** Service one reference; returns the level that hit. */
     HitLevel access(Addr addr, bool isWrite);
+
+    /**
+     * Service a whole block's reference batch in issue order and
+     * return the summed latency.  Statistics are updated exactly as
+     * if access() had been called per reference; this entry point
+     * exists so batch-aware timing observers pay one call per block
+     * instead of two virtual dispatches per reference.
+     */
+    Cycles accessBatch(std::span<const mem::MemRef> refs);
 
     /** Total latency of a reference serviced at `level`. */
     Cycles latency(HitLevel level) const;

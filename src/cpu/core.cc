@@ -23,4 +23,11 @@ InOrderCore::onMemRef(Addr addr, bool isWrite)
     ++stats.memRefs;
 }
 
+void
+InOrderCore::onMemRefs(std::span<const mem::MemRef> refs)
+{
+    stats.cycles += hier.accessBatch(refs);
+    stats.memRefs += refs.size();
+}
+
 } // namespace xbsp::cpu

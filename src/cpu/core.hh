@@ -43,6 +43,7 @@ class InOrderCore : public exec::Observer
 
     void onBlock(u32 blockId, u32 instrs) override;
     void onMemRef(Addr addr, bool isWrite) override;
+    void onMemRefs(std::span<const mem::MemRef> refs) override;
 
     /** Running counters (monotonic over the whole run). */
     Cycles cycles() const { return stats.cycles; }

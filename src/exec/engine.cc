@@ -1,5 +1,7 @@
 #include "exec/engine.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -9,13 +11,16 @@ namespace xbsp::exec
 Engine::Engine(const bin::Binary& binary, u64 seed) : bin(binary)
 {
     states.resize(bin.blocks.size());
+    u32 maxRefs = 0;
     for (u32 i = 0; i < bin.blocks.size(); ++i) {
         const bin::MachineBlock& blk = bin.blocks[i];
         if (blk.memOps > 0) {
             states[i].gen = std::make_unique<mem::AddressGenerator>(
                 blk.pattern, hashMix(seed ^ (static_cast<u64>(i) << 32)));
         }
+        maxRefs = std::max(maxRefs, blk.memOps + blk.stackOps);
     }
+    refBuf.reserve(maxRefs);
 }
 
 void
@@ -30,11 +35,16 @@ Engine::addObserver(Observer* observer, const ObserverHooks& hooks)
     if (hooks.markers)
         markerObservers.push_back(observer);
     allObservers.push_back(observer);
+    dispatchBlocks = !blockObservers.empty();
+    dispatchMems = !memObservers.empty();
+    dispatchMarkers = !markerObservers.empty();
 }
 
 void
 Engine::fireMarker(u32 markerId)
 {
+    if (!dispatchMarkers)
+        return;
     for (Observer* obs : markerObservers)
         obs->onMarker(markerId);
 }
@@ -48,15 +58,16 @@ Engine::execBlock(u32 blockId)
     // Memory references are dispatched before the block-completion
     // event so that when onBlock fires, timing observers have already
     // charged the whole block — snapshot collectors that cut at block
-    // boundaries then see consistent (instruction, cycle) pairs.
-    if (!memObservers.empty()) {
+    // boundaries then see consistent (instruction, cycle) pairs.  The
+    // block's whole reference stream is materialized once and handed
+    // to each observer as a single batch.
+    if (dispatchMems) {
+        refBuf.clear();
         BlockState& st = states[blockId];
-        if (blk.memOps > 0)
+        if (blk.memOps > 0) {
             st.gen->beginBlock();
-        for (u32 i = 0; i < blk.memOps; ++i) {
-            const mem::MemRef ref = st.gen->next();
-            for (Observer* obs : memObservers)
-                obs->onMemRef(ref.addr, ref.isWrite);
+            for (u32 i = 0; i < blk.memOps; ++i)
+                refBuf.push_back(st.gen->next());
         }
         // Spill traffic cycles through a small per-procedure stack
         // window: 64 slots of 8 bytes, alternating load/store.  It is
@@ -66,42 +77,69 @@ Engine::execBlock(u32 blockId)
                               ((st.stackCursor & 63u) << 3);
             const bool isWrite = (st.stackCursor & 1u) != 0;
             ++st.stackCursor;
+            refBuf.push_back({addr, isWrite});
+        }
+        if (!refBuf.empty()) {
+            const std::span<const mem::MemRef> refs(refBuf);
             for (Observer* obs : memObservers)
-                obs->onMemRef(addr, isWrite);
+                obs->onMemRefs(refs);
         }
     }
 
-    for (Observer* obs : blockObservers)
-        obs->onBlock(blockId, blk.instrs);
-}
-
-void
-Engine::execStmts(const std::vector<bin::MachineStmt>& stmts)
-{
-    for (const auto& stmt : stmts) {
-        if (const auto* ref = std::get_if<bin::BlockRef>(&stmt)) {
-            execBlock(ref->blockId);
-        } else if (const auto* loop =
-                       std::get_if<bin::MachineLoop>(&stmt)) {
-            fireMarker(loop->entryMarkerId);
-            for (u64 it = 0; it < loop->tripCount; ++it) {
-                execStmts(loop->body);
-                execBlock(loop->branchBlockId);
-                fireMarker(loop->branchMarkerId);
-            }
-        } else if (const auto* call =
-                       std::get_if<bin::MachineCall>(&stmt)) {
-            execProc(call->procId);
-        }
+    if (dispatchBlocks) {
+        for (Observer* obs : blockObservers)
+            obs->onBlock(blockId, blk.instrs);
     }
 }
 
 void
 Engine::execProc(u32 procId)
 {
-    const bin::MachineProc& proc = bin.procs[procId];
-    fireMarker(proc.entryMarkerId);
-    execStmts(proc.body);
+    // Iterative statement walk with an explicit frame stack; the
+    // recursive formulation recursed once per call site and loop
+    // nesting level, which dominated the interpreter's own time on
+    // deeply nested workloads.  Event order is identical: a
+    // procedure's entry marker fires before its body, a loop's entry
+    // marker before its first iteration, and each iteration runs
+    // body, branch block, branch marker.
+    const bin::MachineProc& entry = bin.procs[procId];
+    fireMarker(entry.entryMarkerId);
+    frames.clear();
+    frames.push_back({&entry.body, 0, nullptr, 0});
+
+    while (!frames.empty()) {
+        Frame& frame = frames.back();
+        if (frame.next == frame.stmts->size()) {
+            if (frame.loop != nullptr) {
+                // One trip of the loop body finished: branch block,
+                // branch marker, then loop or fall through.
+                execBlock(frame.loop->branchBlockId);
+                fireMarker(frame.loop->branchMarkerId);
+                if (++frame.iter < frame.loop->tripCount) {
+                    frame.next = 0;
+                    continue;
+                }
+            }
+            frames.pop_back();
+            continue;
+        }
+
+        const bin::MachineStmt& stmt = (*frame.stmts)[frame.next];
+        ++frame.next;
+        if (const auto* ref = std::get_if<bin::BlockRef>(&stmt)) {
+            execBlock(ref->blockId);
+        } else if (const auto* loop =
+                       std::get_if<bin::MachineLoop>(&stmt)) {
+            fireMarker(loop->entryMarkerId);
+            if (loop->tripCount > 0)
+                frames.push_back({&loop->body, 0, loop, 0});
+        } else if (const auto* call =
+                       std::get_if<bin::MachineCall>(&stmt)) {
+            const bin::MachineProc& proc = bin.procs[call->procId];
+            fireMarker(proc.entryMarkerId);
+            frames.push_back({&proc.body, 0, nullptr, 0});
+        }
+    }
 }
 
 void

@@ -15,6 +15,10 @@
  *  - a block's memory-reference events are dispatched before its
  *    block event, so timing observers are fully up to date when
  *    boundary collectors cut an interval at a block event;
+ *  - memory references are delivered as one onMemRefs() batch per
+ *    block execution and observer, in issue order; each observer
+ *    sees its whole batch before the next observer (references never
+ *    interleave with block or marker events);
  *  - observers are notified in registration order;
  *  - a procedure's entry marker fires before its body, a loop's entry
  *    marker before its first iteration, and the back-branch marker
@@ -25,6 +29,7 @@
 #define XBSP_EXEC_ENGINE_HH
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "binary/binary.hh"
@@ -52,6 +57,21 @@ class Observer
     {
         (void)addr;
         (void)isWrite;
+    }
+
+    /**
+     * All memory references of one basic-block execution, in issue
+     * order.  The engine dispatches this instead of per-reference
+     * onMemRef() calls; the default implementation fans back out to
+     * onMemRef(), so existing observers keep working unchanged.
+     * Batch-aware observers (the timing core) override this to
+     * amortize the virtual dispatch over the whole block.
+     */
+    virtual void
+    onMemRefs(std::span<const mem::MemRef> refs)
+    {
+        for (const mem::MemRef& ref : refs)
+            onMemRef(ref.addr, ref.isWrite);
     }
 
     /** A marker (proc entry / loop entry / loop branch) fired. */
@@ -95,16 +115,31 @@ class Engine
         u32 stackCursor = 0;
     };
 
+    /** One level of the iterative statement walk (proc or loop body). */
+    struct Frame
+    {
+        const std::vector<bin::MachineStmt>* stmts = nullptr;
+        std::size_t next = 0;                     ///< next stmt index
+        const bin::MachineLoop* loop = nullptr;   ///< loop-body frame
+        u64 iter = 0;                             ///< completed trips
+    };
+
     const bin::Binary& bin;
     std::vector<BlockState> states;
     std::vector<Observer*> blockObservers;
     std::vector<Observer*> memObservers;
     std::vector<Observer*> markerObservers;
     std::vector<Observer*> allObservers;
+    std::vector<mem::MemRef> refBuf;  ///< per-block batch scratch
+    std::vector<Frame> frames;        ///< explicit walk stack
     InstrCount instrCount = 0;
+    // Dispatch flags hoisted out of the per-block hot path; kept in
+    // sync by addObserver().
+    bool dispatchBlocks = false;
+    bool dispatchMems = false;
+    bool dispatchMarkers = false;
     bool ran = false;
 
-    void execStmts(const std::vector<bin::MachineStmt>& stmts);
     void execBlock(u32 blockId);
     void execProc(u32 procId);
     void fireMarker(u32 markerId);

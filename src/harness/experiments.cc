@@ -1,9 +1,11 @@
 #include "harness/experiments.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/threadpool.hh"
 #include "workloads/workloads.hh"
 
 namespace xbsp::harness
@@ -39,18 +41,53 @@ ExperimentSuite::study(const std::string& workload)
     auto it = cache.find(workload);
     if (it != cache.end())
         return it->second;
+    runStudies({workload});
+    return cache.at(workload);
+}
 
-    const auto start = std::chrono::steady_clock::now();
-    ir::Program program =
-        workloads::makeWorkload(workload, cfg.workScale);
-    sim::CrossBinaryStudy result =
-        sim::CrossBinaryStudy::run(program, cfg.study);
-    const auto elapsed =
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - start);
-    if (cfg.verbose)
-        inform("study {} done in {} ms", workload, elapsed.count());
-    return cache.emplace(workload, std::move(result)).first->second;
+void
+ExperimentSuite::precompute()
+{
+    runStudies(names);
+}
+
+void
+ExperimentSuite::runStudies(const std::vector<std::string>& workloads)
+{
+    std::vector<std::string> pending;
+    for (const std::string& name : workloads) {
+        if (!cache.contains(name) &&
+            std::find(pending.begin(), pending.end(), name) ==
+                pending.end())
+            pending.push_back(name);
+    }
+    if (pending.empty())
+        return;
+
+    // Studies are fully independent of each other (each builds its
+    // own binaries, engines and seeds from the shared config), so
+    // they run concurrently; the fixed-size pool bounds how many are
+    // in flight at once.  Results land in a slot per workload and are
+    // committed to the cache — and their progress lines printed — in
+    // list order, so output and cache state never depend on thread
+    // scheduling.
+    std::vector<sim::CrossBinaryStudy> results(pending.size());
+    std::vector<long long> elapsedMs(pending.size(), 0);
+    parallelFor(globalPool(), pending.size(), [&](std::size_t i) {
+        const auto start = std::chrono::steady_clock::now();
+        ir::Program program =
+            workloads::makeWorkload(pending[i], cfg.workScale);
+        results[i] = sim::CrossBinaryStudy::run(program, cfg.study);
+        elapsedMs[i] =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    });
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (cfg.verbose)
+            inform("study {} done in {} ms", pending[i], elapsedMs[i]);
+        cache.emplace(pending[i], std::move(results[i]));
+    }
 }
 
 Table
@@ -84,6 +121,7 @@ ExperimentSuite::table1(const cache::HierarchyConfig& config)
 Table
 ExperimentSuite::figure1()
 {
+    precompute();
     Table table("Figure 1: Number of SimPoints (avg across the four "
                 "binaries)",
                 {"benchmark", "FLI", "VLI"});
@@ -109,6 +147,7 @@ ExperimentSuite::figure1()
 Table
 ExperimentSuite::figure2()
 {
+    precompute();
     Table table("Figure 2: Average Interval Size for mappable "
                 "SimPoint (VLI), millions of instructions (avg "
                 "across the four binaries)",
@@ -136,6 +175,7 @@ ExperimentSuite::figure2()
 Table
 ExperimentSuite::figure3()
 {
+    precompute();
     Table table("Figure 3: CPI Error vs full simulation (avg across "
                 "the four binaries)",
                 {"benchmark", "FLI", "VLI"});
@@ -201,6 +241,7 @@ speedupTable(const std::string& caption,
 Table
 ExperimentSuite::figure4()
 {
+    precompute();
     return speedupTable(
         "Figure 4: Speedup error, same platform (FLI = per-binary "
         "SimPoint, VLI = mappable SimPoint)",
@@ -210,6 +251,7 @@ ExperimentSuite::figure4()
 Table
 ExperimentSuite::figure5()
 {
+    precompute();
     return speedupTable(
         "Figure 5: Speedup error, cross platform (FLI = per-binary "
         "SimPoint, VLI = mappable SimPoint)",
@@ -282,6 +324,7 @@ ExperimentSuite::table3()
 Table
 ExperimentSuite::mappabilityReport()
 {
+    precompute();
     Table table("Mappable-point statistics (diagnostic)",
                 {"benchmark", "mappable", "rejected:missing",
                  "rejected:count", "rejected:unused"});

@@ -57,6 +57,17 @@ class ExperimentSuite
     /** Run (or fetch) the study for one workload. */
     const sim::CrossBinaryStudy& study(const std::string& workload);
 
+    /**
+     * Run every not-yet-cached workload study, in parallel on the
+     * process-wide pool (in-flight work bounded by its size).  The
+     * cache contents and all table row orders are identical to
+     * running the studies one by one: each study is fully
+     * independent, and results are committed to the cache in
+     * workload-list order after all of them finish.  Called
+     * automatically by the whole-suite table builders.
+     */
+    void precompute();
+
     /** Paper Table 1: the memory-system configuration. */
     static Table table1(const cache::HierarchyConfig& config);
 
@@ -91,6 +102,8 @@ class ExperimentSuite
     ExperimentConfig cfg;
     std::vector<std::string> names;
     std::map<std::string, sim::CrossBinaryStudy> cache;
+
+    void runStudies(const std::vector<std::string>& workloads);
 
     Table phaseBiasTable(const std::string& caption,
                          const std::string& workload, std::size_t a,

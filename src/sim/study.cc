@@ -1,7 +1,10 @@
 #include "sim/study.hh"
 
+#include <utility>
+
 #include "util/logging.hh"
 #include "util/stats.hh"
+#include "util/threadpool.hh"
 
 namespace xbsp::sim
 {
@@ -27,13 +30,19 @@ CrossBinaryStudy::run(const ir::Program& program,
         fatal("primary binary index {} out of range",
               config.primaryIdx);
 
-    // 2. Profile pass per binary: marker counts + FLI BBVs.
-    std::vector<prof::ProfilePass> passes;
-    passes.reserve(study.bins.size());
-    for (const bin::Binary& binary : study.bins) {
-        passes.push_back(prof::runProfilePass(
-            binary, config.intervalTarget, config.engineSeed));
-    }
+    ThreadPool& pool = globalPool();
+
+    // 2. Profile pass per binary: marker counts + FLI BBVs.  Every
+    // binary owns its own engine and per-block address-generator
+    // seeds (derived from config.engineSeed and block ids only), so
+    // the four passes are independent and their results do not depend
+    // on execution order — running them in parallel is bit-identical
+    // to the sequential loop.
+    std::vector<prof::ProfilePass> passes(study.bins.size());
+    parallelFor(pool, study.bins.size(), [&](std::size_t b) {
+        passes[b] = prof::runProfilePass(
+            study.bins[b], config.intervalTarget, config.engineSeed);
+    });
 
     // 3. Match mappable points across all binaries.
     std::vector<const bin::Binary*> binPtrs;
@@ -57,16 +66,22 @@ CrossBinaryStudy::run(const ir::Program& program,
                                                 config.simpoint);
 
     // 5/6/7. Per-binary clustering, detailed run and estimates.
+    // Each iteration touches only its own BinaryStudy slot and reads
+    // shared state (bins, mappableSet, vliPartition, vliCluster)
+    // const-only, so the binaries proceed in parallel while producing
+    // results bit-identical to the sequential order.
     study.studies.resize(study.bins.size());
-    for (std::size_t b = 0; b < study.bins.size(); ++b) {
+    parallelFor(pool, study.bins.size(), [&](std::size_t b) {
         BinaryStudy& bs = study.studies[b];
         bs.target = study.bins[b].target;
         bs.totalInstrs = passes[b].totalInstructions;
-        bs.markers = passes[b].markers;
-        bs.fliBoundaries = passes[b].fliBoundaries;
         bs.fliIntervalCount = passes[b].fliIntervals.size();
         bs.fliClustering = sp::pickSimulationPoints(
-            passes[b].fliIntervals, config.simpoint);
+            std::move(passes[b].fliIntervals), config.simpoint);
+        // The profile pass is dead from here on: steal its buffers
+        // rather than deep-copying them.
+        bs.markers = std::move(passes[b].markers);
+        bs.fliBoundaries = std::move(passes[b].fliBoundaries);
 
         if (!config.detailed) {
             // Interval sizes are still known without timing: compute
@@ -86,11 +101,11 @@ CrossBinaryStudy::run(const ir::Program& program,
             bs.avgVliIntervalSize =
                 static_cast<double>(engine.instructionsExecuted()) /
                 static_cast<double>(study.vliPartition.intervalCount());
-            continue;
+            return;
         }
 
         DetailedRunRequest req;
-        req.fliBoundaries = passes[b].fliBoundaries;
+        req.fliBoundaries = bs.fliBoundaries;
         req.mappable = &study.mappableSet;
         req.binaryIdx = b;
         req.partition = &study.vliPartition;
@@ -105,7 +120,7 @@ CrossBinaryStudy::run(const ir::Program& program,
         bs.avgVliIntervalSize =
             static_cast<double>(bs.totalInstrs) /
             static_cast<double>(study.vliPartition.intervalCount());
-    }
+    });
     return study;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace xbsp::sp
 {
@@ -11,26 +12,44 @@ namespace xbsp::sp
 namespace
 {
 
-/** Assign every point to its nearest centroid; returns weighted SSE. */
+/**
+ * Assign every point to its nearest centroid; returns weighted SSE.
+ *
+ * The E-step is the k-means hot loop (O(n * k * dims) per iteration)
+ * and every point is independent, so it runs in parallel over fixed
+ * chunks of the interval range.  The SSE is reduced per chunk and the
+ * partials are summed in chunk order; since the chunking depends only
+ * on the point count, the float summation order — and therefore the
+ * whole clustering — is bit-identical at any worker count.
+ */
 double
 assignLabels(const ProjectedData& data, const KMeansResult& res,
              std::vector<u32>& labels)
 {
-    double sse = 0.0;
-    for (std::size_t i = 0; i < data.count; ++i) {
-        double best = std::numeric_limits<double>::max();
-        u32 bestC = 0;
-        for (u32 c = 0; c < res.k; ++c) {
-            const double d =
-                sqDist(data.point(i), res.centroid(c, data.dims));
-            if (d < best) {
-                best = d;
-                bestC = c;
+    std::vector<double> partialSse(parallelChunkCount(data.count), 0.0);
+    parallelChunks(
+        globalPool(), data.count,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+            double sse = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+                double best = std::numeric_limits<double>::max();
+                u32 bestC = 0;
+                for (u32 c = 0; c < res.k; ++c) {
+                    const double d = sqDist(data.point(i),
+                                            res.centroid(c, data.dims));
+                    if (d < best) {
+                        best = d;
+                        bestC = c;
+                    }
+                }
+                labels[i] = bestC;
+                sse += data.weights[i] * best;
             }
-        }
-        labels[i] = bestC;
-        sse += data.weights[i] * best;
-    }
+            partialSse[chunk] = sse;
+        });
+    double sse = 0.0;
+    for (double partial : partialSse)
+        sse += partial;
     return sse;
 }
 

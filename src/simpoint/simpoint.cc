@@ -7,17 +7,16 @@
 namespace xbsp::sp
 {
 
-SimPointResult
-pickSimulationPoints(const FrequencyVectorSet& fvs,
-                     const SimPointOptions& options)
+namespace
 {
-    if (fvs.size() == 0)
-        fatal("SimPoint called with no intervals");
 
-    FrequencyVectorSet normalized = fvs;
-    normalized.normalize();
+/** The pipeline proper, over an already-normalized vector set. */
+SimPointResult
+pickFromNormalized(const FrequencyVectorSet& fvs,
+                   const SimPointOptions& options)
+{
     const ProjectedData data =
-        project(normalized, options.projectedDims, options.seed);
+        project(fvs, options.projectedDims, options.seed);
 
     const u32 maxK = std::max<u32>(
         1, std::min<u32>(options.maxK,
@@ -126,6 +125,29 @@ pickSimulationPoints(const FrequencyVectorSet& fvs,
         panic("SimPoint produced no phases for {} intervals",
               fvs.size());
     return out;
+}
+
+} // namespace
+
+SimPointResult
+pickSimulationPoints(const FrequencyVectorSet& fvs,
+                     const SimPointOptions& options)
+{
+    if (fvs.size() == 0)
+        fatal("SimPoint called with no intervals");
+    FrequencyVectorSet normalized = fvs;
+    normalized.normalize();
+    return pickFromNormalized(normalized, options);
+}
+
+SimPointResult
+pickSimulationPoints(FrequencyVectorSet&& fvs,
+                     const SimPointOptions& options)
+{
+    if (fvs.size() == 0)
+        fatal("SimPoint called with no intervals");
+    fvs.normalize();
+    return pickFromNormalized(fvs, options);
 }
 
 } // namespace xbsp::sp

@@ -69,6 +69,13 @@ struct SimPointResult
 SimPointResult pickSimulationPoints(const FrequencyVectorSet& fvs,
                                     const SimPointOptions& options);
 
+/**
+ * Consuming overload: normalizes `fvs` in place instead of deep-
+ * copying it.  Use when the caller is done with the vector set.
+ */
+SimPointResult pickSimulationPoints(FrequencyVectorSet&& fvs,
+                                    const SimPointOptions& options);
+
 } // namespace xbsp::sp
 
 #endif // XBSP_SIMPOINT_SIMPOINT_HH

@@ -5,6 +5,7 @@
 #include "util/format.hh"
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace xbsp
 {
@@ -39,6 +40,22 @@ Options::addBool(const std::string& name, const std::string& help,
                  bool def)
 {
     opts.push_back({name, help, Kind::Bool, "", 0, 0.0, def});
+}
+
+void
+Options::addJobs()
+{
+    addUint("jobs",
+            "worker threads (0 = auto: XBSP_JOBS env, else hardware "
+            "concurrency)",
+            0);
+}
+
+u64
+Options::applyJobs() const
+{
+    setGlobalJobs(getUint("jobs"));
+    return configuredJobs();
 }
 
 Options::Option*

@@ -40,6 +40,18 @@ class Options
                  bool def);
 
     /**
+     * Declare the standard --jobs option (0 = automatic: XBSP_JOBS
+     * env var, else hardware concurrency).
+     */
+    void addJobs();
+
+    /**
+     * Apply a previously declared --jobs value to the process-wide
+     * thread pool (setGlobalJobs) and return the effective count.
+     */
+    u64 applyJobs() const;
+
+    /**
      * Parse argv.  Returns false (after printing help) when --help is
      * requested; calls fatal() on unknown options or bad values.
      */

@@ -1,0 +1,205 @@
+#include "util/threadpool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace xbsp
+{
+
+namespace
+{
+
+/** The pool (if any) the calling thread is a worker of. */
+thread_local const ThreadPool* tlsWorkerPool = nullptr;
+
+/** Upper bound on worker counts; protects against absurd --jobs. */
+constexpr unsigned maxJobs = 512;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads <= 1)
+        return; // inline-only pool: no workers, no queue traffic
+    threads = std::min(threads, maxJobs);
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread& worker : workers)
+        worker.join();
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return tlsWorkerPool == this;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> fn)
+{
+    // Inline execution when queueing could not help: no workers, or
+    // the caller already occupies a worker slot (queuing + blocking
+    // from a worker can exhaust the pool and deadlock).
+    if (workers.empty() || onWorkerThread()) {
+        fn();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopping)
+            panic("ThreadPool::submit after shutdown began");
+        queue.push_back(std::move(fn));
+    }
+    wake.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsWorkerPool = this;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wake.wait(lock,
+                      [this]() { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task(); // packaged_task: exceptions land in the future
+    }
+}
+
+std::size_t
+parallelChunkCount(std::size_t n)
+{
+    // A pure function of n so that chunk-ordered reductions are
+    // bit-identical regardless of how many workers execute them.
+    return std::min<std::size_t>(n, 64);
+}
+
+void
+parallelChunks(ThreadPool& pool, std::size_t n,
+               const std::function<void(std::size_t, std::size_t,
+                                        std::size_t)>& fn)
+{
+    const std::size_t chunks = parallelChunkCount(n);
+    if (chunks == 0)
+        return;
+
+    std::vector<std::exception_ptr> errors(chunks);
+    auto runChunk = [&](std::size_t c) {
+        const std::size_t begin = c * n / chunks;
+        const std::size_t end = (c + 1) * n / chunks;
+        try {
+            fn(begin, end, c);
+        } catch (...) {
+            errors[c] = std::current_exception();
+        }
+    };
+
+    if (chunks == 1 || pool.size() == 0 || pool.onWorkerThread()) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            runChunk(c);
+    } else {
+        std::vector<std::future<void>> futures;
+        futures.reserve(chunks);
+        for (std::size_t c = 0; c < chunks; ++c)
+            futures.push_back(pool.submit([&runChunk, c]() {
+                runChunk(c);
+            }));
+        for (std::future<void>& future : futures)
+            future.wait();
+    }
+
+    for (std::exception_ptr& err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+}
+
+namespace
+{
+
+std::mutex globalPoolMutex;
+std::unique_ptr<ThreadPool> globalPoolInstance;
+u64 requestedJobs = 0;    ///< 0 = automatic
+unsigned builtJobs = 0;   ///< job count the live pool was built with
+
+unsigned
+autoJobs()
+{
+    if (const char* env = std::getenv("XBSP_JOBS")) {
+        char* end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(
+                std::min<unsigned long>(v, maxJobs));
+        // autoJobs() is consulted by several entry points; nag once.
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("ignoring invalid XBSP_JOBS value '{}'", env);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace
+
+unsigned
+configuredJobs()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    return requestedJobs
+               ? static_cast<unsigned>(std::min<u64>(requestedJobs,
+                                                     maxJobs))
+               : autoJobs();
+}
+
+ThreadPool&
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    if (!globalPoolInstance) {
+        builtJobs = requestedJobs
+                        ? static_cast<unsigned>(
+                              std::min<u64>(requestedJobs, maxJobs))
+                        : autoJobs();
+        globalPoolInstance = std::make_unique<ThreadPool>(builtJobs);
+    }
+    return *globalPoolInstance;
+}
+
+void
+setGlobalJobs(u64 jobs)
+{
+    std::lock_guard<std::mutex> lock(globalPoolMutex);
+    requestedJobs = jobs;
+    const unsigned target = jobs ? static_cast<unsigned>(
+                                       std::min<u64>(jobs, maxJobs))
+                                 : autoJobs();
+    if (globalPoolInstance && builtJobs == target)
+        return;
+    globalPoolInstance.reset();
+    builtJobs = target;
+    globalPoolInstance = std::make_unique<ThreadPool>(target);
+}
+
+} // namespace xbsp

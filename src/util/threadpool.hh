@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic fixed-size thread pool and data-parallel loops.
+ *
+ * Design constraints (see DESIGN.md, "Threading model"):
+ *
+ *  - **Fixed size, no work stealing.**  Workers pop tasks from one
+ *    FIFO queue; there is no per-thread deque and no stealing, so the
+ *    set of tasks executed is exactly the set submitted, in a
+ *    well-defined order per queue.
+ *  - **Determinism by construction.**  parallelFor()/parallelChunks()
+ *    split an index range into chunks whose count and boundaries are
+ *    a function of the range size *only* — never of the worker count
+ *    — so any reduction that combines per-chunk partials in chunk
+ *    order is bit-identical with 1 or N threads.
+ *  - **Nested use never deadlocks.**  A submit()/parallelFor() issued
+ *    from inside a pool worker runs inline on the calling thread (the
+ *    caller already owns a worker slot; queuing and blocking on the
+ *    result could exhaust the pool).  Results are identical either
+ *    way, per the previous point.
+ *  - **Exceptions propagate.**  A task exception is captured and
+ *    rethrown from the future / the parallelFor() call site (the
+ *    lowest-indexed failing chunk wins), never swallowed and never
+ *    allowed to kill a worker thread.
+ *
+ * Pool size resolution for the process-wide pool: setGlobalJobs()
+ * (the --jobs command-line option) beats the XBSP_JOBS environment
+ * variable, which beats std::thread::hardware_concurrency().
+ */
+
+#ifndef XBSP_UTIL_THREADPOOL_HH
+#define XBSP_UTIL_THREADPOOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace xbsp
+{
+
+/** Fixed-size FIFO thread pool; see the file comment for contracts. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers; 0 or 1 means run everything inline. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains nothing: outstanding futures must be waited on first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads (0 when the pool is inline-only). */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /** True when the calling thread is one of this pool's workers. */
+    bool onWorkerThread() const;
+
+    /**
+     * Schedule `task`.  Runs inline (returning a ready future) when
+     * the pool has no workers or the caller is itself a pool worker.
+     */
+    template <typename F>
+    auto
+    submit(F&& task) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto packaged = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(task));
+        std::future<R> future = packaged->get_future();
+        enqueue([packaged]() { (*packaged)(); });
+        return future;
+    }
+
+  private:
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    mutable std::mutex mutex;
+    std::condition_variable wake;
+    bool stopping = false;
+
+    void enqueue(std::function<void()> fn);
+    void workerLoop();
+};
+
+/** Number of chunks parallel loops split `n` items into (n only). */
+std::size_t parallelChunkCount(std::size_t n);
+
+/**
+ * Run `fn(begin, end, chunkIdx)` over a deterministic chunking of
+ * [0, n).  Chunk boundaries depend only on `n`; chunks may execute
+ * concurrently but chunkIdx values are dense [0, chunkCount), so
+ * per-chunk results can be reduced in index order for bit-identical
+ * output at any worker count.  Rethrows the exception of the
+ * lowest-indexed failing chunk after all chunks finish.
+ */
+void parallelChunks(ThreadPool& pool, std::size_t n,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& fn);
+
+/** Element-wise wrapper: run `fn(i)` for every i in [0, n). */
+template <typename F>
+void
+parallelFor(ThreadPool& pool, std::size_t n, F&& fn)
+{
+    parallelChunks(pool, n,
+                   [&fn](std::size_t begin, std::size_t end,
+                         std::size_t) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           fn(i);
+                   });
+}
+
+/**
+ * The process-wide pool used by the study pipeline, the experiment
+ * suite and k-means.  Built lazily at the currently configured job
+ * count; resized (rebuilt) by setGlobalJobs().
+ */
+ThreadPool& globalPool();
+
+/**
+ * Set the process-wide job count (the --jobs option): 0 restores the
+ * automatic choice (XBSP_JOBS, else hardware concurrency).  Rebuilds
+ * the global pool when the effective size changes.  Must not be
+ * called while work is in flight on the global pool.
+ */
+void setGlobalJobs(u64 jobs);
+
+/** The job count the global pool has / would be built with. */
+unsigned configuredJobs();
+
+} // namespace xbsp
+
+#endif // XBSP_UTIL_THREADPOOL_HH

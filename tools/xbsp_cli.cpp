@@ -198,8 +198,10 @@ main(int argc, char** argv)
     options.addString("out", "output path prefix", "");
     options.addString("regions", "region-spec output prefix", "");
     options.addBool("stats", "dump gem5-style stats (study)", false);
+    options.addJobs();
     if (!options.parse(argc, argv))
         return 0;
+    options.applyJobs();
 
     if (options.positional().empty()) {
         options.printHelp();
