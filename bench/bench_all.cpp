@@ -15,6 +15,7 @@
 #include <fstream>
 #include <functional>
 
+#include "bench_clustering_common.hh"
 #include "bench_common.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
@@ -77,6 +78,23 @@ main(int argc, char** argv)
         timed("table3", [&] { return suite.table3(); });
     timed("mappability", [&] { return suite.mappabilityReport(); });
 
+    // Clustering engine microbench (naive vs accelerated BIC sweep)
+    // on the first couple of suite workloads; the dedicated
+    // bench_micro_clustering binary measures the full case set.
+    std::vector<bench::ClusteringBenchResult> clustering;
+    timed("clustering", [&] {
+        sp::SimPointOptions base = config.study.simpoint;
+        for (std::size_t w = 0; w < names.size() && w < 2; ++w) {
+            bench::ClusteringCase bc;
+            bc.workload = names[w];
+            bc.scale = config.workScale;
+            bc.interval = 5000;
+            clustering.push_back(
+                bench::benchClusteringSweep(bc, base, 1));
+        }
+        return bench::clusteringTable(clustering);
+    });
+
     const double totalSeconds =
         std::chrono::duration<double>(clock::now() - suiteStart)
             .count();
@@ -102,6 +120,9 @@ main(int argc, char** argv)
     json << "  \"instructions_simulated\": " << instructions << ",\n";
     json << format("  \"instructions_per_second\": {:.0f},\n",
                    static_cast<double>(instructions) / totalSeconds);
+    json << "  \"clustering\": ";
+    bench::writeClusteringJsonArray(json, clustering, "  ");
+    json << ",\n";
     json << "  \"figures\": [\n";
     for (std::size_t i = 0; i < timings.size(); ++i) {
         json << format("    {{\"name\": \"{}\", \"seconds\": {:.3f}}}",

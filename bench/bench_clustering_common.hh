@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Shared core of the clustering microbench: time the full SimPoint
+ * BIC sweep (k = 1..maxK x seedsPerK restarts) over real workload
+ * profile vectors with the naive engine and with the accelerated one
+ * (duplicate-interval dedup + Hamerly-bounded k-means + parallel
+ * (k, seed) sweep), cross-check that both pick identical phases, and
+ * emit the numbers as a table / JSON.  Used by bench_micro_clustering
+ * (standalone, writes BENCH_clustering.json) and by bench_all (folds
+ * the numbers into BENCH_pipeline.json).
+ */
+
+#ifndef XBSP_BENCH_CLUSTERING_COMMON_HH
+#define XBSP_BENCH_CLUSTERING_COMMON_HH
+
+#include <chrono>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.hh"
+#include "profile/profile.hh"
+#include "simpoint/simpoint.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::bench
+{
+
+/** One clustering measurement: a workload at an interval target. */
+struct ClusteringCase
+{
+    std::string workload;
+    double scale = 2.0;
+    InstrCount interval = 10000;
+};
+
+/** Cases the default runs measure: thousands of intervals each. */
+inline std::vector<ClusteringCase>
+defaultClusteringCases()
+{
+    return {{"gcc", 2.0, 10000},
+            {"gzip", 2.0, 5000},
+            {"swim", 2.0, 5000}};
+}
+
+/** Timing + shape of one naive-vs-accelerated sweep comparison. */
+struct ClusteringBenchResult
+{
+    std::string workload;
+    std::size_t intervals = 0;       ///< points fed to clustering
+    std::size_t dedupClasses = 0;    ///< unique vectors after dedup
+    u32 chosenK = 0;
+    double naiveSeconds = 0.0;       ///< best-of-reps, full BIC sweep
+    double accelSeconds = 0.0;
+    double speedup = 0.0;
+    bool identical = false;          ///< accelerated == naive result
+};
+
+/** Exact equality of the fields the paper's pipeline consumes. */
+inline bool
+identicalResults(const sp::SimPointResult& a,
+                 const sp::SimPointResult& b)
+{
+    if (a.k != b.k || a.labels != b.labels || a.bicByK != b.bicByK)
+        return false;
+    if (a.phases.size() != b.phases.size())
+        return false;
+    for (std::size_t p = 0; p < a.phases.size(); ++p) {
+        if (a.phases[p].representative != b.phases[p].representative ||
+            a.phases[p].weight != b.phases[p].weight ||
+            a.phases[p].members != b.phases[p].members)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Profile one case and time the naive and accelerated sweeps,
+ * `reps` times each (best-of to suppress scheduler noise).
+ */
+inline ClusteringBenchResult
+benchClusteringSweep(const ClusteringCase& bc,
+                     const sp::SimPointOptions& base, int reps)
+{
+    const ir::Program program =
+        workloads::makeWorkload(bc.workload, bc.scale);
+    const bin::Binary binary =
+        compile::compileProgram(program, bin::target32o);
+    const prof::ProfilePass pass =
+        prof::runProfilePass(binary, bc.interval);
+
+    sp::FrequencyVectorSet normalized = pass.fliIntervals;
+    normalized.normalize();
+
+    sp::SimPointOptions naiveOpts = base;
+    naiveOpts.accelerate = false;
+    sp::SimPointOptions accelOpts = base;
+    accelOpts.accelerate = true;
+
+    using clock = std::chrono::steady_clock;
+    auto timeSweep = [&](const sp::SimPointOptions& options,
+                         sp::SimPointResult& out) {
+        double best = std::numeric_limits<double>::max();
+        for (int rep = 0; rep < reps; ++rep) {
+            const auto start = clock::now();
+            out = sp::pickSimulationPoints(pass.fliIntervals, options);
+            best = std::min(
+                best, std::chrono::duration<double>(clock::now() -
+                                                    start)
+                          .count());
+        }
+        return best;
+    };
+
+    ClusteringBenchResult result;
+    result.workload = bc.workload;
+    result.intervals = pass.fliIntervals.size();
+    result.dedupClasses = normalized.dedup().classes();
+    sp::SimPointResult naive, accel;
+    result.naiveSeconds = timeSweep(naiveOpts, naive);
+    result.accelSeconds = timeSweep(accelOpts, accel);
+    result.speedup = result.naiveSeconds / result.accelSeconds;
+    result.chosenK = accel.k;
+    result.identical = identicalResults(naive, accel);
+    if (!result.identical)
+        warn("clustering bench: accelerated result diverged from "
+             "naive on '{}'", bc.workload);
+    return result;
+}
+
+/** Render the measurements as a standard bench table. */
+inline Table
+clusteringTable(const std::vector<ClusteringBenchResult>& results)
+{
+    Table table("Clustering BIC sweep: naive vs accelerated "
+                "(Hamerly bounds + dedup + parallel sweep)",
+                {"workload", "intervals", "classes", "k",
+                 "naive_s", "accel_s", "speedup", "identical"});
+    for (const ClusteringBenchResult& r : results) {
+        table.startRow();
+        table.addCell(r.workload);
+        table.addInteger(static_cast<long long>(r.intervals));
+        table.addInteger(static_cast<long long>(r.dedupClasses));
+        table.addInteger(r.chosenK);
+        table.addNumber(r.naiveSeconds, 4);
+        table.addNumber(r.accelSeconds, 4);
+        table.addNumber(r.speedup, 2);
+        table.addCell(r.identical ? "yes" : "NO");
+    }
+    return table;
+}
+
+/**
+ * Emit the measurements as a JSON array (no surrounding object), at
+ * `indent` spaces of leading indentation — shared between the
+ * standalone BENCH_clustering.json and the bench_all summary.
+ */
+inline void
+writeClusteringJsonArray(std::ostream& os,
+                         const std::vector<ClusteringBenchResult>&
+                             results,
+                         const std::string& indent)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ClusteringBenchResult& r = results[i];
+        os << indent << "  "
+           << format("{{\"workload\": \"{}\", \"intervals\": {}, "
+                     "\"dedup_classes\": {}, \"chosen_k\": {}, "
+                     "\"naive_seconds\": {:.4f}, "
+                     "\"accel_seconds\": {:.4f}, "
+                     "\"speedup\": {:.2f}, \"identical\": {}}}",
+                     r.workload, r.intervals, r.dedupClasses,
+                     r.chosenK, r.naiveSeconds, r.accelSeconds,
+                     r.speedup, r.identical ? "true" : "false");
+        os << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << indent << "]";
+}
+
+} // namespace xbsp::bench
+
+#endif // XBSP_BENCH_CLUSTERING_COMMON_HH

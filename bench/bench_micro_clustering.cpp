@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Clustering microbench: times the full SimPoint BIC sweep
+ * (k = 1..maxK x seedsPerK restarts) on real workload profiles with
+ * the naive clustering engine and with the accelerated one (exact
+ * duplicate-interval dedup + Hamerly-bounded k-means + parallel
+ * (k, seed) sweep), verifies both produce identical phases, and
+ * writes BENCH_clustering.json.  Single-threaded by default
+ * (--jobs 1) so the table isolates the algorithmic speedup from
+ * thread-level parallelism; raise --jobs to measure the sweep-level
+ * scaling on top.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_clustering_common.hh"
+#include "bench_common.hh"
+#include "util/threadpool.hh"
+
+using namespace xbsp;
+
+int
+main(int argc, char** argv)
+{
+    Options options(
+        "bench_micro_clustering: naive vs accelerated BIC sweep");
+    options.addString("workloads",
+                      "comma-separated workload subset (empty = "
+                      "gcc,gzip,swim)", "");
+    options.addDouble("scale", "work scale factor", 2.0);
+    options.addUint("interval", "interval target in instructions",
+                    0);
+    options.addUint("maxk", "SimPoint cluster cap", 10);
+    options.addUint("seed", "SimPoint seed", 42);
+    options.addUint("reps", "repetitions per engine (best-of)", 3);
+    options.addBool("csv", "also emit CSV after the table", false);
+    options.addJobs();
+    options.addString("json",
+                      "output path (default BENCH_clustering.json)",
+                      "");
+    if (!options.parse(argc, argv))
+        return 0;
+    // Default to one worker (not auto): the headline numbers isolate
+    // the algorithmic speedup from thread-level parallelism.
+    options.applyJobs();
+    if (options.getUint("jobs") == 0)
+        setGlobalJobs(1);
+
+    std::vector<bench::ClusteringCase> cases;
+    const std::vector<std::string> subset =
+        bench::splitList(options.getString("workloads"));
+    if (subset.empty()) {
+        cases = bench::defaultClusteringCases();
+    } else {
+        for (const std::string& name : subset) {
+            bench::ClusteringCase bc;
+            bc.workload = name;
+            cases.push_back(bc);
+        }
+    }
+    for (bench::ClusteringCase& bc : cases) {
+        bc.scale = options.getDouble("scale");
+        if (options.getUint("interval"))
+            bc.interval = options.getUint("interval");
+        else if (!subset.empty())
+            bc.interval = 5000;
+    }
+
+    sp::SimPointOptions base;
+    base.maxK = static_cast<u32>(options.getUint("maxk"));
+    base.seed = options.getUint("seed");
+    const int reps = static_cast<int>(options.getUint("reps"));
+
+    std::vector<bench::ClusteringBenchResult> results;
+    for (const bench::ClusteringCase& bc : cases) {
+        inform("clustering sweep: {} (scale {}, interval {})",
+               bc.workload, bc.scale, bc.interval);
+        results.push_back(
+            bench::benchClusteringSweep(bc, base, reps));
+    }
+
+    const Table table = bench::clusteringTable(results);
+    table.print(std::cout);
+    if (options.getBool("csv")) {
+        std::cout << "\n";
+        table.printCsv(std::cout);
+    }
+    std::cout << "\n";
+
+    std::string jsonPath = options.getString("json");
+    if (jsonPath.empty())
+        jsonPath = "BENCH_clustering.json";
+    std::ofstream json(jsonPath);
+    if (!json)
+        fatal("cannot write '{}'", jsonPath);
+    json << "{\n";
+    json << "  \"jobs\": " << configuredJobs() << ",\n";
+    json << "  \"reps\": " << reps << ",\n";
+    json << "  \"cases\": ";
+    bench::writeClusteringJsonArray(json, results, "  ");
+    json << "\n}\n";
+    inform("wrote clustering summary to {}", jsonPath);
+
+    for (const bench::ClusteringBenchResult& r : results) {
+        if (!r.identical) {
+            fatal("accelerated clustering diverged from naive on "
+                  "'{}'", r.workload);
+        }
+    }
+    return 0;
+}

@@ -1,9 +1,65 @@
 #include "simpoint/fvec.hh"
 
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
 #include "util/logging.hh"
+#include "util/rng.hh"
 
 namespace xbsp::sp
 {
+
+namespace
+{
+
+/** Bit pattern of a double (for hashing/comparing without epsilons). */
+u64
+bits(double value)
+{
+    u64 out;
+    std::memcpy(&out, &value, sizeof(out));
+    return out;
+}
+
+/** Value a vector entry is compared under: raw bits or quantized. */
+u64
+entryKey(double value, double quantum)
+{
+    if (quantum <= 0.0)
+        return bits(value);
+    return static_cast<u64>(std::llround(value / quantum));
+}
+
+/** Order-sensitive hash of a sparse vector under `quantum`. */
+u64
+vectorHash(const SparseVec& vec, double quantum)
+{
+    u64 h = hashMix(vec.size());
+    for (const auto& [idx, val] : vec) {
+        h = hashMix(h ^ idx);
+        h = hashMix(h ^ entryKey(val, quantum));
+    }
+    return h;
+}
+
+/** Exact equality of two sparse vectors under `quantum`. */
+bool
+vectorsEqual(const SparseVec& a, const SparseVec& b, double quantum)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].first != b[i].first)
+            return false;
+        if (entryKey(a[i].second, quantum) !=
+            entryKey(b[i].second, quantum))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
 
 double
 sparseSum(const SparseVec& vec)
@@ -43,6 +99,40 @@ FrequencyVectorSet::normalize()
 {
     for (auto& vec : vectors)
         sparseNormalize(vec);
+}
+
+DedupMap
+FrequencyVectorSet::dedup(double quantum) const
+{
+    DedupMap map;
+    map.classOf.resize(vectors.size());
+    // Buckets of class ids per hash; collisions resolved by full
+    // comparison, so two intervals share a class only when their
+    // vectors really are equal under the quantum.
+    std::unordered_map<u64, std::vector<u32>> buckets;
+    buckets.reserve(vectors.size());
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+        const u64 h = vectorHash(vectors[i], quantum);
+        std::vector<u32>& bucket = buckets[h];
+        const u32 fresh = static_cast<u32>(map.classes());
+        u32 cls = fresh;
+        for (u32 candidate : bucket) {
+            if (vectorsEqual(vectors[i],
+                             vectors[map.firstOf[candidate]],
+                             quantum)) {
+                cls = candidate;
+                break;
+            }
+        }
+        if (cls == fresh) {
+            bucket.push_back(cls);
+            map.firstOf.push_back(static_cast<u32>(i));
+            map.classLength.push_back(0);
+        }
+        map.classOf[i] = cls;
+        map.classLength[cls] += lengths[i];
+    }
+    return map;
 }
 
 InstrCount

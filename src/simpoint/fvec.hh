@@ -27,6 +27,32 @@ double sparseSum(const SparseVec& vec);
 /** Scale a sparse vector so its values sum to 1 (no-op when empty). */
 void sparseNormalize(SparseVec& vec);
 
+/**
+ * Duplicate-interval classes over a frequency-vector set.
+ *
+ * Intervals whose sparse vectors are equal (bitwise by default, or
+ * after quantization when a quantum is given) form one class.  The
+ * class representative is the *lowest* original interval index, so a
+ * representative's projected row is bit-identical to every member's
+ * and any computation that depends only on the vector (distances,
+ * nearest-centroid labels) can be done once per class and broadcast
+ * to the members without changing a single bit of the result.
+ */
+struct DedupMap
+{
+    /** Class id per original interval. */
+    std::vector<u32> classOf;
+
+    /** Lowest original interval index per class. */
+    std::vector<u32> firstOf;
+
+    /** Summed instruction length per class. */
+    std::vector<InstrCount> classLength;
+
+    /** Number of duplicate classes (= unique vectors). */
+    std::size_t classes() const { return firstOf.size(); }
+};
+
 /** A set of per-interval frequency vectors for one binary. */
 struct FrequencyVectorSet
 {
@@ -50,6 +76,17 @@ struct FrequencyVectorSet
 
     /** Total instructions across all intervals. */
     InstrCount totalInstructions() const;
+
+    /**
+     * Group intervals with equal vectors into duplicate classes.
+     * `quantum` 0 (the default) requires bitwise-equal values, which
+     * preserves exactness end to end; a positive quantum also merges
+     * vectors whose values agree after rounding to multiples of it
+     * (an approximation — see DESIGN.md, "Clustering acceleration").
+     * Class ids are assigned in order of first appearance, so
+     * `firstOf` is strictly ascending.
+     */
+    DedupMap dedup(double quantum = 0.0) const;
 };
 
 } // namespace xbsp::sp

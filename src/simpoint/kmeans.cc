@@ -1,6 +1,7 @@
 #include "simpoint/kmeans.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/logging.hh"
@@ -44,6 +45,187 @@ assignLabels(const ProjectedData& data, const KMeansResult& res,
                 }
                 labels[i] = bestC;
                 sse += data.weights[i] * best;
+            }
+            partialSse[chunk] = sse;
+        });
+    double sse = 0.0;
+    for (double partial : partialSse)
+        sse += partial;
+    return sse;
+}
+
+/**
+ * State for the accelerated E-step: Hamerly distance bounds kept per
+ * duplicate class (per point when the data carries no class
+ * structure — classOf/classFirst are then identity maps).
+ *
+ * Exactness argument, in full (DESIGN.md, "Clustering acceleration"):
+ *
+ *  - Rows of one duplicate class are bit-identical, so the naive
+ *    per-point scan computes identical distances — and therefore an
+ *    identical argmin — for every member of a class.  Computing the
+ *    scan once per class and broadcasting the label is a pure
+ *    de-duplication of arithmetic, not an approximation.
+ *  - A class is *skipped* only when its exact distance to the owner
+ *    hypothesis `u = sqrt(dOwn)` satisfies `u < max(guard[a],
+ *    lower)`.  `guard[a]` is half the distance from centroid `a` to
+ *    its nearest other centroid: `u < guard[a]` forces every other
+ *    centroid strictly farther than `a` (triangle inequality).
+ *    `lower` is a running lower bound on the distance to the nearest
+ *    *non-owner* centroid (second-best at the last full scan, shrunk
+ *    by the maximum centroid movement after every M-step): `u <
+ *    lower` again proves strict nearest.  Both inequalities are
+ *    strict, so a tie can never be skipped and the naive scan's
+ *    lowest-index tie-break is preserved verbatim by the fallback
+ *    full scan.
+ *  - The skipped class's contribution to the SSE is `dOwn`, computed
+ *    by the same sqDist on the same operands the naive scan would
+ *    reduce with, and the SSE is accumulated over *original* points
+ *    in the same chunk order — bit-identical floats.
+ */
+struct AccelState
+{
+    std::vector<u32> classOf;    ///< point -> class
+    std::vector<u32> classFirst; ///< class -> lowest point index
+    std::vector<u32> ownerOf;    ///< class -> owner hypothesis
+    std::vector<double> lower;   ///< class -> non-owner lower bound
+    std::vector<double> dOwn;    ///< class -> exact sqDist to owner
+    bool boundsValid = false;    ///< lower[] usable this iteration
+
+    /** Adopt the data's duplicate classes (identity when absent). */
+    void
+    attach(const ProjectedData& data)
+    {
+        if (data.hasClasses()) {
+            classOf = data.classOf;
+            classFirst = data.classFirst;
+        } else {
+            classOf.resize(data.count);
+            classFirst.resize(data.count);
+            for (std::size_t i = 0; i < data.count; ++i) {
+                classOf[i] = static_cast<u32>(i);
+                classFirst[i] = static_cast<u32>(i);
+            }
+        }
+        ownerOf.assign(classFirst.size(), 0);
+        lower.assign(classFirst.size(), 0.0);
+        dOwn.assign(classFirst.size(), 0.0);
+    }
+
+    /** Seed owner hypotheses from the current labels. */
+    void
+    adoptLabels(const std::vector<u32>& labels)
+    {
+        for (std::size_t u = 0; u < classFirst.size(); ++u)
+            ownerOf[u] = labels[classFirst[u]];
+    }
+
+    /** Centroids teleported (re-seeding): bounds mean nothing now. */
+    void invalidate() { boundsValid = false; }
+
+    /** Centroids moved smoothly: shrink bounds by the worst move. */
+    void
+    relax(const std::vector<double>& oldCentroids,
+          const KMeansResult& res, u32 dims)
+    {
+        if (!boundsValid)
+            return;
+        double maxMove = 0.0;
+        for (u32 c = 0; c < res.k; ++c) {
+            const std::span<const double> before{
+                oldCentroids.data() +
+                    static_cast<std::size_t>(c) * dims,
+                dims};
+            maxMove = std::max(
+                maxMove, sqDist(before, res.centroid(c, dims)));
+        }
+        if (maxMove <= 0.0)
+            return;
+        const double move = std::sqrt(maxMove);
+        for (double& bound : lower)
+            bound = std::max(0.0, bound - move);
+    }
+};
+
+/**
+ * Accelerated drop-in for assignLabels(): per-class Hamerly-bounded
+ * nearest-centroid search, then a broadcast pass over the original
+ * points that assigns labels and reduces the weighted SSE in exactly
+ * the naive chunk order.  See AccelState for why the result is
+ * bit-identical.
+ */
+double
+assignLabelsAccel(const ProjectedData& data, const KMeansResult& res,
+                  std::vector<u32>& labels, AccelState& state)
+{
+    const u32 k = res.k;
+    // Half-distance from each centroid to its nearest neighbour.
+    // With k == 1 this stays huge and every class skips (the single
+    // centroid is trivially nearest).
+    std::vector<double> guard(k, std::numeric_limits<double>::max());
+    for (u32 c = 0; c < k; ++c) {
+        for (u32 c2 = c + 1; c2 < k; ++c2) {
+            const double d = sqDist(res.centroid(c, data.dims),
+                                    res.centroid(c2, data.dims));
+            guard[c] = std::min(guard[c], d);
+            guard[c2] = std::min(guard[c2], d);
+        }
+    }
+    for (double& g : guard)
+        g = 0.5 * std::sqrt(g);
+
+    if (!state.boundsValid) {
+        std::fill(state.lower.begin(), state.lower.end(), 0.0);
+        state.boundsValid = true;
+    }
+
+    parallelChunks(
+        globalPool(), state.classFirst.size(),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t u = begin; u < end; ++u) {
+                const auto x = data.point(state.classFirst[u]);
+                const u32 a = state.ownerOf[u];
+                const double down =
+                    sqDist(x, res.centroid(a, data.dims));
+                if (std::sqrt(down) <
+                    std::max(guard[a], state.lower[u])) {
+                    state.dOwn[u] = down;
+                    continue;
+                }
+                // Fallback: the naive scan, verbatim, plus
+                // second-best tracking to refresh the lower bound.
+                double best = std::numeric_limits<double>::max();
+                double second = best;
+                u32 bestC = 0;
+                for (u32 c = 0; c < k; ++c) {
+                    const double d =
+                        sqDist(x, res.centroid(c, data.dims));
+                    if (d < best) {
+                        second = best;
+                        best = d;
+                        bestC = c;
+                    } else if (d < second) {
+                        second = d;
+                    }
+                }
+                state.ownerOf[u] = bestC;
+                state.dOwn[u] = best;
+                state.lower[u] = std::sqrt(second);
+            }
+        });
+
+    // Broadcast labels and reduce the SSE over original points, in
+    // the same chunking the naive E-step uses.
+    std::vector<double> partialSse(parallelChunkCount(data.count),
+                                   0.0);
+    parallelChunks(
+        globalPool(), data.count,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+            double sse = 0.0;
+            for (std::size_t i = begin; i < end; ++i) {
+                const u32 u = state.classOf[i];
+                labels[i] = state.ownerOf[u];
+                sse += data.weights[i] * state.dOwn[u];
             }
             partialSse[chunk] = sse;
         });
@@ -111,12 +293,19 @@ reseedEmpty(const ProjectedData& data, KMeansResult& res,
     }
 }
 
+/**
+ * D^2 seeding.  With an AccelState the distance-to-nearest-centroid
+ * table is maintained per duplicate class and expanded to per-point
+ * sampling probabilities; the probabilities — and hence the RNG
+ * consumption and every pick — are bit-identical to the naive loop,
+ * because a class member's distance IS its representative's distance
+ * (identical rows).
+ */
 void
-initPlusPlus(const ProjectedData& data, KMeansResult& res, Rng& rng)
+initPlusPlus(const ProjectedData& data, KMeansResult& res, Rng& rng,
+             const AccelState* accel)
 {
     // First centroid: weighted-uniform draw.
-    std::vector<double> minDist(data.count,
-                                std::numeric_limits<double>::max());
     auto pickWeighted = [&](const std::vector<double>& probs) {
         double total = 0.0;
         for (double p : probs)
@@ -139,13 +328,23 @@ initPlusPlus(const ProjectedData& data, KMeansResult& res, Rng& rng)
     };
     setCentroid(0, first);
 
+    const std::size_t slots =
+        accel ? accel->classFirst.size() : data.count;
+    std::vector<double> minDist(slots,
+                                std::numeric_limits<double>::max());
     std::vector<double> probs(data.count);
     for (u32 c = 1; c < res.k; ++c) {
+        for (std::size_t u = 0; u < slots; ++u) {
+            const std::size_t rep =
+                accel ? accel->classFirst[u] : u;
+            const double d = sqDist(data.point(rep),
+                                    res.centroid(c - 1, data.dims));
+            minDist[u] = std::min(minDist[u], d);
+        }
         for (std::size_t i = 0; i < data.count; ++i) {
-            const double d =
-                sqDist(data.point(i), res.centroid(c - 1, data.dims));
-            minDist[i] = std::min(minDist[i], d);
-            probs[i] = data.weights[i] * minDist[i];
+            probs[i] =
+                data.weights[i] *
+                minDist[accel ? accel->classOf[i] : i];
         }
         setCentroid(c, pickWeighted(probs));
     }
@@ -162,6 +361,11 @@ initRandomPartition(const ProjectedData& data, KMeansResult& res,
         res.labels[c] = c;
     const auto empty = updateCentroids(data, res);
     reseedEmpty(data, res, empty);
+    // Re-seeding relabels the stolen points, leaving the donor
+    // clusters' centroids and weights stale; recompute once so the
+    // first E-step sees centroids consistent with the labels.
+    if (!empty.empty())
+        updateCentroids(data, res);
 }
 
 } // namespace
@@ -180,23 +384,42 @@ runKMeans(const ProjectedData& data, u32 k, Rng& rng,
         static_cast<std::size_t>(res.k) * data.dims, 0.0);
     res.clusterWeight.assign(res.k, 0.0);
 
+    AccelState state;
+    if (options.accelerate)
+        state.attach(data);
+
     if (options.init == InitMethod::KMeansPlusPlus)
-        initPlusPlus(data, res, rng);
+        initPlusPlus(data, res, rng,
+                     options.accelerate ? &state : nullptr);
     else
         initRandomPartition(data, res, rng);
 
+    if (options.accelerate)
+        state.adoptLabels(res.labels);
+    auto assign = [&](std::vector<u32>& labels) {
+        return options.accelerate
+                   ? assignLabelsAccel(data, res, labels, state)
+                   : assignLabels(data, res, labels);
+    };
+
     std::vector<u32> newLabels(data.count, 0);
+    std::vector<double> oldCentroids;
     for (u32 iter = 0; iter < options.maxIterations; ++iter) {
         res.iterations = iter + 1;
-        res.weightedSse = assignLabels(data, res, newLabels);
+        res.weightedSse = assign(newLabels);
         const bool stable = newLabels == res.labels && iter > 0;
         res.labels = newLabels;
+        if (options.accelerate)
+            oldCentroids = res.centroids;
         const auto empty = updateCentroids(data, res);
         if (!empty.empty()) {
             reseedEmpty(data, res, empty);
             updateCentroids(data, res);
+            state.invalidate();
             continue;
         }
+        if (options.accelerate)
+            state.relax(oldCentroids, res, data.dims);
         if (stable) {
             res.converged = true;
             break;
@@ -205,7 +428,7 @@ runKMeans(const ProjectedData& data, u32 k, Rng& rng,
     // Final consistent assignment and SSE against the final
     // centroids; recompute member weights to match the final labels
     // without moving the centroids again.
-    res.weightedSse = assignLabels(data, res, res.labels);
+    res.weightedSse = assign(res.labels);
     std::fill(res.clusterWeight.begin(), res.clusterWeight.end(), 0.0);
     for (std::size_t i = 0; i < data.count; ++i)
         res.clusterWeight[res.labels[i]] += data.weights[i];

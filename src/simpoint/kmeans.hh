@@ -26,11 +26,23 @@ enum class InitMethod
     RandomPartition  ///< random labels then M-step (SimPoint classic)
 };
 
-/** Iteration limits and seeding choice. */
+/** Iteration limits, seeding choice and E-step acceleration. */
 struct KMeansOptions
 {
     u32 maxIterations = 100;
     InitMethod init = InitMethod::KMeansPlusPlus;
+
+    /**
+     * Accelerate the E-step with Hamerly distance bounds (and, when
+     * the data carries duplicate-class structure, one distance
+     * computation per class instead of per point).  Bounds only ever
+     * *skip* scans whose outcome they prove; every distance that is
+     * computed uses the same sqDist on the same operands in the same
+     * order as the naive scan, so labels, centroids, SSE and
+     * iteration counts are bit-identical either way (asserted by
+     * tests/test_clustering_equiv.cc).
+     */
+    bool accelerate = true;
 };
 
 /** One clustering of the projected data. */

@@ -1,5 +1,7 @@
 #include "simpoint/projection.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -18,7 +20,8 @@ sqDist(std::span<const double> a, std::span<const double> b)
 }
 
 ProjectedData
-project(const FrequencyVectorSet& fvs, u32 dims, u64 seed)
+project(const FrequencyVectorSet& fvs, u32 dims, u64 seed,
+        const DedupMap* dedup)
 {
     if (dims == 0)
         fatal("projection dimension must be > 0");
@@ -35,7 +38,7 @@ project(const FrequencyVectorSet& fvs, u32 dims, u64 seed)
     for (double& entry : matrix)
         entry = rng.nextDouble(-1.0, 1.0);
 
-    for (std::size_t i = 0; i < fvs.size(); ++i) {
+    auto projectRow = [&](std::size_t i) {
         double* row = out.points.data() + i * dims;
         for (const auto& [idx, val] : fvs.vectors[i]) {
             const double* prow = matrix.data() +
@@ -43,6 +46,23 @@ project(const FrequencyVectorSet& fvs, u32 dims, u64 seed)
             for (u32 d = 0; d < dims; ++d)
                 row[d] += val * prow[d];
         }
+    };
+    if (dedup == nullptr) {
+        for (std::size_t i = 0; i < fvs.size(); ++i)
+            projectRow(i);
+    } else {
+        for (u32 first : dedup->firstOf)
+            projectRow(first);
+        for (std::size_t i = 0; i < fvs.size(); ++i) {
+            const u32 first = dedup->firstOf[dedup->classOf[i]];
+            if (static_cast<std::size_t>(first) == i)
+                continue;
+            std::copy_n(out.points.data() +
+                            static_cast<std::size_t>(first) * dims,
+                        dims, out.points.data() + i * dims);
+        }
+        out.classOf = dedup->classOf;
+        out.classFirst = dedup->firstOf;
     }
 
     // Instruction-length weights rescaled to sum to the point count.

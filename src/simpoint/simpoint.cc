@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace xbsp::sp
 {
@@ -15,17 +16,49 @@ SimPointResult
 pickFromNormalized(const FrequencyVectorSet& fvs,
                    const SimPointOptions& options)
 {
+    // Coalesce duplicate intervals up front: projection runs once per
+    // class and the clustering layer scans classes instead of points.
+    // The class structure rides along inside ProjectedData; every
+    // label, member list and representative below stays expressed in
+    // original interval ids.
+    DedupMap dedup;
+    if (options.accelerate)
+        dedup = fvs.dedup(options.dedupQuantum);
     const ProjectedData data =
-        project(fvs, options.projectedDims, options.seed);
+        project(fvs, options.projectedDims, options.seed,
+                options.accelerate ? &dedup : nullptr);
 
     const u32 maxK = std::max<u32>(
         1, std::min<u32>(options.maxK,
                          static_cast<u32>(fvs.size())));
 
-    Rng rng(hashMix(options.seed ^ 0xB1Cull));
+    const Rng rng(hashMix(options.seed ^ 0xB1Cull));
     KMeansOptions kmOpts;
     kmOpts.init = options.init;
     kmOpts.maxIterations = options.maxIterations;
+    kmOpts.accelerate = options.accelerate;
+
+    // The (k, seed) sweep.  Every fit forks its own RNG stream from
+    // the (const) sweep generator, so fits are order-independent and
+    // can fan out across the pool; the best-by-SSE reduction below
+    // runs serially in (k, seed-index) order with a strict less-than,
+    // which reproduces the sequential loop's pick — including its
+    // lowest-seed-index tie-break — exactly.
+    const std::size_t fitCount =
+        static_cast<std::size_t>(maxK) * options.seedsPerK;
+    std::vector<KMeansResult> fits(fitCount);
+    auto fitOne = [&](std::size_t f) {
+        const u32 k = 1 + static_cast<u32>(f / options.seedsPerK);
+        const u32 s = static_cast<u32>(f % options.seedsPerK);
+        Rng seedRng = rng.fork((static_cast<u64>(k) << 16) | s);
+        fits[f] = runKMeans(data, k, seedRng, kmOpts);
+    };
+    if (options.accelerate) {
+        parallelFor(globalPool(), fitCount, fitOne);
+    } else {
+        for (std::size_t f = 0; f < fitCount; ++f)
+            fitOne(f);
+    }
 
     std::vector<KMeansResult> bestByK;
     std::vector<double> bicByK;
@@ -34,8 +67,10 @@ pickFromNormalized(const FrequencyVectorSet& fvs,
         KMeansResult best;
         double bestSse = std::numeric_limits<double>::max();
         for (u32 s = 0; s < options.seedsPerK; ++s) {
-            Rng seedRng = rng.fork((static_cast<u64>(k) << 16) | s);
-            KMeansResult res = runKMeans(data, k, seedRng, kmOpts);
+            KMeansResult& res =
+                fits[static_cast<std::size_t>(k - 1) *
+                         options.seedsPerK +
+                     s];
             if (res.weightedSse < bestSse) {
                 bestSse = res.weightedSse;
                 best = std::move(res);
@@ -47,8 +82,8 @@ pickFromNormalized(const FrequencyVectorSet& fvs,
 
     // Smallest k whose normalized BIC clears the threshold.
     const std::vector<double> norm = normalizeBic(bicByK);
-    u32 chosenIdx = static_cast<u32>(norm.size()) - 1;
-    for (u32 i = 0; i < norm.size(); ++i) {
+    std::size_t chosenIdx = norm.size() - 1;
+    for (std::size_t i = 0; i < norm.size(); ++i) {
         if (norm[i] >= options.bicThreshold) {
             chosenIdx = i;
             break;
@@ -116,9 +151,14 @@ pickFromNormalized(const FrequencyVectorSet& fvs,
                                    ? candidates.front()
                                    : candidates[candidates.size() / 2];
 
-        phase.weight = total ? static_cast<double>(phaseInstrs) /
-                                   static_cast<double>(total)
-                             : 0.0;
+        // Degenerate zero-length input (all interval lengths 0):
+        // fall back to interval-count weights so the phase weights
+        // still describe a distribution summing to 1.
+        phase.weight =
+            total ? static_cast<double>(phaseInstrs) /
+                        static_cast<double>(total)
+                  : static_cast<double>(phase.members.size()) /
+                        static_cast<double>(fvs.size());
         out.phases.push_back(std::move(phase));
     }
     if (out.phases.empty())

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Equivalence guard for the accelerated clustering engine: the
+ * combination of duplicate-interval dedup, Hamerly-bounded k-means
+ * and the parallel (k, seed) sweep must produce a SimPointResult
+ * that is *bit-identical* to the naive path — same chosen k, same
+ * labels over original intervals, same phase members,
+ * representatives and weights, same BIC scores — on real profile
+ * data (3 workloads x 4 compilation targets) at 1 and N worker
+ * threads, plus the low-level runKMeans contract on synthetic data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compile/compiler.hh"
+#include "profile/profile.hh"
+#include "simpoint/simpoint.hh"
+#include "util/threadpool.hh"
+#include "workloads/workloads.hh"
+
+using namespace xbsp;
+using namespace xbsp::sp;
+
+namespace
+{
+
+/** Exact (bitwise-value) equality of two SimPoint results. */
+void
+expectIdenticalResults(const SimPointResult& naive,
+                       const SimPointResult& accel,
+                       const std::string& context)
+{
+    SCOPED_TRACE(context);
+    EXPECT_EQ(naive.k, accel.k);
+    EXPECT_EQ(naive.labels, accel.labels);
+    EXPECT_EQ(naive.bicByK, accel.bicByK);
+    EXPECT_EQ(naive.chosenBic, accel.chosenBic);
+    ASSERT_EQ(naive.phases.size(), accel.phases.size());
+    for (std::size_t p = 0; p < naive.phases.size(); ++p) {
+        EXPECT_EQ(naive.phases[p].id, accel.phases[p].id);
+        EXPECT_EQ(naive.phases[p].representative,
+                  accel.phases[p].representative);
+        EXPECT_EQ(naive.phases[p].weight, accel.phases[p].weight);
+        EXPECT_EQ(naive.phases[p].members, accel.phases[p].members);
+    }
+}
+
+/** Exact equality of two runKMeans outputs. */
+void
+expectIdenticalKMeans(const KMeansResult& a, const KMeansResult& b)
+{
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.centroids, b.centroids);
+    EXPECT_EQ(a.clusterWeight, b.clusterWeight);
+    EXPECT_EQ(a.weightedSse, b.weightedSse);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.converged, b.converged);
+}
+
+/** Gaussian blobs with exact duplicate points mixed in. */
+ProjectedData
+blobData(std::size_t count, u32 dims, u32 blobs, u64 seed)
+{
+    Rng rng(seed);
+    ProjectedData data;
+    data.dims = dims;
+    data.count = count;
+    data.points.resize(count * dims);
+    data.weights.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t blob = i % blobs;
+        if (i >= blobs && i % 3 == 0) {
+            // Exact duplicate of an earlier point in the same blob.
+            for (u32 d = 0; d < dims; ++d)
+                data.points[i * dims + d] =
+                    data.points[(i - blobs) * dims + d];
+        } else {
+            for (u32 d = 0; d < dims; ++d)
+                data.points[i * dims + d] =
+                    10.0 * static_cast<double>(blob) +
+                    rng.nextGaussian();
+        }
+        data.weights[i] = rng.nextDouble(0.5, 2.0);
+    }
+    return data;
+}
+
+} // namespace
+
+TEST(KMeansEquiv, HamerlyMatchesNaiveAcrossKAndInit)
+{
+    const ProjectedData data = blobData(240, 8, 5, 77);
+    for (const InitMethod init :
+         {InitMethod::KMeansPlusPlus, InitMethod::RandomPartition}) {
+        for (const u32 k : {1u, 2u, 4u, 5u, 9u, 16u}) {
+            SCOPED_TRACE("init " + std::to_string(static_cast<int>(
+                             init)) + " k " + std::to_string(k));
+            KMeansOptions naiveOpts;
+            naiveOpts.init = init;
+            naiveOpts.accelerate = false;
+            KMeansOptions accelOpts = naiveOpts;
+            accelOpts.accelerate = true;
+            Rng rngA(k * 13 + 1);
+            Rng rngB = rngA;
+            expectIdenticalKMeans(
+                runKMeans(data, k, rngA, naiveOpts),
+                runKMeans(data, k, rngB, accelOpts));
+        }
+    }
+}
+
+TEST(KMeansEquiv, HamerlyMatchesNaiveOnDegenerateData)
+{
+    // All points identical: every re-seeding path triggers.
+    ProjectedData flat;
+    flat.dims = 3;
+    flat.count = 12;
+    flat.points.assign(flat.count * flat.dims, 0.25);
+    flat.weights.assign(flat.count, 1.0);
+    for (const u32 k : {1u, 3u, 12u}) {
+        KMeansOptions naiveOpts;
+        naiveOpts.accelerate = false;
+        KMeansOptions accelOpts;
+        accelOpts.accelerate = true;
+        Rng rngA(5);
+        Rng rngB = rngA;
+        expectIdenticalKMeans(runKMeans(flat, k, rngA, naiveOpts),
+                              runKMeans(flat, k, rngB, accelOpts));
+    }
+}
+
+/**
+ * The headline guarantee: the full accelerated pipeline (dedup +
+ * Hamerly + parallel sweep) is bit-identical to the naive pipeline
+ * on the FLI profile vectors of every binary of several workloads,
+ * with both 1 worker and several.
+ */
+TEST(ClusteringEquiv, AcceleratedPipelineBitIdenticalOnWorkloads)
+{
+    const std::vector<std::string> names{"gzip", "mcf", "swim"};
+    SimPointOptions naiveOpts;
+    naiveOpts.maxK = 10;
+    naiveOpts.accelerate = false;
+    SimPointOptions accelOpts = naiveOpts;
+    accelOpts.accelerate = true;
+
+    for (const std::string& name : names) {
+        const ir::Program program = workloads::makeWorkload(name, 1.0);
+        const std::vector<bin::Binary> bins =
+            compile::compileAllTargets(program);
+        ASSERT_EQ(bins.size(), 4u);
+        for (const bin::Binary& binary : bins) {
+            // A small interval target yields thousands of intervals
+            // with heavy exact duplication, so dedup, the Hamerly
+            // bounds and the parallel sweep are all genuinely hot.
+            const prof::ProfilePass pass =
+                prof::runProfilePass(binary, 10000);
+            ASSERT_GT(pass.fliIntervals.size(), 100u);
+            const std::string context =
+                name + " / " + binary.displayName();
+
+            setGlobalJobs(1);
+            const SimPointResult naive =
+                pickSimulationPoints(pass.fliIntervals, naiveOpts);
+            const SimPointResult accelSerial =
+                pickSimulationPoints(pass.fliIntervals, accelOpts);
+            setGlobalJobs(4);
+            const SimPointResult accelParallel =
+                pickSimulationPoints(pass.fliIntervals, accelOpts);
+            setGlobalJobs(0);
+
+            expectIdenticalResults(naive, accelSerial,
+                                   context + " (1 thread)");
+            expectIdenticalResults(naive, accelParallel,
+                                   context + " (4 threads)");
+        }
+    }
+}
+
+TEST(ClusteringEquiv, DedupCollapsesDuplicateHeavyInput)
+{
+    // Phase-structured input with exactly repeating vectors: dedup
+    // must collapse each repetition class to one representative and
+    // the clustering must still be bit-identical to naive.
+    FrequencyVectorSet fvs;
+    fvs.dimension = 64;
+    for (std::size_t i = 0; i < 300; ++i) {
+        const u32 phase = static_cast<u32>((i / 100) * 16);
+        SparseVec vec;
+        for (u32 d = 0; d < 4; ++d)
+            vec.emplace_back(phase + d, 10.0 * (d + 1));
+        fvs.addInterval(std::move(vec), 1000);
+    }
+    FrequencyVectorSet normalized = fvs;
+    normalized.normalize();
+    const DedupMap map = normalized.dedup();
+    EXPECT_EQ(map.classes(), 3u);
+    EXPECT_EQ(map.classOf.size(), 300u);
+    EXPECT_EQ(map.classLength[0], 100u * 1000u);
+
+    SimPointOptions naiveOpts;
+    naiveOpts.accelerate = false;
+    SimPointOptions accelOpts;
+    accelOpts.accelerate = true;
+    expectIdenticalResults(pickSimulationPoints(fvs, naiveOpts),
+                           pickSimulationPoints(fvs, accelOpts),
+                           "duplicate-heavy synthetic");
+}

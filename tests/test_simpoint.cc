@@ -97,6 +97,35 @@ TEST(Fvec, RejectsOutOfRangeIndex)
     EXPECT_DEATH(fvs.addInterval(bad, 1), "exceeds dimension");
 }
 
+TEST(Fvec, DedupGroupsEqualVectors)
+{
+    FrequencyVectorSet fvs;
+    fvs.dimension = 8;
+    for (int rep = 0; rep < 3; ++rep) {
+        fvs.addInterval(SparseVec{{0, 1.0}, {3, 2.0}}, 100);
+        fvs.addInterval(SparseVec{{1, 5.0}}, 200);
+    }
+    fvs.addInterval(SparseVec{{0, 1.0}, {3, 2.5}}, 300);
+    const DedupMap map = fvs.dedup();
+    EXPECT_EQ(map.classes(), 3u);
+    EXPECT_EQ(map.classOf,
+              (std::vector<u32>{0, 1, 0, 1, 0, 1, 2}));
+    EXPECT_EQ(map.firstOf, (std::vector<u32>{0, 1, 6}));
+    EXPECT_EQ(map.classLength,
+              (std::vector<InstrCount>{300, 600, 300}));
+}
+
+TEST(Fvec, DedupQuantumMergesNearEqualVectors)
+{
+    FrequencyVectorSet fvs;
+    fvs.dimension = 4;
+    fvs.addInterval(SparseVec{{0, 1.000}}, 10);
+    fvs.addInterval(SparseVec{{0, 1.004}}, 10); // same 0.01 bucket
+    fvs.addInterval(SparseVec{{0, 1.200}}, 10); // different bucket
+    EXPECT_EQ(fvs.dedup().classes(), 3u);
+    EXPECT_EQ(fvs.dedup(0.01).classes(), 2u);
+}
+
 TEST(Projection, ShapeAndDeterminism)
 {
     FrequencyVectorSet fvs = syntheticClusters(3, 10);
@@ -316,6 +345,66 @@ TEST(SimPointPick, SingleIntervalDegenerate)
     ASSERT_EQ(result.phases.size(), 1u);
     EXPECT_EQ(result.phases[0].representative, 0u);
     EXPECT_DOUBLE_EQ(result.phases[0].weight, 1.0);
+}
+
+TEST(SimPointPick, AllIdenticalIntervalsCollapseToOnePhase)
+{
+    // Every interval carries the same vector: BIC must settle on a
+    // single phase covering everything, under both clustering paths.
+    for (const bool accelerate : {false, true}) {
+        FrequencyVectorSet fvs;
+        fvs.dimension = 8;
+        for (int i = 0; i < 25; ++i)
+            fvs.addInterval(SparseVec{{1, 3.0}, {4, 9.0}}, 1000);
+        SimPointOptions options;
+        options.accelerate = accelerate;
+        const SimPointResult result =
+            pickSimulationPoints(fvs, options);
+        EXPECT_EQ(result.k, 1u) << "accelerate " << accelerate;
+        ASSERT_EQ(result.phases.size(), 1u);
+        EXPECT_DOUBLE_EQ(result.phases[0].weight, 1.0);
+        EXPECT_EQ(result.phases[0].members.size(), 25u);
+    }
+}
+
+TEST(SimPointPick, FewerIntervalsThanMaxK)
+{
+    // n < maxK (and n < default k range): k must clamp, every
+    // interval must be labelled, and weights must sum to 1.
+    FrequencyVectorSet fvs = syntheticClusters(3, 1); // 3 intervals
+    SimPointOptions options;
+    options.maxK = 10;
+    const SimPointResult result = pickSimulationPoints(fvs, options);
+    EXPECT_LE(result.k, 3u);
+    EXPECT_EQ(result.labels.size(), 3u);
+    double total = 0.0;
+    for (const Phase& phase : result.phases)
+        total += phase.weight;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SimPointPick, ZeroLengthIntervalsFallBackToCountWeights)
+{
+    // All lengths zero: instruction weighting is undefined, so the
+    // phase weights fall back to interval counts (still summing to
+    // 1) instead of collapsing to 0.
+    FrequencyVectorSet fvs;
+    fvs.dimension = 8;
+    for (int i = 0; i < 10; ++i)
+        fvs.addInterval(SparseVec{{2, 4.0}}, 0);
+    SimPointOptions options;
+    const SimPointResult result = pickSimulationPoints(fvs, options);
+    ASSERT_EQ(result.phases.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.phases[0].weight, 1.0);
+
+    FrequencyVectorSet mixed = syntheticClusters(2, 8);
+    for (std::size_t i = 0; i < mixed.size(); ++i)
+        mixed.lengths[i] = 0;
+    const SimPointResult multi = pickSimulationPoints(mixed, options);
+    double total = 0.0;
+    for (const Phase& phase : multi.phases)
+        total += phase.weight;
+    EXPECT_NEAR(total, 1.0, 1e-12);
 }
 
 TEST(SimPointPick, EmptyInputFatal)
