@@ -113,24 +113,33 @@ main(int argc, char** argv)
     std::ofstream json(jsonPath);
     if (!json)
         fatal("cannot write '{}'", jsonPath);
-    json << "{\n";
-    json << "  \"jobs\": " << configuredJobs() << ",\n";
-    json << "  \"workloads\": " << names.size() << ",\n";
-    json << format("  \"total_seconds\": {:.3f},\n", totalSeconds);
-    json << "  \"instructions_simulated\": " << instructions << ",\n";
-    json << format("  \"instructions_per_second\": {:.0f},\n",
-                   static_cast<double>(instructions) / totalSeconds);
-    json << "  \"clustering\": ";
-    bench::writeClusteringJsonArray(json, clustering, "  ");
-    json << ",\n";
-    json << "  \"figures\": [\n";
-    for (std::size_t i = 0; i < timings.size(); ++i) {
-        json << format("    {{\"name\": \"{}\", \"seconds\": {:.3f}}}",
-                       timings[i].name, timings[i].seconds);
-        json << (i + 1 < timings.size() ? ",\n" : "\n");
+    {
+        JsonWriter w(json);
+        w.beginObject();
+        w.member("jobs", configuredJobs());
+        w.member("workloads", names.size());
+        w.member("total_seconds", totalSeconds, 3);
+        w.member("instructions_simulated", instructions);
+        w.member("instructions_per_second",
+                 static_cast<double>(instructions) / totalSeconds, 0);
+        w.key("clustering");
+        bench::writeClusteringCases(w, clustering);
+        w.key("figures").beginArray();
+        for (const FigureTiming& t : timings) {
+            w.beginObject();
+            w.member("name", t.name);
+            w.member("seconds", t.seconds, 3);
+            w.endObject();
+        }
+        w.endArray();
+        // Pipeline-wide observability counters (engine event totals,
+        // dedup class structure, Hamerly rates) for run-over-run
+        // comparison; exact at any job count.
+        w.key("stats");
+        obs::StatRegistry::global().writeJson(w, false);
+        w.endObject();
+        json << '\n';
     }
-    json << "  ]\n";
-    json << "}\n";
     inform("wrote timing summary to {}", jsonPath);
     return 0;
 }

@@ -20,9 +20,10 @@
 #include <vector>
 
 #include "compile/compiler.hh"
+#include "obs/stats.hh"
 #include "profile/profile.hh"
 #include "simpoint/simpoint.hh"
-#include "util/format.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "workloads/workloads.hh"
@@ -58,6 +59,12 @@ struct ClusteringBenchResult
     double accelSeconds = 0.0;
     double speedup = 0.0;
     bool identical = false;          ///< accelerated == naive result
+    // Per-sweep work counts from the stats registry (exact event
+    // counts per single sweep; identical at any --jobs).
+    u64 naiveDistances = 0;          ///< naive E-step sqDist calls
+    u64 accelDistances = 0;          ///< accelerated E-step sqDist
+    u64 hamerlySkips = 0;            ///< classes proven by the bound
+    u64 hamerlyFallbacks = 0;        ///< classes fully re-scanned
 };
 
 /** Exact equality of the fields the paper's pipeline consumes. */
@@ -102,9 +109,14 @@ benchClusteringSweep(const ClusteringCase& bc,
     accelOpts.accelerate = true;
 
     using clock = std::chrono::steady_clock;
+    obs::StatRegistry& reg = obs::StatRegistry::global();
+    // Per-sweep work counts = counter delta across the rep loop over
+    // reps.  Every rep performs identical (deterministic) work, so
+    // the division is exact.
     auto timeSweep = [&](const sp::SimPointOptions& options,
-                         sp::SimPointResult& out) {
+                         sp::SimPointResult& out, u64& distances) {
         double best = std::numeric_limits<double>::max();
+        const u64 before = reg.counterValue("kmeans.estep.distances");
         for (int rep = 0; rep < reps; ++rep) {
             const auto start = clock::now();
             out = sp::pickSimulationPoints(pass.fliIntervals, options);
@@ -113,6 +125,9 @@ benchClusteringSweep(const ClusteringCase& bc,
                                                     start)
                           .count());
         }
+        distances = (reg.counterValue("kmeans.estep.distances") -
+                     before) /
+                    static_cast<u64>(reps);
         return best;
     };
 
@@ -121,8 +136,19 @@ benchClusteringSweep(const ClusteringCase& bc,
     result.intervals = pass.fliIntervals.size();
     result.dedupClasses = normalized.dedup().classes();
     sp::SimPointResult naive, accel;
-    result.naiveSeconds = timeSweep(naiveOpts, naive);
-    result.accelSeconds = timeSweep(accelOpts, accel);
+    const u64 skipsBefore = reg.counterValue("kmeans.hamerly.skips");
+    const u64 fallsBefore =
+        reg.counterValue("kmeans.hamerly.fallbacks");
+    result.naiveSeconds =
+        timeSweep(naiveOpts, naive, result.naiveDistances);
+    result.accelSeconds =
+        timeSweep(accelOpts, accel, result.accelDistances);
+    result.hamerlySkips =
+        (reg.counterValue("kmeans.hamerly.skips") - skipsBefore) /
+        static_cast<u64>(reps);
+    result.hamerlyFallbacks =
+        (reg.counterValue("kmeans.hamerly.fallbacks") - fallsBefore) /
+        static_cast<u64>(reps);
     result.speedup = result.naiveSeconds / result.accelSeconds;
     result.chosenK = accel.k;
     result.identical = identicalResults(naive, accel);
@@ -155,31 +181,43 @@ clusteringTable(const std::vector<ClusteringBenchResult>& results)
 }
 
 /**
- * Emit the measurements as a JSON array (no surrounding object), at
- * `indent` spaces of leading indentation — shared between the
- * standalone BENCH_clustering.json and the bench_all summary.
+ * Emit the measurements as a JSON array value on `w` (the caller has
+ * already placed the key) — shared between the standalone
+ * BENCH_clustering.json and the bench_all summary.  The per-case
+ * work counts (distance evaluations, Hamerly skip/fallback tallies)
+ * come from the stats registry and quantify *why* the accelerated
+ * sweep is faster, not just by how much.
  */
 inline void
-writeClusteringJsonArray(std::ostream& os,
-                         const std::vector<ClusteringBenchResult>&
-                             results,
-                         const std::string& indent)
+writeClusteringCases(JsonWriter& w,
+                     const std::vector<ClusteringBenchResult>& results)
 {
-    os << "[\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const ClusteringBenchResult& r = results[i];
-        os << indent << "  "
-           << format("{{\"workload\": \"{}\", \"intervals\": {}, "
-                     "\"dedup_classes\": {}, \"chosen_k\": {}, "
-                     "\"naive_seconds\": {:.4f}, "
-                     "\"accel_seconds\": {:.4f}, "
-                     "\"speedup\": {:.2f}, \"identical\": {}}}",
-                     r.workload, r.intervals, r.dedupClasses,
-                     r.chosenK, r.naiveSeconds, r.accelSeconds,
-                     r.speedup, r.identical ? "true" : "false");
-        os << (i + 1 < results.size() ? ",\n" : "\n");
+    w.beginArray();
+    for (const ClusteringBenchResult& r : results) {
+        w.beginObject();
+        w.member("workload", r.workload);
+        w.member("intervals", r.intervals);
+        w.member("dedup_classes", r.dedupClasses);
+        w.member("chosen_k", r.chosenK);
+        w.member("naive_seconds", r.naiveSeconds, 4);
+        w.member("accel_seconds", r.accelSeconds, 4);
+        w.member("speedup", r.speedup, 2);
+        w.member("identical", r.identical);
+        w.key("stats").beginObject();
+        w.member("naive_distances", r.naiveDistances);
+        w.member("accel_distances", r.accelDistances);
+        w.member("hamerly_skips", r.hamerlySkips);
+        w.member("hamerly_fallbacks", r.hamerlyFallbacks);
+        const u64 decisions = r.hamerlySkips + r.hamerlyFallbacks;
+        w.member("hamerly_skip_rate",
+                 decisions ? static_cast<double>(r.hamerlySkips) /
+                                 static_cast<double>(decisions)
+                           : 0.0,
+                 4);
+        w.endObject();
+        w.endObject();
     }
-    os << indent << "]";
+    w.endArray();
 }
 
 } // namespace xbsp::bench

@@ -94,12 +94,18 @@ main(int argc, char** argv)
     std::ofstream json(jsonPath);
     if (!json)
         fatal("cannot write '{}'", jsonPath);
-    json << "{\n";
-    json << "  \"jobs\": " << configuredJobs() << ",\n";
-    json << "  \"reps\": " << reps << ",\n";
-    json << "  \"cases\": ";
-    bench::writeClusteringJsonArray(json, results, "  ");
-    json << "\n}\n";
+    {
+        JsonWriter w(json);
+        w.beginObject();
+        w.member("jobs", configuredJobs());
+        w.member("reps", reps);
+        w.key("cases");
+        bench::writeClusteringCases(w, results);
+        w.key("stats");
+        obs::StatRegistry::global().writeJson(w, false);
+        w.endObject();
+        json << '\n';
+    }
     inform("wrote clustering summary to {}", jsonPath);
 
     for (const bench::ClusteringBenchResult& r : results) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -45,6 +47,7 @@ Engine::fireMarker(u32 markerId)
 {
     if (!dispatchMarkers)
         return;
+    ++markersFired;
     for (Observer* obs : markerObservers)
         obs->onMarker(markerId);
 }
@@ -54,6 +57,7 @@ Engine::execBlock(u32 blockId)
 {
     const bin::MachineBlock& blk = bin.blocks[blockId];
     instrCount += blk.instrs;
+    ++blocksExecuted;
 
     // Memory references are dispatched before the block-completion
     // event so that when onBlock fires, timing observers have already
@@ -79,6 +83,7 @@ Engine::execBlock(u32 blockId)
             ++st.stackCursor;
             refBuf.push_back({addr, isWrite});
         }
+        refsIssued += refBuf.size();
         if (!refBuf.empty()) {
             const std::span<const mem::MemRef> refs(refBuf);
             for (Observer* obs : memObservers)
@@ -148,9 +153,20 @@ Engine::run()
     if (ran)
         panic("Engine::run called twice; construct a fresh Engine");
     ran = true;
-    execProc(bin.entryProcId);
+    {
+        obs::TraceSpan span("engine.run", "exec");
+        execProc(bin.entryProcId);
+    }
     for (Observer* obs : allObservers)
         obs->onRunEnd();
+
+    auto& reg = obs::StatRegistry::global();
+    reg.counter("engine.runs").add();
+    reg.counter("engine.blocks").add(blocksExecuted);
+    reg.counter("engine.instrs").add(instrCount);
+    reg.counter("engine.memRefs").add(refsIssued);
+    reg.counter("engine.markers").add(markersFired);
+    reg.distribution("engine.instrsPerRun").sample(instrCount);
 }
 
 InstrCount

@@ -133,6 +133,12 @@ class Engine
     std::vector<mem::MemRef> refBuf;  ///< per-block batch scratch
     std::vector<Frame> frames;        ///< explicit walk stack
     InstrCount instrCount = 0;
+    // Event tallies kept as plain integers in the hot path and
+    // flushed to the stats registry once per run() (one atomic add
+    // per stat, so merged totals are exact at any worker count).
+    u64 blocksExecuted = 0;
+    u64 refsIssued = 0;
+    u64 markersFired = 0;
     // Dispatch flags hoisted out of the per-block hot path; kept in
     // sync by addObserver().
     bool dispatchBlocks = false;

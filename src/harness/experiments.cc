@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/threadpool.hh"
@@ -78,7 +80,10 @@ ExperimentSuite::runStudies(const std::vector<std::string>& workloads)
     // scheduling.
     std::vector<sim::CrossBinaryStudy> results(pending.size());
     std::vector<long long> elapsedMs(pending.size(), 0);
+    obs::StatRegistry::global().counter("harness.studies")
+        .add(pending.size());
     parallelFor(globalPool(), pending.size(), [&](std::size_t i) {
+        obs::TraceSpan span("workload " + pending[i], "harness");
         const auto start = std::chrono::steady_clock::now();
         ir::Program program =
             workloads::makeWorkload(pending[i], cfg.workScale);

@@ -1,0 +1,79 @@
+#include "obs/progress.hh"
+
+#include "util/logging.hh"
+
+namespace xbsp::obs
+{
+
+Progress&
+Progress::global()
+{
+    static Progress instance;
+    return instance;
+}
+
+void
+Progress::enable()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!started) {
+            start = std::chrono::steady_clock::now();
+            started = true;
+        }
+    }
+    active.store(true, std::memory_order_relaxed);
+}
+
+void
+Progress::disable()
+{
+    active.store(false, std::memory_order_relaxed);
+}
+
+void
+Progress::addSteps(u64 n)
+{
+    total.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+Progress::completeStep(std::string_view label)
+{
+    const u64 finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!enabled())
+        return;
+
+    double elapsed = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (started) {
+            elapsed = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        }
+    }
+    const u64 announced = total.load(std::memory_order_relaxed);
+    if (announced > finished && finished > 0) {
+        const double eta = elapsed / static_cast<double>(finished) *
+                           static_cast<double>(announced - finished);
+        inform("[{}/{}] {} (elapsed {:.1f}s, eta {:.1f}s)", finished,
+               announced, label, elapsed, eta);
+    } else {
+        inform("[{}/{}] {} (elapsed {:.1f}s)", finished,
+               announced > finished ? announced : finished, label,
+               elapsed);
+    }
+}
+
+void
+Progress::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    total.store(0, std::memory_order_relaxed);
+    done.store(0, std::memory_order_relaxed);
+    start = std::chrono::steady_clock::now();
+    started = true;
+}
+
+} // namespace xbsp::obs

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Coarse progress/ETA reporting for long study runs (--progress).
+ * Pipeline stages declare how many steps they will contribute with
+ * addSteps() and report each completion with completeStep(); the
+ * meter prints one "[done/total] label (elapsed Xs, eta Ys)" line per
+ * completion through the serialized log sink.  The ETA is a simple
+ * linear extrapolation — steps are heterogeneous, so it is a hint,
+ * not a promise.  Disabled (the default) the meter only counts.
+ */
+
+#ifndef XBSP_OBS_PROGRESS_HH
+#define XBSP_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace xbsp::obs
+{
+
+/** Process-wide step counter with optional ETA lines. */
+class Progress
+{
+  public:
+    Progress() = default;
+
+    Progress(const Progress&) = delete;
+    Progress& operator=(const Progress&) = delete;
+
+    /** The meter the pipeline reports into. */
+    static Progress& global();
+
+    /** Turn printing on/off (counting always happens). */
+    void enable();
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return active.load(std::memory_order_relaxed);
+    }
+
+    /** Announce `n` upcoming steps (callable from any stage). */
+    void addSteps(u64 n);
+
+    /** Report one finished step; prints an ETA line when enabled. */
+    void completeStep(std::string_view label);
+
+    /** Zero counts and restart the clock (tests, repeated runs). */
+    void reset();
+
+    u64
+    completed() const
+    {
+        return done.load(std::memory_order_relaxed);
+    }
+
+    u64
+    announced() const
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> active{false};
+    std::atomic<u64> total{0};
+    std::atomic<u64> done{0};
+    std::mutex mutex;
+    std::chrono::steady_clock::time_point start;
+    bool started = false;
+};
+
+} // namespace xbsp::obs
+
+#endif // XBSP_OBS_PROGRESS_HH

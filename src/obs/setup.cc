@@ -1,0 +1,130 @@
+#include "obs/setup.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/progress.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+
+namespace xbsp::obs
+{
+
+namespace
+{
+
+/** Option value if non-empty, else the environment variable. */
+std::string
+pathFrom(const std::string& optVal, const char* envName)
+{
+    if (!optVal.empty())
+        return optVal;
+    if (const char* env = std::getenv(envName))
+        return env;
+    return {};
+}
+
+void
+applyLogLevel(const std::string& fromOpt)
+{
+    std::string name = fromOpt;
+    if (name.empty()) {
+        if (const char* env = std::getenv("XBSP_LOG_LEVEL"))
+            name = env;
+    }
+    if (name.empty())
+        return;
+    if (auto level = parseLogLevel(name))
+        setLogLevel(*level);
+    else
+        warn("ignoring unknown log level '{}'", name);
+}
+
+} // namespace
+
+void
+addCliOptions(Options& opts)
+{
+    opts.addString("stats-out",
+                   "write the stats registry as JSON to this file "
+                   "(env: XBSP_STATS)",
+                   "");
+    opts.addString("trace-out",
+                   "write a Chrome trace_event JSON timeline to this "
+                   "file (env: XBSP_TRACE)",
+                   "");
+    opts.addString("log-level",
+                   "log verbosity: quiet|warn|inform|debug "
+                   "(env: XBSP_LOG_LEVEL)",
+                   "");
+    opts.addBool("progress", "print an ETA line per pipeline step",
+                 false);
+    opts.addBool("stats-timers",
+                 "include wall-clock timers in --stats-out (their "
+                 "values differ run to run)",
+                 false);
+}
+
+ObsSession::ObsSession(const Options& opts)
+    : statsPath(pathFrom(opts.getString("stats-out"), "XBSP_STATS")),
+      tracePath(pathFrom(opts.getString("trace-out"), "XBSP_TRACE")),
+      includeTimers(opts.getBool("stats-timers"))
+{
+    applyLogLevel(opts.getString("log-level"));
+    if (opts.getBool("progress"))
+        Progress::global().enable();
+    applyCommon();
+}
+
+ObsSession::ObsSession()
+    : statsPath(pathFrom({}, "XBSP_STATS")),
+      tracePath(pathFrom({}, "XBSP_TRACE"))
+{
+    applyLogLevel({});
+    applyCommon();
+}
+
+void
+ObsSession::applyCommon()
+{
+    if (!tracePath.empty())
+        TraceSession::global().enable();
+}
+
+void
+ObsSession::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+
+    if (!statsPath.empty()) {
+        std::ofstream os(statsPath);
+        if (!os) {
+            warn("cannot open stats output file '{}'", statsPath);
+        } else {
+            StatRegistry::global().writeJsonFile(os, includeTimers);
+            inform("wrote stats to {}", statsPath);
+        }
+    }
+
+    if (!tracePath.empty()) {
+        TraceSession::global().disable();
+        std::ofstream os(tracePath);
+        if (!os) {
+            warn("cannot open trace output file '{}'", tracePath);
+        } else {
+            TraceSession::global().writeJson(os);
+            inform("wrote trace to {}", tracePath);
+        }
+    }
+}
+
+ObsSession::~ObsSession()
+{
+    finish();
+}
+
+} // namespace xbsp::obs

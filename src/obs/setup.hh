@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Command-line and environment plumbing for the observability
+ * subsystem.  Tools declare the shared flags with addCliOptions(),
+ * then construct one ObsSession after parsing; the session enables
+ * tracing/progress/log level for the run and writes the stats and
+ * trace files when it is destroyed (i.e. after the workload ran).
+ *
+ * Flags (each with an environment fallback so wrapped invocations —
+ * CI, benches — can opt in without touching argv):
+ *
+ *   --stats-out=FILE    / XBSP_STATS=FILE    stats registry JSON
+ *   --trace-out=FILE    / XBSP_TRACE=FILE    Chrome trace JSON
+ *   --log-level=LEVEL   / XBSP_LOG_LEVEL=    quiet|warn|inform|debug
+ *   --progress                               per-step ETA lines
+ *   --stats-timers                           include wall-clock
+ *                                            timers in --stats-out
+ *                                            (breaks cross-jobs
+ *                                            byte-identity, off by
+ *                                            default)
+ */
+
+#ifndef XBSP_OBS_SETUP_HH
+#define XBSP_OBS_SETUP_HH
+
+#include <string>
+
+namespace xbsp
+{
+class Options;
+}
+
+namespace xbsp::obs
+{
+
+/** Declare the shared observability options on `opts`. */
+void addCliOptions(Options& opts);
+
+/**
+ * Applies parsed observability options for the lifetime of a tool
+ * run; the destructor writes any requested output files.
+ */
+class ObsSession
+{
+  public:
+    /** Read the flags declared by addCliOptions() (+ env). */
+    explicit ObsSession(const Options& opts);
+
+    /** Env-only configuration (benches without the shared flags). */
+    ObsSession();
+
+    /** Writes stats/trace files when requested; warns on failure. */
+    ~ObsSession();
+
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+    /** Flush output files now instead of at destruction. */
+    void finish();
+
+  private:
+    std::string statsPath;
+    std::string tracePath;
+    bool includeTimers = false;
+    bool finished = false;
+
+    void applyCommon();
+};
+
+} // namespace xbsp::obs
+
+#endif // XBSP_OBS_SETUP_HH

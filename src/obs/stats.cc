@@ -1,0 +1,243 @@
+#include "obs/stats.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace xbsp::obs
+{
+
+std::size_t
+distBucketOf(u64 value)
+{
+    return value == 0 ? 0 : std::bit_width(value);
+}
+
+void
+Distribution::sample(u64 value) const
+{
+    if (!data)
+        return;
+    data->count.fetch_add(1, std::memory_order_relaxed);
+    data->sum.fetch_add(value, std::memory_order_relaxed);
+    data->buckets[distBucketOf(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    // min/max via CAS loops: exact and commutative, so merged
+    // extrema match the single-threaded run.
+    u64 seen = data->min.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !data->min.compare_exchange_weak(seen, value,
+                                            std::memory_order_relaxed)) {
+    }
+    seen = data->max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !data->max.compare_exchange_weak(seen, value,
+                                            std::memory_order_relaxed)) {
+    }
+}
+
+StatRegistry&
+StatRegistry::global()
+{
+    static StatRegistry instance;
+    return instance;
+}
+
+const StatRegistry::Entry*
+StatRegistry::find(const std::string& path, Kind kind) const
+{
+    auto it = entries.find(path);
+    if (it == entries.end())
+        return nullptr;
+    if (it->second.kind != kind)
+        panic("stat '{}' registered with a different kind", path);
+    return &it->second;
+}
+
+StatRegistry::Entry&
+StatRegistry::getOrCreate(const std::string& path, Kind kind)
+{
+    auto [it, inserted] = entries.try_emplace(path);
+    if (!inserted) {
+        if (it->second.kind != kind)
+            panic("stat '{}' registered with a different kind", path);
+        return it->second;
+    }
+    it->second.kind = kind;
+    switch (kind) {
+      case Kind::Counter:
+        it->second.index = counters.size();
+        counters.emplace_back();
+        break;
+      case Kind::Distribution:
+        it->second.index = dists.size();
+        dists.emplace_back();
+        break;
+      case Kind::Timer:
+        it->second.index = timers.size();
+        timers.emplace_back();
+        break;
+    }
+    return it->second;
+}
+
+Counter
+StatRegistry::counter(const std::string& path)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return Counter(&counters[getOrCreate(path, Kind::Counter).index]);
+}
+
+Distribution
+StatRegistry::distribution(const std::string& path)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return Distribution(
+        &dists[getOrCreate(path, Kind::Distribution).index]);
+}
+
+Timer
+StatRegistry::timer(const std::string& path)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return Timer(&timers[getOrCreate(path, Kind::Timer).index]);
+}
+
+u64
+StatRegistry::counterValue(const std::string& path) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const Entry* entry = find(path, Kind::Counter);
+    return entry
+               ? counters[entry->index].value.load(
+                     std::memory_order_relaxed)
+               : 0;
+}
+
+u64
+StatRegistry::timerNanos(const std::string& path) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const Entry* entry = find(path, Kind::Timer);
+    return entry ? timers[entry->index].nanos.load(
+                       std::memory_order_relaxed)
+                 : 0;
+}
+
+DistributionSnapshot
+StatRegistry::distributionSnapshot(const std::string& path) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    DistributionSnapshot snap;
+    const Entry* entry = find(path, Kind::Distribution);
+    if (!entry)
+        return snap;
+    const detail::DistData& d = dists[entry->index];
+    snap.count = d.count.load(std::memory_order_relaxed);
+    snap.sum = d.sum.load(std::memory_order_relaxed);
+    snap.max = d.max.load(std::memory_order_relaxed);
+    const u64 rawMin = d.min.load(std::memory_order_relaxed);
+    snap.min = snap.count ? rawMin : 0;
+    for (std::size_t i = 0; i < detail::distBuckets; ++i)
+        snap.buckets[i] = d.buckets[i].load(std::memory_order_relaxed);
+    return snap;
+}
+
+void
+StatRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    for (detail::CounterData& c : counters)
+        c.value.store(0, std::memory_order_relaxed);
+    for (detail::DistData& d : dists) {
+        d.count.store(0, std::memory_order_relaxed);
+        d.sum.store(0, std::memory_order_relaxed);
+        d.min.store(~0ull, std::memory_order_relaxed);
+        d.max.store(0, std::memory_order_relaxed);
+        for (std::atomic<u64>& b : d.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
+    for (detail::TimerData& t : timers) {
+        t.nanos.store(0, std::memory_order_relaxed);
+        t.count.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+StatRegistry::writeJson(JsonWriter& w, bool includeTimers) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+
+    w.beginObject();
+
+    w.key("counters").beginObject();
+    for (const auto& [path, entry] : entries) {
+        if (entry.kind != Kind::Counter)
+            continue;
+        w.member(path, counters[entry.index].value.load(
+                           std::memory_order_relaxed));
+    }
+    w.endObject();
+
+    w.key("distributions").beginObject();
+    for (const auto& [path, entry] : entries) {
+        if (entry.kind != Kind::Distribution)
+            continue;
+        const detail::DistData& d = dists[entry.index];
+        const u64 count = d.count.load(std::memory_order_relaxed);
+        w.key(path).beginObject();
+        w.member("count", count);
+        w.member("sum", d.sum.load(std::memory_order_relaxed));
+        w.member("min",
+                 count ? d.min.load(std::memory_order_relaxed) : 0);
+        w.member("max", d.max.load(std::memory_order_relaxed));
+        // Trailing empty buckets carry no information; trimming keeps
+        // the dump readable without losing exactness.
+        std::size_t top = detail::distBuckets;
+        while (top > 0 &&
+               d.buckets[top - 1].load(std::memory_order_relaxed) == 0)
+            --top;
+        w.key("buckets").beginArray();
+        for (std::size_t i = 0; i < top; ++i)
+            w.value(d.buckets[i].load(std::memory_order_relaxed));
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    if (includeTimers) {
+        w.key("timers").beginObject();
+        for (const auto& [path, entry] : entries) {
+            if (entry.kind != Kind::Timer)
+                continue;
+            const detail::TimerData& t = timers[entry.index];
+            w.key(path).beginObject();
+            w.member("count", t.count.load(std::memory_order_relaxed));
+            w.member("nanos", t.nanos.load(std::memory_order_relaxed));
+            w.endObject();
+        }
+        w.endObject();
+    }
+
+    w.endObject();
+}
+
+void
+StatRegistry::writeJsonFile(std::ostream& os, bool includeTimers) const
+{
+    JsonWriter w(os);
+    writeJson(w, includeTimers);
+    os << '\n';
+}
+
+std::string
+StatRegistry::jsonString(bool includeTimers) const
+{
+    std::ostringstream os;
+    writeJsonFile(os, includeTimers);
+    return os.str();
+}
+
+} // namespace xbsp::obs

@@ -1,0 +1,100 @@
+#include "obs/trace.hh"
+
+#include "util/json.hh"
+#include "util/threadpool.hh"
+
+namespace xbsp::obs
+{
+
+TraceSession&
+TraceSession::global()
+{
+    static TraceSession instance;
+    return instance;
+}
+
+void
+TraceSession::enable()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!epochSet) {
+        epoch = std::chrono::steady_clock::now();
+        epochSet = true;
+    }
+    active.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSession::disable()
+{
+    active.store(false, std::memory_order_relaxed);
+}
+
+void
+TraceSession::record(std::string name, std::string_view category,
+                     std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end)
+{
+    if (!enabled())
+        return;
+    const unsigned tid = currentWorkerId();
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!epochSet)
+        return;
+    // Spans that started before enable() clamp to the epoch rather
+    // than going negative.
+    const auto t0 = start < epoch ? epoch : start;
+    const auto us = [this](std::chrono::steady_clock::time_point t) {
+        return static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                t - epoch)
+                .count());
+    };
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.category = category;
+    ev.startMicros = us(t0);
+    ev.durMicros = end > t0 ? us(end) - us(t0) : 0;
+    ev.tid = tid;
+    spans.push_back(std::move(ev));
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    spans.clear();
+}
+
+std::vector<TraceEvent>
+TraceSession::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return spans;
+}
+
+void
+TraceSession::writeJson(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    JsonWriter w(os);
+    w.beginObject();
+    w.member("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+    for (const TraceEvent& ev : spans) {
+        w.beginObject();
+        w.member("name", ev.name);
+        w.member("cat", ev.category);
+        w.member("ph", "X");
+        w.member("ts", ev.startMicros);
+        w.member("dur", ev.durMicros);
+        w.member("pid", 1);
+        w.member("tid", ev.tid);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace xbsp::obs

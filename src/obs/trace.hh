@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Chrome trace_event span recorder.  A TraceSession collects complete
+ * ("ph":"X") events and writes them in the Trace Event JSON format
+ * that chrome://tracing and Perfetto load directly.  TraceSpan is the
+ * RAII recorder: construction stamps the start, destruction appends
+ * one event tagged with the ThreadPool worker id that executed it
+ * (tid 0 = main thread), so the timeline shows exactly how study
+ * steps, k-means fits and engine slices were spread over workers.
+ *
+ * Tracing defaults to off: TraceSpan checks one atomic flag and does
+ * nothing when the session is disabled, so instrumentation can stay
+ * in hot-ish paths (study steps, per-fit, per-run — not per-block).
+ */
+
+#ifndef XBSP_OBS_TRACE_HH
+#define XBSP_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace xbsp::obs
+{
+
+/** One recorded complete event (microsecond timestamps). */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    u64 startMicros = 0;  ///< relative to session start
+    u64 durMicros = 0;
+    unsigned tid = 0;     ///< pool worker id (0 = main thread)
+};
+
+/** Collects spans; writes Chrome trace_event JSON. */
+class TraceSession
+{
+  public:
+    TraceSession() = default;
+
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+    /** The process-wide session TraceSpan records into by default. */
+    static TraceSession& global();
+
+    /** Start/stop recording; disabled sessions drop spans cheaply. */
+    void enable();
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return active.load(std::memory_order_relaxed);
+    }
+
+    /** Append one finished span (no-op while disabled). */
+    void record(std::string name, std::string_view category,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end);
+
+    /** Drop all recorded events (recording state unchanged). */
+    void clear();
+
+    /** Copy of the recorded events, for tests. */
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Write the whole document:
+     * {"displayTimeUnit":"ms","traceEvents":[...]}.
+     */
+    void writeJson(std::ostream& os) const;
+
+  private:
+    std::atomic<bool> active{false};
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> spans;
+    std::chrono::steady_clock::time_point epoch;
+    bool epochSet = false;
+};
+
+/**
+ * RAII span: records [ctor, dtor) into a session under the calling
+ * thread's worker id.  Name and category must name the *work*, not
+ * the worker — the tid carries the worker.
+ */
+class TraceSpan
+{
+  public:
+    /** Span on the global session. */
+    TraceSpan(std::string name, std::string_view category)
+        : TraceSpan(TraceSession::global(), std::move(name), category)
+    {
+    }
+
+    /** Span on an explicit session (tests, tools). */
+    TraceSpan(TraceSession& s, std::string name,
+              std::string_view category)
+        : session(s.enabled() ? &s : nullptr)
+    {
+        if (session) {
+            label = std::move(name);
+            cat = category;
+            start = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~TraceSpan()
+    {
+        if (session)
+            session->record(std::move(label), cat, start,
+                            std::chrono::steady_clock::now());
+    }
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+  private:
+    TraceSession* session;  ///< null when disabled at construction
+    std::string label;
+    std::string cat;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace xbsp::obs
+
+#endif // XBSP_OBS_TRACE_HH

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 
 namespace xbsp::prof
@@ -82,6 +85,8 @@ ProfilePass
 runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
                u64 seed)
 {
+    obs::TraceSpan span(
+        format("profile {}", binary.displayName()), "profile");
     exec::Engine engine(binary, seed);
     MarkerProfiler markers(binary);
     FliBbvCollector bbv(engine, fliTarget);
@@ -95,6 +100,11 @@ runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
     pass.fliIntervals = bbv.intervals();
     pass.fliBoundaries = bbv.boundaries();
     pass.totalInstructions = engine.instructionsExecuted();
+
+    auto& reg = obs::StatRegistry::global();
+    reg.counter("profile.passes").add();
+    reg.counter("profile.fliIntervals")
+        .add(pass.fliIntervals.size());
     return pass;
 }
 

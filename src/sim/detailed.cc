@@ -2,12 +2,19 @@
 
 #include <memory>
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "util/format.hh"
+
 namespace xbsp::sim
 {
 
 DetailedRunResult
 runDetailed(const bin::Binary& binary, const DetailedRunRequest& req)
 {
+    obs::TraceSpan span(
+        format("detailed {}", binary.displayName()), "sim");
+    obs::StatRegistry::global().counter("sim.detailedRuns").add();
     exec::Engine engine(binary, req.seed);
     cache::Hierarchy hierarchy(req.memory);
     cpu::InOrderCore core(hierarchy);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stats.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -65,6 +66,7 @@ estimateSampled(const sp::SimPointResult& clustering,
     est.estCpi = estCpi;
     est.estCycles = estCpi * static_cast<double>(est.totalInstrs);
     est.cpiError = relativeError(est.trueCpi, est.estCpi);
+    obs::StatRegistry::global().counter("sim.estimates").add();
     return est;
 }
 

@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#include "obs/progress.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/threadpool.hh"
@@ -23,12 +27,26 @@ CrossBinaryStudy::run(const ir::Program& program,
     study.cfg = config;
     study.name = program.name;
 
+    obs::TraceSpan studySpan(format("study {}", program.name),
+                             "study");
+    obs::Progress& progress = obs::Progress::global();
+    obs::StatRegistry::global().counter("study.runs").add();
+
     // 1. Compile the four standard binaries.
-    study.bins =
-        compile::compileAllTargets(program, config.compileOptions);
+    {
+        obs::TraceSpan span(format("compile {}", program.name),
+                            "study");
+        study.bins =
+            compile::compileAllTargets(program, config.compileOptions);
+    }
     if (config.primaryIdx >= study.bins.size())
         fatal("primary binary index {} out of range",
               config.primaryIdx);
+
+    // Step layout for --progress: compile, one profile pass per
+    // binary, the VLI build+cluster, one per-binary study step.
+    progress.addSteps(2 + 2 * study.bins.size());
+    progress.completeStep(format("study.{}.compile", program.name));
 
     ThreadPool& pool = globalPool();
 
@@ -42,6 +60,9 @@ CrossBinaryStudy::run(const ir::Program& program,
     parallelFor(pool, study.bins.size(), [&](std::size_t b) {
         passes[b] = prof::runProfilePass(
             study.bins[b], config.intervalTarget, config.engineSeed);
+        progress.completeStep(
+            format("study.{}.profile.{}", program.name,
+                   study.bins[b].displayName()));
     });
 
     // 3. Match mappable points across all binaries.
@@ -58,12 +79,18 @@ CrossBinaryStudy::run(const ir::Program& program,
               program.name);
 
     // 4. Build VLIs on the primary and cluster them.
-    core::VliBuild vliBuild = core::buildVliPartition(
-        study.bins[config.primaryIdx], study.mappableSet,
-        config.primaryIdx, config.intervalTarget, config.engineSeed);
-    study.vliPartition = vliBuild.partition;
-    study.vliCluster = sp::pickSimulationPoints(vliBuild.intervals,
-                                                config.simpoint);
+    {
+        obs::TraceSpan span(format("cluster {}", program.name),
+                            "study");
+        core::VliBuild vliBuild = core::buildVliPartition(
+            study.bins[config.primaryIdx], study.mappableSet,
+            config.primaryIdx, config.intervalTarget,
+            config.engineSeed);
+        study.vliPartition = vliBuild.partition;
+        study.vliCluster = sp::pickSimulationPoints(
+            vliBuild.intervals, config.simpoint);
+    }
+    progress.completeStep(format("study.{}.cluster", program.name));
 
     // 5/6/7. Per-binary clustering, detailed run and estimates.
     // Each iteration touches only its own BinaryStudy slot and reads
@@ -72,6 +99,20 @@ CrossBinaryStudy::run(const ir::Program& program,
     // results bit-identical to the sequential order.
     study.studies.resize(study.bins.size());
     parallelFor(pool, study.bins.size(), [&](std::size_t b) {
+        obs::TraceSpan span(
+            format("binary {} {}", program.name,
+                   study.bins[b].displayName()),
+            "study");
+        // Every exit of this step (including the early no-detailed
+        // return) counts it complete.
+        struct StepDone
+        {
+            obs::Progress& progress;
+            std::string label;
+            ~StepDone() { progress.completeStep(label); }
+        } stepDone{progress,
+                   format("study.{}.binary.{}", program.name,
+                          study.bins[b].displayName())};
         BinaryStudy& bs = study.studies[b];
         bs.target = study.bins[b].target;
         bs.totalInstrs = passes[b].totalInstructions;

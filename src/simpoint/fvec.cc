@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/stats.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -132,6 +133,19 @@ FrequencyVectorSet::dedup(double quantum) const
         map.classOf[i] = cls;
         map.classLength[cls] += lengths[i];
     }
+
+    auto& reg = obs::StatRegistry::global();
+    reg.counter("dedup.calls").add();
+    reg.counter("dedup.intervals").add(vectors.size());
+    reg.counter("dedup.classes").add(map.classes());
+    // One sample per class so the histogram shows how much arithmetic
+    // the per-class clustering path can share.
+    std::vector<u64> classSize(map.classes(), 0);
+    for (u32 cls : map.classOf)
+        ++classSize[cls];
+    obs::Distribution sizes = reg.distribution("dedup.classSize");
+    for (u64 size : classSize)
+        sizes.sample(size);
     return map;
 }
 

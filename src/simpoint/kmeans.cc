@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/stats.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
 
@@ -12,6 +13,35 @@ namespace xbsp::sp
 
 namespace
 {
+
+/**
+ * Registry handles for the k-means hot path, resolved once.  All are
+ * exact u64 event counts (never wall-clock), so totals are identical
+ * at any worker count; test_clustering_equiv relies on that to check
+ * the accelerated E-step against the naive one.
+ */
+struct KMeansStats
+{
+    obs::Counter fits;
+    obs::Counter distances;  ///< sqDist evaluations in E-steps
+    obs::Counter skips;      ///< Hamerly bound proved the owner
+    obs::Counter fallbacks;  ///< bound failed: full scan
+    obs::Distribution iterations;
+};
+
+KMeansStats&
+kmeansStats()
+{
+    auto& reg = obs::StatRegistry::global();
+    static KMeansStats stats{
+        reg.counter("kmeans.fits"),
+        reg.counter("kmeans.estep.distances"),
+        reg.counter("kmeans.hamerly.skips"),
+        reg.counter("kmeans.hamerly.fallbacks"),
+        reg.distribution("kmeans.iterations"),
+    };
+    return stats;
+}
 
 /**
  * Assign every point to its nearest centroid; returns weighted SSE.
@@ -31,6 +61,7 @@ assignLabels(const ProjectedData& data, const KMeansResult& res,
     parallelChunks(
         globalPool(), data.count,
         [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+            obs::ShardCounter distances(kmeansStats().distances);
             double sse = 0.0;
             for (std::size_t i = begin; i < end; ++i) {
                 double best = std::numeric_limits<double>::max();
@@ -46,6 +77,8 @@ assignLabels(const ProjectedData& data, const KMeansResult& res,
                 labels[i] = bestC;
                 sse += data.weights[i] * best;
             }
+            distances.add((end - begin) *
+                          static_cast<u64>(res.k));
             partialSse[chunk] = sse;
         });
     double sse = 0.0;
@@ -182,16 +215,23 @@ assignLabelsAccel(const ProjectedData& data, const KMeansResult& res,
     parallelChunks(
         globalPool(), state.classFirst.size(),
         [&](std::size_t begin, std::size_t end, std::size_t) {
+            obs::ShardCounter distances(kmeansStats().distances);
+            obs::ShardCounter skips(kmeansStats().skips);
+            obs::ShardCounter fallbacks(kmeansStats().fallbacks);
             for (std::size_t u = begin; u < end; ++u) {
                 const auto x = data.point(state.classFirst[u]);
                 const u32 a = state.ownerOf[u];
                 const double down =
                     sqDist(x, res.centroid(a, data.dims));
+                distances.add();
                 if (std::sqrt(down) <
                     std::max(guard[a], state.lower[u])) {
                     state.dOwn[u] = down;
+                    skips.add();
                     continue;
                 }
+                fallbacks.add();
+                distances.add(k);
                 // Fallback: the naive scan, verbatim, plus
                 // second-best tracking to refresh the lower bound.
                 double best = std::numeric_limits<double>::max();
@@ -432,6 +472,8 @@ runKMeans(const ProjectedData& data, u32 k, Rng& rng,
     std::fill(res.clusterWeight.begin(), res.clusterWeight.end(), 0.0);
     for (std::size_t i = 0; i < data.count; ++i)
         res.clusterWeight[res.labels[i]] += data.weights[i];
+    kmeansStats().fits.add();
+    kmeansStats().iterations.sample(res.iterations);
     return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/stats.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -47,9 +48,11 @@ project(const FrequencyVectorSet& fvs, u32 dims, u64 seed,
                 row[d] += val * prow[d];
         }
     };
+    auto& reg = obs::StatRegistry::global();
     if (dedup == nullptr) {
         for (std::size_t i = 0; i < fvs.size(); ++i)
             projectRow(i);
+        reg.counter("projection.rows.projected").add(fvs.size());
     } else {
         for (u32 first : dedup->firstOf)
             projectRow(first);
@@ -63,6 +66,10 @@ project(const FrequencyVectorSet& fvs, u32 dims, u64 seed,
         }
         out.classOf = dedup->classOf;
         out.classFirst = dedup->firstOf;
+        reg.counter("projection.rows.projected")
+            .add(dedup->firstOf.size());
+        reg.counter("projection.rows.copied")
+            .add(fvs.size() - dedup->firstOf.size());
     }
 
     // Instruction-length weights rescaled to sum to the point count.

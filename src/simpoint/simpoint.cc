@@ -2,6 +2,9 @@
 
 #include <limits>
 
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
 
@@ -50,6 +53,8 @@ pickFromNormalized(const FrequencyVectorSet& fvs,
     auto fitOne = [&](std::size_t f) {
         const u32 k = 1 + static_cast<u32>(f / options.seedsPerK);
         const u32 s = static_cast<u32>(f % options.seedsPerK);
+        obs::TraceSpan span(format("kmeans k={} seed={}", k, s),
+                            "cluster");
         Rng seedRng = rng.fork((static_cast<u64>(k) << 16) | s);
         fits[f] = runKMeans(data, k, seedRng, kmOpts);
     };
@@ -91,6 +96,11 @@ pickFromNormalized(const FrequencyVectorSet& fvs,
     }
 
     const KMeansResult& chosen = bestByK[chosenIdx];
+    {
+        auto& reg = obs::StatRegistry::global();
+        reg.counter("simpoint.sweeps").add();
+        reg.distribution("simpoint.chosenK").sample(chosen.k);
+    }
     SimPointResult out;
     out.k = chosen.k;
     out.labels = chosen.labels;

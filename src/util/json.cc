@@ -1,0 +1,214 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace xbsp
+{
+
+JsonWriter::JsonWriter(std::ostream& stream, int indent)
+    : os(stream), indentWidth(indent)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    // A half-open document is a caller bug; surface it loudly rather
+    // than writing syntactically broken JSON.
+    if (!stack.empty() || keyPending)
+        panic("JsonWriter destroyed with {} open container(s)",
+              stack.size());
+}
+
+void
+JsonWriter::writeIndent()
+{
+    os << '\n';
+    for (std::size_t i = 0; i < stack.size() * indentWidth; ++i)
+        os << ' ';
+}
+
+void
+JsonWriter::beforeItem()
+{
+    if (keyPending)
+        return; // the key already placed us after "name: "
+    if (stack.empty())
+        return; // top-level value
+    if (!stack.back().empty)
+        os << ',';
+    stack.back().empty = false;
+    writeIndent();
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    beforeItem();
+    keyPending = false;
+    os << '{';
+    stack.push_back({false, true});
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    if (stack.empty() || stack.back().array)
+        panic("JsonWriter::endObject without matching beginObject");
+    const bool wasEmpty = stack.back().empty;
+    stack.pop_back();
+    if (!wasEmpty)
+        writeIndent();
+    os << '}';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    beforeItem();
+    keyPending = false;
+    os << '[';
+    stack.push_back({true, true});
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    if (stack.empty() || !stack.back().array)
+        panic("JsonWriter::endArray without matching beginArray");
+    const bool wasEmpty = stack.back().empty;
+    stack.pop_back();
+    if (!wasEmpty)
+        writeIndent();
+    os << ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::key(std::string_view name)
+{
+    if (stack.empty() || stack.back().array)
+        panic("JsonWriter::key outside an object");
+    if (keyPending)
+        panic("JsonWriter::key '{}' while a key awaits its value",
+              name);
+    beforeItem();
+    os << '"' << escape(name) << "\": ";
+    keyPending = true;
+    return *this;
+}
+
+void
+JsonWriter::scalar(std::string_view rendered)
+{
+    beforeItem();
+    keyPending = false;
+    os << rendered;
+}
+
+JsonWriter&
+JsonWriter::value(std::string_view text)
+{
+    beforeItem();
+    keyPending = false;
+    os << '"' << escape(text) << '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(const char* text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter&
+JsonWriter::value(bool flag)
+{
+    scalar(flag ? "true" : "false");
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::intValue(long long number)
+{
+    scalar(std::to_string(number));
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::uintValue(unsigned long long number)
+{
+    scalar(std::to_string(number));
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::value(double number, int decimals)
+{
+    if (!std::isfinite(number))
+        return null();
+    char buf[64];
+    if (decimals >= 0)
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, number);
+    else
+        std::snprintf(buf, sizeof(buf), "%.17g", number);
+    scalar(buf);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::null()
+{
+    scalar("null");
+    return *this;
+}
+
+std::string
+JsonWriter::escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace xbsp

@@ -1,26 +1,80 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+
+#include "util/threadpool.hh"
 
 namespace xbsp
 {
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Inform;
+
+std::atomic<LogLevel> globalLevel{LogLevel::Inform};
+
+/** Serializes every sink so concurrent lines never interleave. */
+std::mutex sinkMutex;
+
+/** One formatted line: optional worker prefix, tag, message. */
+void
+emitLine(const char* tag, std::string_view msg)
+{
+    const unsigned worker = currentWorkerId();
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    if (worker > 0) {
+        std::fprintf(stderr, "[w%u] %s: %.*s\n", worker, tag,
+                     static_cast<int>(msg.size()), msg.data());
+    } else {
+        std::fprintf(stderr, "%s: %.*s\n", tag,
+                     static_cast<int>(msg.size()), msg.data());
+    }
+}
+
 } // namespace
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+std::optional<LogLevel>
+parseLogLevel(std::string_view name)
+{
+    if (name == "quiet")
+        return LogLevel::Quiet;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "inform" || name == "info")
+        return LogLevel::Inform;
+    if (name == "debug")
+        return LogLevel::Debug;
+    return std::nullopt;
+}
+
+std::string_view
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet:
+        return "quiet";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Inform:
+        return "inform";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "unknown";
 }
 
 namespace detail
@@ -29,44 +83,36 @@ namespace detail
 void
 panicImpl(std::string_view msg)
 {
-    std::fprintf(stderr, "panic: %.*s\n",
-                 static_cast<int>(msg.size()), msg.data());
+    emitLine("panic", msg);
     std::abort();
 }
 
 void
 fatalImpl(std::string_view msg)
 {
-    std::fprintf(stderr, "fatal: %.*s\n",
-                 static_cast<int>(msg.size()), msg.data());
+    emitLine("fatal", msg);
     std::exit(1);
 }
 
 void
 warnImpl(std::string_view msg)
 {
-    if (globalLevel >= LogLevel::Warn) {
-        std::fprintf(stderr, "warn: %.*s\n",
-                     static_cast<int>(msg.size()), msg.data());
-    }
+    if (logLevel() >= LogLevel::Warn)
+        emitLine("warn", msg);
 }
 
 void
 informImpl(std::string_view msg)
 {
-    if (globalLevel >= LogLevel::Inform) {
-        std::fprintf(stderr, "info: %.*s\n",
-                     static_cast<int>(msg.size()), msg.data());
-    }
+    if (logLevel() >= LogLevel::Inform)
+        emitLine("info", msg);
 }
 
 void
 debugImpl(std::string_view msg)
 {
-    if (globalLevel >= LogLevel::Debug) {
-        std::fprintf(stderr, "debug: %.*s\n",
-                     static_cast<int>(msg.size()), msg.data());
-    }
+    if (logLevel() >= LogLevel::Debug)
+        emitLine("debug", msg);
 }
 
 } // namespace detail

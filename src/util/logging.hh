@@ -4,11 +4,18 @@
  * invariant violations, fatal() for user errors, warn()/inform() for
  * status messages.  All printf-style formatting is done with
  * std::format-compatible syntax via a small vformat wrapper.
+ *
+ * The sinks are thread-safe: one mutex serializes every line so
+ * messages from pool workers never interleave mid-line, and a message
+ * emitted from a worker thread is prefixed with its pool index
+ * ("[w3] warn: ..."), so interleaved pipeline output remains
+ * attributable.
  */
 
 #ifndef XBSP_UTIL_LOGGING_HH
 #define XBSP_UTIL_LOGGING_HH
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -23,8 +30,18 @@ enum class LogLevel { Quiet, Warn, Inform, Debug };
 /** Process-wide verbosity; messages above this level are dropped. */
 LogLevel logLevel();
 
-/** Set the process-wide verbosity. */
+/** Set the process-wide verbosity (thread-safe). */
 void setLogLevel(LogLevel level);
+
+/**
+ * Parse a level name ("quiet", "warn", "inform"/"info", "debug");
+ * nullopt when the name matches none (the --log-level / XBSP_LOG_LEVEL
+ * plumbing decides whether that is fatal or merely warned about).
+ */
+std::optional<LogLevel> parseLogLevel(std::string_view name);
+
+/** Canonical lowercase name of a level. */
+std::string_view logLevelName(LogLevel level);
 
 namespace detail
 {

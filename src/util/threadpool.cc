@@ -15,6 +15,9 @@ namespace
 /** The pool (if any) the calling thread is a worker of. */
 thread_local const ThreadPool* tlsWorkerPool = nullptr;
 
+/** 1-based index within that pool (0 on non-worker threads). */
+thread_local unsigned tlsWorkerIndex = 0;
+
 /** Upper bound on worker counts; protects against absurd --jobs. */
 constexpr unsigned maxJobs = 512;
 
@@ -27,7 +30,7 @@ ThreadPool::ThreadPool(unsigned threads)
     threads = std::min(threads, maxJobs);
     workers.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-        workers.emplace_back([this]() { workerLoop(); });
+        workers.emplace_back([this, i]() { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -66,10 +69,17 @@ ThreadPool::enqueue(std::function<void()> fn)
     wake.notify_one();
 }
 
+unsigned
+currentWorkerId()
+{
+    return tlsWorkerIndex;
+}
+
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned index)
 {
     tlsWorkerPool = this;
+    tlsWorkerIndex = index;
     for (;;) {
         std::function<void()> task;
         {

@@ -89,8 +89,16 @@ class ThreadPool
     bool stopping = false;
 
     void enqueue(std::function<void()> fn);
-    void workerLoop();
+    void workerLoop(unsigned index);
 };
+
+/**
+ * 1-based pool index of the calling thread when it is a worker of
+ * *some* ThreadPool, 0 otherwise (the main thread and any foreign
+ * thread).  Used to tag log lines ("[w3] ...") and trace spans with
+ * the worker that produced them.
+ */
+unsigned currentWorkerId();
 
 /** Number of chunks parallel loops split `n` items into (n only). */
 std::size_t parallelChunkCount(std::size_t n);

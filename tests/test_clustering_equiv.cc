@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "compile/compiler.hh"
+#include "obs/stats.hh"
 #include "profile/profile.hh"
 #include "simpoint/simpoint.hh"
 #include "util/threadpool.hh"
@@ -176,6 +177,67 @@ TEST(ClusteringEquiv, AcceleratedPipelineBitIdenticalOnWorkloads)
                                    context + " (4 threads)");
         }
     }
+}
+
+/**
+ * The accelerated path must not just match the naive result — its
+ * observability counters must show *why* it is cheaper: the naive
+ * sweep never touches the Hamerly counters, the accelerated sweep
+ * proves most class assignments by the bound (skips > 0) and
+ * evaluates strictly fewer E-step distances.
+ */
+TEST(ClusteringEquiv, StatsQuantifyAcceleration)
+{
+    const ir::Program program = workloads::makeWorkload("gzip", 1.0);
+    const bin::Binary binary =
+        compile::compileProgram(program, bin::target32o);
+    const prof::ProfilePass pass = prof::runProfilePass(binary, 10000);
+    ASSERT_GT(pass.fliIntervals.size(), 100u);
+
+    SimPointOptions naiveOpts;
+    naiveOpts.maxK = 10;
+    naiveOpts.accelerate = false;
+    SimPointOptions accelOpts = naiveOpts;
+    accelOpts.accelerate = true;
+
+    obs::StatRegistry& reg = obs::StatRegistry::global();
+    auto snapshot = [&reg]() {
+        struct Work
+        {
+            u64 distances, skips, fallbacks;
+        };
+        return Work{reg.counterValue("kmeans.estep.distances"),
+                    reg.counterValue("kmeans.hamerly.skips"),
+                    reg.counterValue("kmeans.hamerly.fallbacks")};
+    };
+
+    const auto base = snapshot();
+    const SimPointResult naive =
+        pickSimulationPoints(pass.fliIntervals, naiveOpts);
+    const auto afterNaive = snapshot();
+    const SimPointResult accel =
+        pickSimulationPoints(pass.fliIntervals, accelOpts);
+    const auto afterAccel = snapshot();
+    expectIdenticalResults(naive, accel, "gzip/32o stats run");
+
+    // The naive sweep counts distances but never consults the bound.
+    const u64 naiveDistances = afterNaive.distances - base.distances;
+    EXPECT_GT(naiveDistances, 0u);
+    EXPECT_EQ(afterNaive.skips, base.skips);
+    EXPECT_EQ(afterNaive.fallbacks, base.fallbacks);
+
+    // The accelerated sweep skips real work and pays fewer distances.
+    const u64 accelDistances =
+        afterAccel.distances - afterNaive.distances;
+    EXPECT_GT(accelDistances, 0u);
+    EXPECT_LT(accelDistances, naiveDistances);
+    EXPECT_GT(afterAccel.skips - afterNaive.skips, 0u);
+
+    // The sweep-level stats moved too: one sweep per engine, each
+    // sampling the same chosen k into the distribution.
+    EXPECT_GE(reg.counterValue("simpoint.sweeps"), 2u);
+    EXPECT_GT(reg.counterValue("kmeans.fits"), 0u);
+    EXPECT_GT(reg.counterValue("dedup.calls"), 0u);
 }
 
 TEST(ClusteringEquiv, DedupCollapsesDuplicateHeavyInput)

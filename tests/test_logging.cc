@@ -32,3 +32,20 @@ TEST(Logging, LevelsControlOutput)
     EXPECT_EQ(logLevel(), LogLevel::Debug);
     setLogLevel(saved);
 }
+
+TEST(Logging, ParseLogLevelNamesRoundTrip)
+{
+    for (const LogLevel level :
+         {LogLevel::Quiet, LogLevel::Warn, LogLevel::Inform,
+          LogLevel::Debug}) {
+        const auto parsed = parseLogLevel(logLevelName(level));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, level);
+    }
+    // "info" is accepted as an alias for inform.
+    ASSERT_TRUE(parseLogLevel("info").has_value());
+    EXPECT_EQ(*parseLogLevel("info"), LogLevel::Inform);
+    EXPECT_FALSE(parseLogLevel("loud").has_value());
+    EXPECT_FALSE(parseLogLevel("").has_value());
+    EXPECT_FALSE(parseLogLevel("WARN").has_value());
+}

@@ -24,6 +24,7 @@
 #include "binary/binary.hh"
 #include "core/regionspec.hh"
 #include "harness/experiments.hh"
+#include "obs/setup.hh"
 #include "profile/profile.hh"
 #include "sim/report.hh"
 #include "sim/study.hh"
@@ -204,9 +205,12 @@ main(int argc, char** argv)
     options.addString("regions", "region-spec output prefix", "");
     options.addBool("stats", "dump gem5-style stats (study)", false);
     options.addJobs();
+    obs::addCliOptions(options);
     if (!options.parse(argc, argv))
         return 0;
     options.applyJobs();
+    // Writes --stats-out / --trace-out files when main returns.
+    obs::ObsSession obsSession(options);
 
     if (options.positional().empty()) {
         options.printHelp();
