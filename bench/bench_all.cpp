@@ -11,14 +11,19 @@
  * instructions-simulated-per-second rate of the study pipeline.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 
 #include "bench_clustering_common.hh"
 #include "bench_common.hh"
+#include "obs/stats.hh"
+#include "store/store.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
+#include "workloads/workloads.hh"
 
 using namespace xbsp;
 
@@ -141,5 +146,72 @@ main(int argc, char** argv)
         json << '\n';
     }
     inform("wrote timing summary to {}", jsonPath);
+
+    // Artifact-store cold/warm benchmark: each workload's full study
+    // runs twice against a scratch cache directory — the cold run
+    // populates it, the warm run reassembles the study from cached
+    // artifacts.  The timing pairs land in BENCH_store.json.
+    {
+        namespace fs = std::filesystem;
+        const fs::path cacheDir = "BENCH_store.cache";
+        std::error_code ec;
+        fs::remove_all(cacheDir, ec);
+        store::ArtifactStore::configureGlobal(
+            {cacheDir.string(), true});
+
+        struct StoreTiming
+        {
+            std::string workload;
+            double coldSeconds = 0.0;
+            double warmSeconds = 0.0;
+            u64 warmHits = 0;
+        };
+        std::vector<StoreTiming> storeTimings;
+        obs::StatRegistry& registry = obs::StatRegistry::global();
+        for (const std::string& name : names) {
+            const ir::Program program =
+                workloads::makeWorkload(name, config.workScale);
+            StoreTiming t;
+            t.workload = name;
+            auto start = clock::now();
+            sim::CrossBinaryStudy::run(program, config.study);
+            t.coldSeconds =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+            const u64 hits0 = registry.counterValue("store.hits");
+            start = clock::now();
+            sim::CrossBinaryStudy::run(program, config.study);
+            t.warmSeconds =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+            t.warmHits = registry.counterValue("store.hits") - hits0;
+            storeTimings.push_back(std::move(t));
+        }
+        store::ArtifactStore::configureGlobal({});
+        fs::remove_all(cacheDir, ec);
+
+        std::ofstream storeJson("BENCH_store.json");
+        if (!storeJson)
+            fatal("cannot write 'BENCH_store.json'");
+        JsonWriter w(storeJson);
+        w.beginObject();
+        w.member("jobs", configuredJobs());
+        w.key("workloads").beginArray();
+        for (const StoreTiming& t : storeTimings) {
+            w.beginObject();
+            w.member("workload", t.workload);
+            w.member("cold_seconds", t.coldSeconds, 3);
+            w.member("warm_seconds", t.warmSeconds, 3);
+            w.member("speedup",
+                     t.coldSeconds / std::max(t.warmSeconds, 1e-9),
+                     1);
+            w.member("warm_store_hits", t.warmHits);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        storeJson << '\n';
+        inform("wrote store cold/warm summary to BENCH_store.json");
+    }
     return 0;
 }

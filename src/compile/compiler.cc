@@ -4,6 +4,9 @@
 #include <cmath>
 #include <map>
 
+#include "binary/serial.hh"
+#include "ir/serial.hh"
+#include "store/store.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -292,13 +295,39 @@ class Lowering
 
 } // namespace
 
+namespace
+{
+
+/** Cache key of one (program, target, options) compilation. */
+serial::Hash128
+compileKey(const ir::Program& program, const bin::Target& target,
+           const CompileOptions& options)
+{
+    serial::Hasher h;
+    h.str("compile");
+    ir::hashProgram(h, program);
+    bin::hashTarget(h, target);
+    h.boolean(options.enableInlining);
+    h.boolean(options.enableUnrolling);
+    h.boolean(options.enableLoopSplitting);
+    h.u32v(options.unrollFactor);
+    h.u64v(options.jitterSeed);
+    return h.finish();
+}
+
+} // namespace
+
 bin::Binary
 compileProgram(const ir::Program& program, const bin::Target& target,
                const CompileOptions& options)
 {
     ir::validate(program);
-    Lowering lowering(program, target, options);
-    return lowering.run();
+    return store::ArtifactStore::global()
+        .getOrCompute<bin::BinaryCodec>(
+            compileKey(program, target, options), "compile", [&] {
+                Lowering lowering(program, target, options);
+                return lowering.run();
+            });
 }
 
 std::vector<bin::Target>

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "binary/serial.hh"
+#include "core/serial.hh"
+#include "store/store.hh"
 #include "util/logging.hh"
 
 namespace xbsp::core
@@ -80,10 +83,42 @@ VliBbvCollector::onRunEnd()
     }
 }
 
+namespace
+{
+VliBuild buildVliPartitionUncached(const bin::Binary& primary,
+                                   const MappableSet& mappable,
+                                   std::size_t primaryIdx,
+                                   InstrCount targetSize, u64 seed);
+} // namespace
+
 VliBuild
 buildVliPartition(const bin::Binary& primary,
                   const MappableSet& mappable, std::size_t primaryIdx,
                   InstrCount targetSize, u64 seed)
+{
+    serial::Hasher h;
+    h.str("vli");
+    bin::hashBinary(h, primary);
+    hashMappable(h, mappable);
+    h.u64v(primaryIdx);
+    h.u64v(targetSize);
+    h.u64v(seed);
+    return store::ArtifactStore::global().getOrCompute<VliBuildCodec>(
+        h.finish(), "vli", [&] {
+            return buildVliPartitionUncached(primary, mappable,
+                                             primaryIdx, targetSize,
+                                             seed);
+        });
+}
+
+namespace
+{
+
+VliBuild
+buildVliPartitionUncached(const bin::Binary& primary,
+                          const MappableSet& mappable,
+                          std::size_t primaryIdx,
+                          InstrCount targetSize, u64 seed)
 {
     exec::Engine engine(primary, seed);
     VliBbvCollector collector(engine, mappable, primaryIdx,
@@ -97,6 +132,8 @@ buildVliPartition(const bin::Binary& primary,
     build.totalInstructions = engine.instructionsExecuted();
     return build;
 }
+
+} // namespace
 
 BoundaryTracker::BoundaryTracker(const MappableSet& set,
                                  std::size_t bIdx,

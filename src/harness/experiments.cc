@@ -5,6 +5,7 @@
 
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "store/store.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 #include "util/threadpool.hh"
@@ -97,6 +98,13 @@ ExperimentSuite::runStudies(const std::vector<std::string>& workloads)
         if (cfg.verbose)
             inform("study {} done in {} ms", pending[i], elapsedMs[i]);
         cache.emplace(pending[i], std::move(results[i]));
+    }
+    if (cfg.verbose && store::ArtifactStore::global().enabled()) {
+        auto& reg = obs::StatRegistry::global();
+        inform("artifact store: {} hits, {} misses ({})",
+               reg.counterValue("store.hits"),
+               reg.counterValue("store.misses"),
+               store::ArtifactStore::global().directory());
     }
 }
 

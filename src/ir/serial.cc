@@ -1,0 +1,72 @@
+#include "ir/serial.hh"
+
+namespace xbsp::ir
+{
+
+namespace
+{
+
+// Statement-kind discriminants folded ahead of each variant so that
+// e.g. a Block followed by a Loop can never alias a different
+// statement sequence with the same field values.
+constexpr u64 kindBlock = 1;
+constexpr u64 kindLoop = 2;
+constexpr u64 kindCall = 3;
+
+void
+hashStmts(serial::Hasher& h, const std::vector<Stmt>& body)
+{
+    h.u64v(body.size());
+    for (const Stmt& stmt : body) {
+        if (const auto* block = std::get_if<Block>(&stmt)) {
+            h.u64v(kindBlock);
+            h.u32v(block->line);
+            h.u32v(block->instrs);
+            h.u32v(block->memOps);
+            hashMemPattern(h, block->pattern);
+        } else if (const auto* loop = std::get_if<Loop>(&stmt)) {
+            h.u64v(kindLoop);
+            h.u32v(loop->line);
+            h.u64v(loop->tripCount);
+            h.boolean(loop->unrollable);
+            h.boolean(loop->splittable);
+            hashStmts(h, loop->body);
+        } else {
+            const auto& call = std::get<Call>(stmt);
+            h.u64v(kindCall);
+            h.u32v(call.line);
+            h.str(call.callee);
+        }
+    }
+}
+
+} // namespace
+
+void
+hashMemPattern(serial::Hasher& h, const MemPattern& pattern)
+{
+    h.u64v(static_cast<u64>(pattern.kind));
+    h.u32v(pattern.regionId);
+    h.u64v(pattern.workingSet);
+    h.u64v(pattern.stride);
+    h.f64(pattern.writeFraction);
+    h.f64(pattern.pointerScale);
+    h.f64(pattern.hotFraction);
+    h.u32v(pattern.driftPeriod);
+    h.f64(pattern.driftAmp);
+}
+
+void
+hashProgram(serial::Hasher& h, const Program& program)
+{
+    h.str(program.name);
+    h.str(program.entry);
+    h.u64v(program.procedures.size());
+    for (const Procedure& proc : program.procedures) {
+        h.str(proc.name);
+        h.u64v(static_cast<u64>(proc.inlineHint));
+        hashStmts(h, proc.body);
+    }
+}
+
+} // namespace xbsp::ir

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Content hashing of the source-level IR.  The fold visits every
+ * semantic field (names, trip counts, memory patterns, statement
+ * structure) so two programs hash alike only when the compiler would
+ * treat them identically — this is the "workload" half of the
+ * compile-stage cache key.
+ */
+
+#ifndef XBSP_IR_SERIAL_HH
+#define XBSP_IR_SERIAL_HH
+
+#include "ir/program.hh"
+#include "util/serial.hh"
+
+namespace xbsp::ir
+{
+
+/** Fold one memory pattern into `h`. */
+void hashMemPattern(serial::Hasher& h, const MemPattern& pattern);
+
+/** Fold a whole program (structure + all semantic fields) into `h`. */
+void hashProgram(serial::Hasher& h, const Program& program);
+
+} // namespace xbsp::ir
+
+#endif // XBSP_IR_SERIAL_HH

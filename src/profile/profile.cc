@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "binary/serial.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "profile/serial.hh"
+#include "store/store.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 
@@ -81,9 +84,35 @@ FliBbvCollector::onRunEnd()
     }
 }
 
+namespace
+{
+
+ProfilePass runProfilePassUncached(const bin::Binary& binary,
+                                   InstrCount fliTarget, u64 seed);
+
+} // namespace
+
 ProfilePass
 runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
                u64 seed)
+{
+    serial::Hasher h;
+    h.str("profile");
+    bin::hashBinary(h, binary);
+    h.u64v(fliTarget);
+    h.u64v(seed);
+    return store::ArtifactStore::global()
+        .getOrCompute<ProfilePassCodec>(h.finish(), "profile", [&] {
+            return runProfilePassUncached(binary, fliTarget, seed);
+        });
+}
+
+namespace
+{
+
+ProfilePass
+runProfilePassUncached(const bin::Binary& binary, InstrCount fliTarget,
+                       u64 seed)
 {
     obs::TraceSpan span(
         format("profile {}", binary.displayName()), "profile");
@@ -107,5 +136,7 @@ runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
         .add(pass.fliIntervals.size());
     return pass;
 }
+
+} // namespace
 
 } // namespace xbsp::prof

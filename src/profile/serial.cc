@@ -1,0 +1,38 @@
+#include "profile/serial.hh"
+
+namespace xbsp::prof
+{
+
+void
+encodeProfilePass(serial::Encoder& e, const ProfilePass& pass)
+{
+    e.varint(pass.markers.counts.size());
+    for (u64 count : pass.markers.counts)
+        e.varint(count);
+    e.varint(pass.markers.totalInstructions);
+    sp::encodeFvs(e, pass.fliIntervals);
+    e.varint(pass.fliBoundaries.size());
+    for (InstrCount boundary : pass.fliBoundaries)
+        e.varint(boundary);
+    e.varint(pass.totalInstructions);
+}
+
+ProfilePass
+decodeProfilePass(serial::Decoder& d)
+{
+    ProfilePass pass;
+    const u64 counts = d.arrayCount();
+    pass.markers.counts.reserve(static_cast<std::size_t>(counts));
+    for (u64 i = 0; i < counts; ++i)
+        pass.markers.counts.push_back(d.varint());
+    pass.markers.totalInstructions = d.varint();
+    pass.fliIntervals = sp::decodeFvs(d);
+    const u64 boundaries = d.arrayCount();
+    pass.fliBoundaries.reserve(static_cast<std::size_t>(boundaries));
+    for (u64 i = 0; i < boundaries; ++i)
+        pass.fliBoundaries.push_back(d.varint());
+    pass.totalInstructions = d.varint();
+    return pass;
+}
+
+} // namespace xbsp::prof

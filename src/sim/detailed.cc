@@ -2,15 +2,62 @@
 
 #include <memory>
 
+#include "binary/serial.hh"
+#include "core/serial.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "sim/serial.hh"
+#include "store/store.hh"
 #include "util/format.hh"
 
 namespace xbsp::sim
 {
 
+namespace
+{
+
+DetailedRunResult runDetailedUncached(const bin::Binary& binary,
+                                      const DetailedRunRequest& req);
+
+/** Cache key of one detailed run: binary + every request knob. */
+serial::Hash128
+detailedKey(const bin::Binary& binary, const DetailedRunRequest& req)
+{
+    serial::Hasher h;
+    h.str("detailed");
+    bin::hashBinary(h, binary);
+    h.u64v(req.fliBoundaries.size());
+    for (InstrCount boundary : req.fliBoundaries)
+        h.u64v(boundary);
+    h.boolean(req.partition != nullptr);
+    if (req.partition) {
+        core::hashMappable(h, *req.mappable);
+        h.u64v(req.binaryIdx);
+        core::hashPartition(h, *req.partition);
+    }
+    hashHierarchy(h, req.memory);
+    h.u64v(req.seed);
+    return h.finish();
+}
+
+} // namespace
+
 DetailedRunResult
 runDetailed(const bin::Binary& binary, const DetailedRunRequest& req)
+{
+    return store::ArtifactStore::global()
+        .getOrCompute<DetailedRunCodec>(
+            detailedKey(binary, req), "detailed", [&] {
+                return runDetailedUncached(binary, req);
+            });
+}
+
+namespace
+{
+
+DetailedRunResult
+runDetailedUncached(const bin::Binary& binary,
+                    const DetailedRunRequest& req)
 {
     obs::TraceSpan span(
         format("detailed {}", binary.displayName()), "sim");
@@ -55,5 +102,7 @@ runDetailed(const bin::Binary& binary, const DetailedRunRequest& req)
         result.vliIntervals = vli->intervals();
     return result;
 }
+
+} // namespace
 
 } // namespace xbsp::sim

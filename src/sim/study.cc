@@ -23,6 +23,12 @@ CrossBinaryStudy
 CrossBinaryStudy::run(const ir::Program& program,
                       const StudyConfig& config)
 {
+    // Every stage called below (compileAllTargets, runProfilePass,
+    // buildVliPartition, pickSimulationPoints, runDetailed) is
+    // memoized through store::ArtifactStore::global(), keyed by the
+    // exact hash of its inputs.  A warm run therefore reads every
+    // artifact from disk and reassembles this struct bit-identically
+    // — the study itself needs no cache logic of its own.
     CrossBinaryStudy study;
     study.cfg = config;
     study.name = program.name;

@@ -12,10 +12,15 @@ namespace xbsp::sp
 void
 writeBbvFile(std::ostream& os, const FrequencyVectorSet& fvs)
 {
+    // %.17g guarantees strtod() recovers the exact double on read —
+    // the text BBV path round-trips bit-for-bit like the binary store.
+    char buf[64];
     for (const SparseVec& vec : fvs.vectors) {
         os << "T";
-        for (const auto& [idx, val] : vec)
-            os << ":" << (idx + 1) << ":" << val << " ";
+        for (const auto& [idx, val] : vec) {
+            std::snprintf(buf, sizeof(buf), "%.17g", val);
+            os << ":" << (idx + 1) << ":" << buf << " ";
+        }
         os << "\n";
     }
 }
@@ -62,6 +67,16 @@ readBbvFile(std::istream& is, u32 dimensionHint)
             maxIdx = std::max(maxIdx, static_cast<u32>(idx - 1));
         }
         std::sort(interval.vec.begin(), interval.vec.end());
+        // Merge duplicate dimension entries (SimPoint frequency
+        // semantics: repeated ids on one line accumulate).
+        SparseVec merged;
+        for (const auto& [idx, val] : interval.vec) {
+            if (!merged.empty() && merged.back().first == idx)
+                merged.back().second += val;
+            else
+                merged.emplace_back(idx, val);
+        }
+        interval.vec = std::move(merged);
         raw.push_back(std::move(interval));
     }
 

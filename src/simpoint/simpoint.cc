@@ -4,6 +4,8 @@
 
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "simpoint/serial.hh"
+#include "store/store.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
@@ -177,6 +179,23 @@ pickFromNormalized(const FrequencyVectorSet& fvs,
     return out;
 }
 
+/**
+ * Cache key of one clustering run.  Hashed over the *raw* (pre-
+ * normalization) vectors, which is what both public overloads
+ * receive; the consuming overload normalizes in place, so the key
+ * must be derived before the input is mutated.
+ */
+serial::Hash128
+simPointKey(const FrequencyVectorSet& fvs,
+            const SimPointOptions& options)
+{
+    serial::Hasher h;
+    h.str("simpoint");
+    hashFvs(h, fvs);
+    hashSimPointOptions(h, options);
+    return h.finish();
+}
+
 } // namespace
 
 SimPointResult
@@ -185,9 +204,12 @@ pickSimulationPoints(const FrequencyVectorSet& fvs,
 {
     if (fvs.size() == 0)
         fatal("SimPoint called with no intervals");
-    FrequencyVectorSet normalized = fvs;
-    normalized.normalize();
-    return pickFromNormalized(normalized, options);
+    return store::ArtifactStore::global().getOrCompute<SimPointCodec>(
+        simPointKey(fvs, options), "simpoint", [&] {
+            FrequencyVectorSet normalized = fvs;
+            normalized.normalize();
+            return pickFromNormalized(normalized, options);
+        });
 }
 
 SimPointResult
@@ -196,8 +218,12 @@ pickSimulationPoints(FrequencyVectorSet&& fvs,
 {
     if (fvs.size() == 0)
         fatal("SimPoint called with no intervals");
-    fvs.normalize();
-    return pickFromNormalized(fvs, options);
+    const serial::Hash128 key = simPointKey(fvs, options);
+    return store::ArtifactStore::global().getOrCompute<SimPointCodec>(
+        key, "simpoint", [&] {
+            fvs.normalize();
+            return pickFromNormalized(fvs, options);
+        });
 }
 
 } // namespace xbsp::sp

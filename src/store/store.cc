@@ -1,0 +1,409 @@
+#include "store/store.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace xbsp::store
+{
+
+namespace
+{
+
+/** Entry file magic ("XBSA" = xbsp artifact). */
+constexpr u32 entryMagic = serial::fourcc("XBSA");
+
+/** On-disk container format version (bump on layout changes). */
+constexpr u32 storeFormatVersion = 1;
+
+/** Fixed header: magic, format, type tag, type version, payload size. */
+constexpr std::size_t headerBytes = 4 * 4 + 8;
+
+/** Trailing payload checksum. */
+constexpr std::size_t checksumBytes = 8;
+
+constexpr const char* entrySuffix = ".art";
+
+obs::Counter
+counter(const std::string& path)
+{
+    return obs::StatRegistry::global().counter(path);
+}
+
+/** Read a whole file; nullopt when it cannot be opened. */
+std::optional<std::string>
+slurp(const fs::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::string data;
+    in.seekg(0, std::ios::end);
+    const auto size = in.tellg();
+    if (size < 0)
+        return std::nullopt;
+    data.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!in)
+        return std::nullopt;
+    return data;
+}
+
+/** True when `name` looks like an in-flight/leftover temp file. */
+bool
+isTempName(const std::string& name)
+{
+    return name.find(".tmp.") != std::string::npos;
+}
+
+bool
+isEntryName(const std::string& name)
+{
+    return name.size() > 4 &&
+           name.compare(name.size() - 4, 4, entrySuffix) == 0;
+}
+
+struct EntryInfo
+{
+    fs::path path;
+    u64 bytes = 0;
+    fs::file_time_type mtime;
+};
+
+/** All .art entries under `dir` (silently empty on errors). */
+std::vector<EntryInfo>
+listEntries(const fs::path& dir, u64* tempFiles,
+            std::vector<fs::path>* temps)
+{
+    std::vector<EntryInfo> entries;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(dir, ec), end;
+    for (; !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const std::string name = it->path().filename().string();
+        if (isTempName(name)) {
+            if (tempFiles)
+                ++*tempFiles;
+            if (temps)
+                temps->push_back(it->path());
+            continue;
+        }
+        if (!isEntryName(name))
+            continue;
+        EntryInfo info;
+        info.path = it->path();
+        info.bytes = it->file_size(ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        info.mtime = it->last_write_time(ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        entries.push_back(std::move(info));
+    }
+    return entries;
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(StoreConfig config)
+{
+    configure(std::move(config));
+}
+
+ArtifactStore&
+ArtifactStore::global()
+{
+    static ArtifactStore* store = [] {
+        auto* s = new ArtifactStore;
+        StoreConfig config;
+        if (const char* env = std::getenv("XBSP_CACHE_DIR");
+            env && *env) {
+            config.dir = env;
+            config.enabled = true;
+        }
+        s->configure(std::move(config));
+        return s;
+    }();
+    return *store;
+}
+
+void
+ArtifactStore::configureGlobal(StoreConfig config)
+{
+    global().configure(std::move(config));
+}
+
+void
+ArtifactStore::configure(StoreConfig config)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    cfg = std::move(config);
+    if (cfg.dir.empty())
+        cfg.enabled = false;
+    on.store(cfg.enabled, std::memory_order_release);
+    writeWarned.store(false, std::memory_order_relaxed);
+}
+
+std::string
+ArtifactStore::directory() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return cfg.dir;
+}
+
+std::string
+ArtifactStore::entryPath(const serial::Hash128& key) const
+{
+    const std::string hex = key.hex();
+    const fs::path dir(directory());
+    return (dir / hex.substr(0, 2) / (hex + entrySuffix)).string();
+}
+
+void
+ArtifactStore::countHit(const char* stage) const
+{
+    counter("store.hits").add();
+    counter(std::string("store.stage.") + stage + ".hits").add();
+}
+
+void
+ArtifactStore::countMiss(const char* stage) const
+{
+    counter("store.misses").add();
+    counter(std::string("store.stage.") + stage + ".misses").add();
+}
+
+void
+ArtifactStore::warnWriteOnce(const std::string& what)
+{
+    if (!writeWarned.exchange(true, std::memory_order_relaxed))
+        warn("store: cannot write to cache '{}' ({}); continuing "
+             "without persisting artifacts", directory(), what);
+}
+
+std::optional<std::string>
+ArtifactStore::readEntry(const serial::Hash128& key, u32 typeTag,
+                         u32 typeVersion)
+{
+    const std::string dir = directory();
+    if (dir.empty())
+        return std::nullopt;
+    const fs::path path(entryPath(key));
+    std::optional<std::string> raw = slurp(path);
+    if (!raw)
+        return std::nullopt;  // plain miss
+
+    // Validate container framing; any violation evicts the entry.
+    std::optional<std::string> payload;
+    try {
+        serial::Decoder d(*raw);
+        if (d.fixed32() != entryMagic)
+            throw serial::DecodeError("bad magic");
+        if (const u32 v = d.fixed32(); v != storeFormatVersion)
+            throw serial::DecodeError(
+                "store format version " + std::to_string(v));
+        if (const u32 tag = d.fixed32(); tag != typeTag)
+            throw serial::DecodeError("type tag mismatch");
+        if (const u32 v = d.fixed32(); v != typeVersion)
+            throw serial::DecodeError(
+                "type version " + std::to_string(v) + " != " +
+                std::to_string(typeVersion));
+        const u64 size = d.fixed64();
+        if (size != raw->size() - headerBytes - checksumBytes)
+            throw serial::DecodeError("payload size mismatch");
+        payload = raw->substr(headerBytes,
+                              static_cast<std::size_t>(size));
+        serial::Decoder tail(std::string_view(*raw).substr(
+            headerBytes + static_cast<std::size_t>(size)));
+        if (tail.fixed64() != serial::hash64(*payload))
+            throw serial::DecodeError("payload checksum mismatch");
+    } catch (const serial::DecodeError& e) {
+        evictEntry(key, e.what());
+        return std::nullopt;
+    }
+
+    counter("store.bytes_read").add(raw->size());
+    // Bump the mtime so LRU garbage collection sees the use; best
+    // effort (read-only caches stay readable, just FIFO-collected).
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    return payload;
+}
+
+void
+ArtifactStore::writeEntry(const serial::Hash128& key, u32 typeTag,
+                          u32 typeVersion, std::string_view payload)
+{
+    const std::string dir = directory();
+    if (dir.empty())
+        return;
+    const fs::path finalPath(entryPath(key));
+    std::error_code ec;
+    fs::create_directories(finalPath.parent_path(), ec);
+    if (ec) {
+        warnWriteOnce(ec.message());
+        return;
+    }
+
+    // Unique temp name per (process, write): rename is atomic within
+    // the shard directory, so readers only ever see complete entries.
+    const fs::path tempPath =
+        finalPath.string() + ".tmp." +
+        std::to_string(static_cast<u64>(::getpid())) + "." +
+        std::to_string(tempSeq.fetch_add(1));
+    {
+        serial::Encoder header;
+        header.fixed32(entryMagic);
+        header.fixed32(storeFormatVersion);
+        header.fixed32(typeTag);
+        header.fixed32(typeVersion);
+        header.fixed64(payload.size());
+        std::ofstream out(tempPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warnWriteOnce("cannot open temp file");
+            return;
+        }
+        const std::string_view head = header.view();
+        out.write(head.data(),
+                  static_cast<std::streamsize>(head.size()));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        serial::Encoder tail;
+        tail.fixed64(serial::hash64(payload));
+        out.write(tail.view().data(), checksumBytes);
+        out.flush();
+        if (!out) {
+            warnWriteOnce("short write");
+            out.close();
+            fs::remove(tempPath, ec);
+            return;
+        }
+    }
+    fs::rename(tempPath, finalPath, ec);
+    if (ec) {
+        warnWriteOnce(ec.message());
+        fs::remove(tempPath, ec);
+        return;
+    }
+    counter("store.bytes_written")
+        .add(headerBytes + payload.size() + checksumBytes);
+}
+
+void
+ArtifactStore::evictEntry(const serial::Hash128& key,
+                          const std::string& why)
+{
+    const fs::path path(entryPath(key));
+    warn("store: evicting entry {} ({}); recomputing",
+         path.filename().string(), why);
+    std::error_code ec;
+    fs::remove(path, ec);
+    counter("store.evictions").add();
+}
+
+CacheScan
+ArtifactStore::scan() const
+{
+    CacheScan result;
+    const std::string dir = directory();
+    if (dir.empty())
+        return result;
+    for (const EntryInfo& e :
+         listEntries(dir, &result.tempFiles, nullptr)) {
+        ++result.entries;
+        result.bytes += e.bytes;
+    }
+    return result;
+}
+
+GcResult
+ArtifactStore::gc(u64 byteBudget)
+{
+    GcResult result;
+    const std::string dir = directory();
+    if (dir.empty())
+        return result;
+
+    // Stray temp files are always garbage (crashed writers).
+    std::vector<fs::path> temps;
+    u64 tempCount = 0;
+    std::vector<EntryInfo> entries =
+        listEntries(dir, &tempCount, &temps);
+    std::error_code ec;
+    for (const fs::path& t : temps)
+        fs::remove(t, ec);
+
+    u64 total = 0;
+    for (const EntryInfo& e : entries)
+        total += e.bytes;
+    // Oldest first: mtime is bumped on every hit, so this is LRU.
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryInfo& a, const EntryInfo& b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const EntryInfo& e : entries) {
+        if (total <= byteBudget) {
+            ++result.keptEntries;
+            result.keptBytes += e.bytes;
+            continue;
+        }
+        fs::remove(e.path, ec);
+        if (ec) {
+            ec.clear();
+            ++result.keptEntries;
+            result.keptBytes += e.bytes;
+            continue;
+        }
+        total -= e.bytes;
+        ++result.removedEntries;
+        result.removedBytes += e.bytes;
+        counter("store.evictions").add();
+    }
+    return result;
+}
+
+u64
+ArtifactStore::clear()
+{
+    const std::string dir = directory();
+    if (dir.empty())
+        return 0;
+    std::vector<fs::path> temps;
+    u64 tempCount = 0;
+    std::vector<EntryInfo> entries =
+        listEntries(dir, &tempCount, &temps);
+    u64 removed = 0;
+    std::error_code ec;
+    for (const EntryInfo& e : entries) {
+        fs::remove(e.path, ec);
+        if (!ec)
+            ++removed;
+        ec.clear();
+    }
+    for (const fs::path& t : temps) {
+        fs::remove(t, ec);
+        if (!ec)
+            ++removed;
+        ec.clear();
+    }
+    return removed;
+}
+
+} // namespace xbsp::store

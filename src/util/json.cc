@@ -168,45 +168,109 @@ JsonWriter::null()
     return *this;
 }
 
+namespace
+{
+
+void
+appendUnicodeEscape(std::string& out, unsigned codepoint)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\u%04x", codepoint);
+    out += buf;
+}
+
+} // namespace
+
 std::string
 JsonWriter::escape(std::string_view text)
 {
+    // Beyond the mandatory JSON escapes, the string is scanned as
+    // UTF-8: encoded surrogate code points (which real UTF-8 forbids
+    // but sloppy producers emit) become \uXXXX escapes and invalid
+    // bytes become U+FFFD, so the emitted document is always valid
+    // UTF-8 *and* valid JSON no matter what the key or name held.
     std::string out;
     out.reserve(text.size());
-    for (const char c : text) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\b':
-            out += "\\b";
-            break;
-          case '\f':
-            out += "\\f";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
+    const auto* bytes =
+        reinterpret_cast<const unsigned char*>(text.data());
+    const std::size_t n = text.size();
+    auto continuation = [&](std::size_t i) {
+        return i < n && (bytes[i] & 0xc0) == 0x80;
+    };
+    for (std::size_t i = 0; i < n;) {
+        const unsigned char c = bytes[i];
+        if (c < 0x80) {
+            switch (c) {
+              case '"':
+                out += "\\\"";
+                break;
+              case '\\':
+                out += "\\\\";
+                break;
+              case '\b':
+                out += "\\b";
+                break;
+              case '\f':
+                out += "\\f";
+                break;
+              case '\n':
+                out += "\\n";
+                break;
+              case '\r':
+                out += "\\r";
+                break;
+              case '\t':
+                out += "\\t";
+                break;
+              default:
+                if (c < 0x20)
+                    appendUnicodeEscape(out, c);
+                else
+                    out += static_cast<char>(c);
             }
+            ++i;
+            continue;
         }
+        if (c >= 0xc2 && c <= 0xdf && continuation(i + 1)) {
+            out.append(text, i, 2);
+            i += 2;
+            continue;
+        }
+        if (c >= 0xe0 && c <= 0xef && continuation(i + 1) &&
+            continuation(i + 2)) {
+            const unsigned codepoint =
+                (static_cast<unsigned>(c & 0x0f) << 12) |
+                (static_cast<unsigned>(bytes[i + 1] & 0x3f) << 6) |
+                static_cast<unsigned>(bytes[i + 2] & 0x3f);
+            if (codepoint < 0x800) {           // overlong
+                appendUnicodeEscape(out, 0xfffd);
+            } else if (codepoint >= 0xd800 && codepoint <= 0xdfff) {
+                // Encoded (lone) surrogate: escape rather than emit
+                // bytes no UTF-8 validator accepts.
+                appendUnicodeEscape(out, codepoint);
+            } else {
+                out.append(text, i, 3);
+            }
+            i += 3;
+            continue;
+        }
+        if (c >= 0xf0 && c <= 0xf4 && continuation(i + 1) &&
+            continuation(i + 2) && continuation(i + 3)) {
+            const unsigned codepoint =
+                (static_cast<unsigned>(c & 0x07) << 18) |
+                (static_cast<unsigned>(bytes[i + 1] & 0x3f) << 12) |
+                (static_cast<unsigned>(bytes[i + 2] & 0x3f) << 6) |
+                static_cast<unsigned>(bytes[i + 3] & 0x3f);
+            if (codepoint < 0x10000 || codepoint > 0x10ffff)
+                appendUnicodeEscape(out, 0xfffd);  // overlong/range
+            else
+                out.append(text, i, 4);
+            i += 4;
+            continue;
+        }
+        // Stray continuation byte, truncated sequence or 0xf5..0xff.
+        appendUnicodeEscape(out, 0xfffd);
+        ++i;
     }
     return out;
 }

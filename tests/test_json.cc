@@ -1,0 +1,95 @@
+/**
+ * @file
+ * JsonWriter string-escaping tests: every byte sequence — control
+ * characters, encoded lone surrogates, overlong encodings, stray
+ * continuation bytes — must come out as valid UTF-8 *and* valid JSON.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+using namespace xbsp;
+
+TEST(JsonEscape, MandatoryShortEscapes)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(JsonWriter::escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+}
+
+TEST(JsonEscape, AllControlCharactersBecomeUnicodeEscapes)
+{
+    for (unsigned c = 0; c < 0x20; ++c) {
+        const std::string in(1, static_cast<char>(c));
+        const std::string out = JsonWriter::escape(in);
+        // Never a raw control byte in the output.
+        for (char b : out)
+            EXPECT_GE(static_cast<unsigned char>(b), 0x20u)
+                << "control 0x" << std::hex << c;
+        EXPECT_EQ(out.front(), '\\');
+    }
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x1f')), "\\u001f");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x00')), "\\u0000");
+}
+
+TEST(JsonEscape, ValidUtf8PassesThroughUntouched)
+{
+    const std::string two = "caf\xc3\xa9";             // é
+    const std::string three = "\xe2\x82\xac";          // €
+    const std::string four = "\xf0\x9f\x98\x80";       // 😀
+    EXPECT_EQ(JsonWriter::escape(two), two);
+    EXPECT_EQ(JsonWriter::escape(three), three);
+    EXPECT_EQ(JsonWriter::escape(four), four);
+}
+
+TEST(JsonEscape, EncodedLoneSurrogatesBecomeUnicodeEscapes)
+{
+    // UTF-8-encoded U+D800 (low end) and U+DFFF (high end): CESU-8
+    // style bytes that strict validators reject.  They must be
+    // re-emitted as \uXXXX escapes, never as raw bytes.
+    EXPECT_EQ(JsonWriter::escape("\xed\xa0\x80"), "\\ud800");
+    EXPECT_EQ(JsonWriter::escape("\xed\xbf\xbf"), "\\udfff");
+    EXPECT_EQ(JsonWriter::escape("x\xed\xb2\xa9y"), "x\\udca9y");
+}
+
+TEST(JsonEscape, InvalidBytesBecomeReplacementCharacter)
+{
+    // Stray continuation byte.
+    EXPECT_EQ(JsonWriter::escape("\x80"), "\\ufffd");
+    // Lead byte with no continuation.
+    EXPECT_EQ(JsonWriter::escape("\xc3"), "\\ufffd");
+    // Truncated three-byte sequence.
+    EXPECT_EQ(JsonWriter::escape("\xe2\x82"), "\\ufffd\\ufffd");
+    // Bytes that can never appear in UTF-8.
+    EXPECT_EQ(JsonWriter::escape("\xfe\xff"), "\\ufffd\\ufffd");
+    // Overlong two-byte NUL (0xc0 0x80) is outside the 0xc2..0xdf
+    // lead range, so both bytes are replaced.
+    EXPECT_EQ(JsonWriter::escape("\xc0\x80"), "\\ufffd\\ufffd");
+    // Overlong three-byte encoding of '/' (0xe0 0x80 0xaf).
+    EXPECT_EQ(JsonWriter::escape("\xe0\x80\xaf"), "\\ufffd");
+    // Four-byte sequence beyond U+10FFFF.
+    EXPECT_EQ(JsonWriter::escape("\xf4\x90\x80\x80"), "\\ufffd");
+}
+
+TEST(JsonEscape, MixedGarbageStaysAlignedWithValidText)
+{
+    const std::string out =
+        JsonWriter::escape("ok\x01\xed\xa0\xbd\xf0\x9f\x98\x80\xffz");
+    EXPECT_EQ(out, "ok\\u0001\\ud83d\xf0\x9f\x98\x80\\ufffdz");
+}
+
+TEST(JsonEscape, FullDocumentWithHostileKeyStillWellFormed)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.member("na\nme\x02", std::string_view("\xed\xa0\x80\x80"));
+        w.endObject();
+    }
+    EXPECT_EQ(os.str(),
+              "{\n  \"na\\nme\\u0002\": \"\\ud800\\ufffd\"\n}");
+}

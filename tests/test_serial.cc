@@ -1,0 +1,318 @@
+/**
+ * @file
+ * The serialization substrate of the artifact store: varint/fixed/f64
+ * framing edge cases, the frozen content-hash function (digests are
+ * pinned — changing them invalidates every on-disk artifact, which
+ * must be a deliberate store-format bump), and bit-exact round trips
+ * of every domain codec the store persists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "binary/serial.hh"
+#include "core/serial.hh"
+#include "profile/serial.hh"
+#include "sim/serial.hh"
+#include "simpoint/serial.hh"
+#include "test_support.hh"
+#include "util/serial.hh"
+
+using namespace xbsp;
+
+TEST(Serial, VarintRoundTripEdgeValues)
+{
+    const u64 values[] = {0,
+                          1,
+                          127,
+                          128,
+                          16383,
+                          16384,
+                          (1ull << 32) - 1,
+                          1ull << 32,
+                          std::numeric_limits<u64>::max() - 1,
+                          std::numeric_limits<u64>::max()};
+    serial::Encoder e;
+    for (u64 v : values)
+        e.varint(v);
+    serial::Decoder d(e.view());
+    for (u64 v : values)
+        EXPECT_EQ(d.varint(), v);
+    d.expectEnd();
+}
+
+TEST(Serial, VarintEncodingIsMinimalLength)
+{
+    serial::Encoder one;
+    one.varint(127);
+    EXPECT_EQ(one.size(), 1u);
+    serial::Encoder two;
+    two.varint(128);
+    EXPECT_EQ(two.size(), 2u);
+    serial::Encoder ten;
+    ten.varint(std::numeric_limits<u64>::max());
+    EXPECT_EQ(ten.size(), 10u);
+}
+
+TEST(Serial, VarintOverflowThrows)
+{
+    // 10 continuation-style bytes with a 10th byte contributing more
+    // than the top bit of a u64.
+    const std::string bad(
+        "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x02", 10);
+    serial::Decoder d(bad);
+    EXPECT_THROW(d.varint(), serial::DecodeError);
+}
+
+TEST(Serial, TruncatedInputThrows)
+{
+    serial::Encoder e;
+    e.fixed64(0x1122334455667788ull);
+    const std::string_view bytes = e.view();
+    serial::Decoder d(bytes.substr(0, 5));
+    EXPECT_THROW(d.fixed64(), serial::DecodeError);
+
+    serial::Decoder empty(std::string_view{});
+    EXPECT_THROW(empty.varint(), serial::DecodeError);
+}
+
+TEST(Serial, F64RoundTripsExactBitPatterns)
+{
+    const double values[] = {0.0,
+                             -0.0,
+                             1.0 / 3.0,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             std::nan("")};
+    serial::Encoder e;
+    for (double v : values)
+        e.f64(v);
+    serial::Decoder d(e.view());
+    for (double v : values) {
+        const double back = d.f64();
+        u64 a, b;
+        std::memcpy(&a, &v, 8);
+        std::memcpy(&b, &back, 8);
+        EXPECT_EQ(a, b);  // bit pattern, not value (NaN, -0.0)
+    }
+}
+
+TEST(Serial, StrRoundTripAndLengthGuard)
+{
+    serial::Encoder e;
+    e.str("");
+    e.str(std::string("null\0byte", 9));
+    serial::Decoder d(e.view());
+    EXPECT_EQ(d.str(), "");
+    EXPECT_EQ(d.str(), std::string("null\0byte", 9));
+    d.expectEnd();
+
+    // A declared length past the end of input must throw, not read.
+    serial::Encoder bad;
+    bad.varint(1000);
+    bad.bytes("xy", 2);
+    serial::Decoder db(bad.view());
+    EXPECT_THROW(db.str(), serial::DecodeError);
+}
+
+TEST(Serial, ArrayCountRejectsAbsurdCounts)
+{
+    serial::Encoder e;
+    e.varint(std::numeric_limits<u64>::max());
+    serial::Decoder d(e.view());
+    EXPECT_THROW(d.arrayCount(8), serial::DecodeError);
+}
+
+TEST(Serial, ExpectEndThrowsOnTrailingBytes)
+{
+    serial::Encoder e;
+    e.varint(7);
+    e.varint(9);
+    serial::Decoder d(e.view());
+    d.varint();
+    EXPECT_THROW(d.expectEnd(), serial::DecodeError);
+}
+
+// The hash function is frozen: these digests are part of the on-disk
+// cache format.  If an edit changes them, every stored artifact is
+// silently orphaned — bump the store format version instead.
+TEST(Serial, Hash64PinnedDigests)
+{
+    EXPECT_EQ(serial::hash64(""), 0x7e99d450b409631aull);
+    EXPECT_EQ(serial::hash64("abc"), 0xcf06b620546b49c0ull);
+}
+
+TEST(Serial, Hash128PinnedTypedDigest)
+{
+    serial::Hasher h;
+    h.str("xbsp").u64v(42).f64(3.5).boolean(true);
+    const serial::Hash128 digest = h.finish();
+    EXPECT_EQ(digest.lo, 0x5586c2095ee7723bull);
+    EXPECT_EQ(digest.hi, 0x39a662f02b02f5ffull);
+    EXPECT_EQ(digest.hex(), "39a662f02b02f5ff5586c2095ee7723b");
+}
+
+TEST(Serial, HasherIsChunkingInvariant)
+{
+    const std::string data =
+        "the digest must not depend on how bytes were fed";
+    serial::Hasher whole;
+    whole.bytes(data.data(), data.size());
+    for (std::size_t cut = 1; cut < data.size(); cut += 7) {
+        serial::Hasher split;
+        split.bytes(data.data(), cut);
+        split.bytes(data.data() + cut, data.size() - cut);
+        EXPECT_EQ(split.finish(), whole.finish());
+    }
+}
+
+TEST(Serial, HasherDistinguishesFraming)
+{
+    // ("ab", "c") vs ("a", "bc") must differ: str() folds lengths.
+    serial::Hasher a;
+    a.str("ab").str("c");
+    serial::Hasher b;
+    b.str("a").str("bc");
+    EXPECT_NE(a.finish(), b.finish());
+}
+
+TEST(Serial, FourccIsLittleEndianStable)
+{
+    EXPECT_EQ(serial::fourcc("BINV"),
+              u32{'B'} | u32{'I'} << 8 | u32{'N'} << 16 |
+                  u32{'V'} << 24);
+}
+
+TEST(SerialCodec, FrequencyVectorSetRoundTrip)
+{
+    sp::FrequencyVectorSet fvs;
+    fvs.dimension = 10;
+    fvs.addInterval({{0, 0.25}, {3, 1e-300}, {9, 1.0 / 3.0}}, 12345);
+    fvs.addInterval({}, 0);  // empty vector, zero length
+    fvs.addInterval({{7, std::numeric_limits<double>::max()}},
+                    std::numeric_limits<InstrCount>::max());
+
+    serial::Encoder e;
+    sp::encodeFvs(e, fvs);
+    serial::Decoder d(e.view());
+    const sp::FrequencyVectorSet back = sp::decodeFvs(d);
+    d.expectEnd();
+
+    EXPECT_EQ(back.dimension, fvs.dimension);
+    EXPECT_EQ(back.vectors, fvs.vectors);
+    EXPECT_EQ(back.lengths, fvs.lengths);
+}
+
+TEST(SerialCodec, SimPointResultRoundTrip)
+{
+    sp::SimPointResult r;
+    r.k = 2;
+    r.labels = {0, 1, 1, 0};
+    r.phases = {{0, 0, 0.5, {0, 3}}, {1, 1, 0.5, {1, 2}}};
+    r.chosenBic = -123.456789;
+    r.bicByK = {-1.0, -2.5, 0.0};
+
+    serial::Encoder e;
+    sp::encodeSimPointResult(e, r);
+    serial::Decoder d(e.view());
+    const sp::SimPointResult back = sp::decodeSimPointResult(d);
+    d.expectEnd();
+
+    EXPECT_EQ(back.k, r.k);
+    EXPECT_EQ(back.labels, r.labels);
+    ASSERT_EQ(back.phases.size(), r.phases.size());
+    for (std::size_t i = 0; i < r.phases.size(); ++i) {
+        EXPECT_EQ(back.phases[i].id, r.phases[i].id);
+        EXPECT_EQ(back.phases[i].representative,
+                  r.phases[i].representative);
+        EXPECT_EQ(back.phases[i].weight, r.phases[i].weight);
+        EXPECT_EQ(back.phases[i].members, r.phases[i].members);
+    }
+    EXPECT_EQ(back.chosenBic, r.chosenBic);
+    EXPECT_EQ(back.bicByK, r.bicByK);
+}
+
+TEST(SerialCodec, BinaryRoundTripsTheRealCompilerOutput)
+{
+    for (const bin::Binary& binary :
+         test::compileFour(test::trickyProgram())) {
+        serial::Encoder e;
+        bin::encodeBinary(e, binary);
+        serial::Decoder d(e.view());
+        const bin::Binary back = bin::decodeBinary(d);
+        d.expectEnd();
+
+        // Re-encoding the decoded binary must reproduce the bytes:
+        // codec fixed point == no field was dropped or reordered.
+        serial::Encoder again;
+        bin::encodeBinary(again, back);
+        EXPECT_EQ(again.view(), e.view());
+        EXPECT_EQ(back.programName, binary.programName);
+        EXPECT_EQ(back.target, binary.target);
+        EXPECT_EQ(back.entryProcId, binary.entryProcId);
+        EXPECT_EQ(back.blockCount(), binary.blockCount());
+        EXPECT_EQ(back.markerCount(), binary.markerCount());
+        bin::checkBinary(back);  // structural invariants survive
+    }
+}
+
+TEST(SerialCodec, ProfilePassRoundTrip)
+{
+    const bin::Binary binary = compile::compileProgram(
+        test::tinyProgram(), bin::target32u);
+    const prof::ProfilePass pass =
+        prof::runProfilePass(binary, 5000);
+
+    serial::Encoder e;
+    prof::encodeProfilePass(e, pass);
+    serial::Decoder d(e.view());
+    const prof::ProfilePass back = prof::decodeProfilePass(d);
+    d.expectEnd();
+
+    EXPECT_EQ(back.markers.counts, pass.markers.counts);
+    EXPECT_EQ(back.markers.totalInstructions,
+              pass.markers.totalInstructions);
+    EXPECT_EQ(back.fliIntervals.vectors, pass.fliIntervals.vectors);
+    EXPECT_EQ(back.fliIntervals.lengths, pass.fliIntervals.lengths);
+    EXPECT_EQ(back.fliBoundaries, pass.fliBoundaries);
+    EXPECT_EQ(back.totalInstructions, pass.totalInstructions);
+}
+
+TEST(SerialCodec, DetailedRunRoundTrip)
+{
+    sim::DetailedRunResult r;
+    r.totals = {1000, 3500, 220};
+    r.memory = {220, 180, 20, 15, 5, 2};
+    r.fliIntervals = {{500, 1700}, {500, 1800}};
+    r.vliIntervals = {{999, 3499}, {1, 1}};
+
+    serial::Encoder e;
+    sim::encodeDetailedRun(e, r);
+    serial::Decoder d(e.view());
+    const sim::DetailedRunResult back = sim::decodeDetailedRun(d);
+    d.expectEnd();
+
+    EXPECT_EQ(back.totals.instructions, r.totals.instructions);
+    EXPECT_EQ(back.totals.cycles, r.totals.cycles);
+    EXPECT_EQ(back.totals.memRefs, r.totals.memRefs);
+    EXPECT_EQ(back.memory.refs, r.memory.refs);
+    EXPECT_EQ(back.memory.dramWritebacks, r.memory.dramWritebacks);
+    ASSERT_EQ(back.fliIntervals.size(), 2u);
+    EXPECT_EQ(back.fliIntervals[1].cycles, 1800u);
+    ASSERT_EQ(back.vliIntervals.size(), 2u);
+    EXPECT_EQ(back.vliIntervals[0].instrs, 999u);
+}
+
+TEST(SerialCodec, MalformedEnumRejected)
+{
+    serial::Encoder e;
+    e.str("prog");
+    e.varint(99);  // Arch out of range
+    serial::Decoder d(e.view());
+    EXPECT_THROW(bin::decodeBinary(d), serial::DecodeError);
+}

@@ -3,11 +3,13 @@
  * Unit tests for the SimPoint file-format interoperability layer.
  */
 
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "simpoint/io.hh"
+#include "util/rng.hh"
 
 using namespace xbsp;
 using namespace xbsp::sp;
@@ -141,4 +143,112 @@ TEST(SimPointIo, EmptyLabelsFatal)
     std::stringstream sims("0 0\n"), weights("1.0 0\n"), labels("");
     EXPECT_EXIT((void)readSimPointFiles(sims, weights, labels),
                 ::testing::ExitedWithCode(1), "labels file");
+}
+
+// ---------------------------------------------------------------------
+// Round-trip property tests for the text BBV format: randomized sets
+// with extreme weights, empty vectors and duplicate block ids must
+// all survive write -> read bit-exactly (the writer emits %.17g,
+// which strtod recovers exactly).
+
+namespace
+{
+
+FrequencyVectorSet
+randomFvs(u64 seed)
+{
+    Rng rng(seed);
+    FrequencyVectorSet fvs;
+    fvs.dimension = 64;
+    const std::size_t intervals = 1 + rng.nextBelow(12);
+    for (std::size_t i = 0; i < intervals; ++i) {
+        SparseVec vec;
+        const std::size_t entries = rng.nextBelow(8);  // 0 = empty
+        u32 idx = 0;
+        for (std::size_t j = 0; j < entries; ++j) {
+            idx += 1 + static_cast<u32>(rng.nextBelow(8));
+            double value = 0;
+            switch (rng.nextBelow(5)) {
+              case 0:
+                value = rng.nextDouble() * 1e300;  // huge
+                break;
+              case 1:
+                value = rng.nextDouble() * 1e-300;  // tiny
+                break;
+              case 2:
+                value = 5e-324;  // smallest denormal
+                break;
+              case 3:
+                value = static_cast<double>(rng.next());  // integral
+                break;
+              default:
+                value = rng.nextDouble();  // ordinary fraction
+            }
+            vec.emplace_back(idx, value);
+        }
+        fvs.addInterval(std::move(vec),
+                        rng.nextBelow(1u << 20));
+    }
+    return fvs;
+}
+
+} // namespace
+
+TEST(SimPointIoProperty, RandomizedBbvRoundTripsBitExactly)
+{
+    for (u64 seed = 1; seed <= 25; ++seed) {
+        const FrequencyVectorSet original = randomFvs(seed);
+        std::stringstream ss;
+        writeBbvFile(ss, original);
+        const FrequencyVectorSet parsed =
+            readBbvFile(ss, original.dimension);
+        ASSERT_EQ(parsed.size(), original.size()) << "seed " << seed;
+        // Bitwise equality: pair<u32,double> compares doubles with
+        // ==, which is exactly the contract (%.17g is lossless).
+        EXPECT_EQ(parsed.vectors, original.vectors)
+            << "seed " << seed;
+    }
+}
+
+TEST(SimPointIoProperty, EmptyVectorsSurvive)
+{
+    FrequencyVectorSet fvs;
+    fvs.dimension = 4;
+    fvs.addInterval(SparseVec{}, 10);
+    fvs.addInterval(SparseVec{{2, 1.5}}, 20);
+    fvs.addInterval(SparseVec{}, 30);
+    std::stringstream ss;
+    writeBbvFile(ss, fvs);
+    const FrequencyVectorSet parsed = readBbvFile(ss, 4);
+    ASSERT_EQ(parsed.size(), 3u);
+    EXPECT_TRUE(parsed.vectors[0].empty());
+    EXPECT_EQ(parsed.vectors[1], fvs.vectors[1]);
+    EXPECT_TRUE(parsed.vectors[2].empty());
+}
+
+TEST(SimPointIoProperty, DuplicateBlockIdsAccumulateOnRead)
+{
+    // A hand-written line with the same (one-based) id three times:
+    // frequency semantics say the values add up.
+    std::stringstream ss("T:5:1.5 :2:10 :5:2.25 :5:0.25 \n");
+    const FrequencyVectorSet parsed = readBbvFile(ss, 8);
+    ASSERT_EQ(parsed.size(), 1u);
+    const SparseVec expected{{1, 10.0}, {4, 4.0}};
+    EXPECT_EQ(parsed.vectors[0], expected);
+}
+
+TEST(SimPointIoProperty, ExtremeWeightsRoundTrip)
+{
+    FrequencyVectorSet fvs;
+    fvs.dimension = 3;
+    fvs.addInterval(
+        SparseVec{{0, std::numeric_limits<double>::max()},
+                  {1, std::numeric_limits<double>::denorm_min()},
+                  {2, 1.0 / 3.0}},
+        1);
+    std::stringstream ss;
+    writeBbvFile(ss, fvs);
+    const FrequencyVectorSet parsed = readBbvFile(ss, 3);
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed.vectors[0], fvs.vectors[0]);
 }

@@ -16,6 +16,14 @@
  *                                     full cross-binary pipeline; with
  *                                     --regions, write per-binary
  *                                     region-spec files
+ *   xbsp cache stats|gc|clear         inspect / collect / wipe the
+ *                                     artifact cache (--cache-dir or
+ *                                     XBSP_CACHE_DIR)
+ *
+ * Every command that runs pipeline stages honours --cache-dir (or the
+ * XBSP_CACHE_DIR environment variable) to memoize compile, profile,
+ * clustering, VLI and detailed-simulation artifacts on disk, and
+ * --no-cache to force full recomputation.
  */
 
 #include <fstream>
@@ -29,6 +37,7 @@
 #include "sim/report.hh"
 #include "sim/study.hh"
 #include "simpoint/io.hh"
+#include "store/store.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
 #include "workloads/workloads.hh"
@@ -180,6 +189,51 @@ cmdStudy(const Options& options)
     return 0;
 }
 
+int
+cmdCache(const Options& options)
+{
+    store::ArtifactStore& store = store::ArtifactStore::global();
+    if (store.directory().empty())
+        fatal("cache commands need --cache-dir or XBSP_CACHE_DIR");
+    if (options.positional().size() < 2)
+        fatal("usage: xbsp cache stats|gc|clear");
+    const std::string& action = options.positional()[1];
+
+    if (action == "stats") {
+        const store::CacheScan scan = store.scan();
+        std::printf("cache %s: %llu entries, %llu bytes"
+                    " (%.1f MiB), %llu stray temp files\n",
+                    store.directory().c_str(),
+                    static_cast<unsigned long long>(scan.entries),
+                    static_cast<unsigned long long>(scan.bytes),
+                    static_cast<double>(scan.bytes) / (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(scan.tempFiles));
+        return 0;
+    }
+    if (action == "gc") {
+        const u64 budget =
+            options.getUint("budget-mb") * 1024ull * 1024ull;
+        const store::GcResult result = store.gc(budget);
+        std::printf("cache gc: kept %llu entries (%llu bytes), "
+                    "removed %llu entries (%llu bytes)\n",
+                    static_cast<unsigned long long>(result.keptEntries),
+                    static_cast<unsigned long long>(result.keptBytes),
+                    static_cast<unsigned long long>(
+                        result.removedEntries),
+                    static_cast<unsigned long long>(
+                        result.removedBytes));
+        return 0;
+    }
+    if (action == "clear") {
+        const u64 removed = store.clear();
+        std::printf("cache clear: removed %llu files\n",
+                    static_cast<unsigned long long>(removed));
+        return 0;
+    }
+    fatal("unknown cache action '{}' (expected stats, gc or clear)",
+          action);
+}
+
 } // namespace
 
 int
@@ -187,7 +241,7 @@ main(int argc, char** argv)
 {
     Options options(
         "xbsp <command> [options] — commands: list, describe, bbv, "
-        "simpoints, study");
+        "simpoints, study, cache");
     options.addString("workload", "workload name", "swim");
     options.addString("target", "binary target (32u/32o/64u/64o)",
                       "32u");
@@ -204,11 +258,28 @@ main(int argc, char** argv)
     options.addString("out", "output path prefix", "");
     options.addString("regions", "region-spec output prefix", "");
     options.addBool("stats", "dump gem5-style stats (study)", false);
+    options.addString("cache-dir",
+                      "artifact cache directory (default: "
+                      "XBSP_CACHE_DIR)", "");
+    options.addBool("cache",
+                    "consult the artifact cache (--no-cache forces "
+                    "recomputation)", true);
+    options.addUint("budget-mb", "byte budget for `cache gc`, in MiB",
+                    1024);
     options.addJobs();
     obs::addCliOptions(options);
     if (!options.parse(argc, argv))
         return 0;
     options.applyJobs();
+
+    // Resolve the artifact store before any stage can run: an
+    // explicit --cache-dir wins over XBSP_CACHE_DIR (which global()
+    // otherwise picks up lazily); --no-cache wins over both.
+    if (!options.getBool("cache"))
+        store::ArtifactStore::configureGlobal({});
+    else if (const std::string dir = options.getString("cache-dir");
+             !dir.empty())
+        store::ArtifactStore::configureGlobal({dir, true});
     // Writes --stats-out / --trace-out files when main returns.
     obs::ObsSession obsSession(options);
 
@@ -227,5 +298,7 @@ main(int argc, char** argv)
         return cmdSimpoints(options);
     if (command == "study")
         return cmdStudy(options);
+    if (command == "cache")
+        return cmdCache(options);
     fatal("unknown command '{}'", command);
 }
