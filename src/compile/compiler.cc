@@ -295,10 +295,6 @@ class Lowering
 
 } // namespace
 
-namespace
-{
-
-/** Cache key of one (program, target, options) compilation. */
 serial::Hash128
 compileKey(const ir::Program& program, const bin::Target& target,
            const CompileOptions& options)
@@ -314,8 +310,6 @@ compileKey(const ir::Program& program, const bin::Target& target,
     h.u64v(options.jitterSeed);
     return h.finish();
 }
-
-} // namespace
 
 bin::Binary
 compileProgram(const ir::Program& program, const bin::Target& target,

@@ -29,6 +29,7 @@
 #include "binary/binary.hh"
 #include "compile/target.hh"
 #include "ir/program.hh"
+#include "util/serial.hh"
 
 namespace xbsp::compile
 {
@@ -46,6 +47,16 @@ struct CompileOptions
 
 /** Compile one program for one target. */
 bin::Binary compileProgram(const ir::Program& program,
+                           const bin::Target& target,
+                           const CompileOptions& options = {});
+
+/**
+ * Artifact-store key of one (program, target, options) compilation —
+ * the exact key compileProgram memoizes under (artifact type
+ * bin::BinaryCodec).  Exposed so the pipeline scheduler can probe
+ * whether a compile stage is already cached.
+ */
+serial::Hash128 compileKey(const ir::Program& program,
                            const bin::Target& target,
                            const CompileOptions& options = {});
 

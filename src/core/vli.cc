@@ -91,10 +91,9 @@ VliBuild buildVliPartitionUncached(const bin::Binary& primary,
                                    InstrCount targetSize, u64 seed);
 } // namespace
 
-VliBuild
-buildVliPartition(const bin::Binary& primary,
-                  const MappableSet& mappable, std::size_t primaryIdx,
-                  InstrCount targetSize, u64 seed)
+serial::Hash128
+vliBuildKey(const bin::Binary& primary, const MappableSet& mappable,
+            std::size_t primaryIdx, InstrCount targetSize, u64 seed)
 {
     serial::Hasher h;
     h.str("vli");
@@ -103,8 +102,17 @@ buildVliPartition(const bin::Binary& primary,
     h.u64v(primaryIdx);
     h.u64v(targetSize);
     h.u64v(seed);
+    return h.finish();
+}
+
+VliBuild
+buildVliPartition(const bin::Binary& primary,
+                  const MappableSet& mappable, std::size_t primaryIdx,
+                  InstrCount targetSize, u64 seed)
+{
     return store::ArtifactStore::global().getOrCompute<VliBuildCodec>(
-        h.finish(), "vli", [&] {
+        vliBuildKey(primary, mappable, primaryIdx, targetSize, seed),
+        "vli", [&] {
             return buildVliPartitionUncached(primary, mappable,
                                              primaryIdx, targetSize,
                                              seed);

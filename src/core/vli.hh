@@ -21,6 +21,7 @@
 #include "core/mappable.hh"
 #include "exec/engine.hh"
 #include "simpoint/fvec.hh"
+#include "util/serial.hh"
 
 namespace xbsp::core
 {
@@ -96,6 +97,18 @@ VliBuild buildVliPartition(const bin::Binary& primary,
                            std::size_t primaryIdx,
                            InstrCount targetSize,
                            u64 seed = 0x5EEDull);
+
+/**
+ * Artifact-store key of one VLI build — the exact key
+ * buildVliPartition memoizes under (artifact type VliBuildCodec).
+ * Exposed so the pipeline scheduler can probe whether a VLI stage is
+ * already cached.
+ */
+serial::Hash128 vliBuildKey(const bin::Binary& primary,
+                            const MappableSet& mappable,
+                            std::size_t primaryIdx,
+                            InstrCount targetSize,
+                            u64 seed = 0x5EEDull);
 
 /**
  * Observer that replays a boundary list in *any* binary of the set

@@ -1,10 +1,11 @@
 #include "harness/experiments.hh"
 
 #include <algorithm>
-#include <chrono>
+#include <unordered_set>
+#include <utility>
 
 #include "obs/stats.hh"
-#include "obs/trace.hh"
+#include "sim/stages.hh"
 #include "store/store.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -46,6 +47,9 @@ ExperimentSuite::ExperimentSuite(ExperimentConfig config)
 const sim::CrossBinaryStudy&
 ExperimentSuite::study(const std::string& workload)
 {
+    // The cache holds the committed finish node of every graph run so
+    // far: a workload precompute() already scheduled is returned
+    // as-is, never re-wired into a new graph.
     auto it = cache.find(workload);
     if (it != cache.end())
         return it->second;
@@ -59,46 +63,62 @@ ExperimentSuite::precompute()
     runStudies(names);
 }
 
+SuiteGraph::SuiteGraph() = default;
+SuiteGraph::~SuiteGraph() = default;
+
+void
+buildSuiteGraph(SuiteGraph& out, const ExperimentConfig& config,
+                const std::vector<std::string>& workloads)
+{
+    for (const std::string& name : workloads) {
+        if (!workloads::findWorkload(name))
+            fatal("unknown workload '{}'", name);
+        out.workloads.push_back(name);
+        out.builds.push_back(std::make_unique<sim::StudyBuild>(
+            workloads::makeWorkload(name, config.workScale),
+            config.study));
+        out.finishNodes.push_back(
+            sim::appendStudyGraph(out.graph, *out.builds.back()));
+    }
+}
+
 void
 ExperimentSuite::runStudies(const std::vector<std::string>& workloads)
 {
     std::vector<std::string> pending;
+    std::unordered_set<std::string> queued;
     for (const std::string& name : workloads) {
-        if (!cache.contains(name) &&
-            std::find(pending.begin(), pending.end(), name) ==
-                pending.end())
+        if (!cache.contains(name) && queued.insert(name).second)
             pending.push_back(name);
     }
     if (pending.empty())
         return;
 
-    // Studies are fully independent of each other (each builds its
-    // own binaries, engines and seeds from the shared config), so
-    // they run concurrently; the fixed-size pool bounds how many are
-    // in flight at once.  Results land in a slot per workload and are
-    // committed to the cache — and their progress lines printed — in
-    // list order, so output and cache state never depend on thread
-    // scheduling.
-    std::vector<sim::CrossBinaryStudy> results(pending.size());
-    std::vector<long long> elapsedMs(pending.size(), 0);
+    // One task graph across every pending workload: studies are fully
+    // independent of each other (each builds its own binaries,
+    // engines and seeds from the shared config), so their stages
+    // interleave freely on the fixed-size pool — the serial
+    // match/cluster stage of one workload no longer idles workers
+    // that could profile another.  Results are committed to the cache
+    // — and their progress lines printed — in list order by the
+    // graph's commit phase, so output and cache state never depend on
+    // thread scheduling.
     obs::StatRegistry::global().counter("harness.studies")
         .add(pending.size());
-    parallelFor(globalPool(), pending.size(), [&](std::size_t i) {
-        obs::TraceSpan span("workload " + pending[i], "harness");
-        const auto start = std::chrono::steady_clock::now();
-        ir::Program program =
-            workloads::makeWorkload(pending[i], cfg.workScale);
-        results[i] = sim::CrossBinaryStudy::run(program, cfg.study);
-        elapsedMs[i] =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-    });
+    SuiteGraph suite;
+    buildSuiteGraph(suite, cfg, pending);
     for (std::size_t i = 0; i < pending.size(); ++i) {
-        if (cfg.verbose)
-            inform("study {} done in {} ms", pending[i], elapsedMs[i]);
-        cache.emplace(pending[i], std::move(results[i]));
+        sim::StudyBuild& build = *suite.builds[i];
+        const std::string name = pending[i];
+        suite.graph.setCommit(
+            suite.finishNodes[i], [this, &build, name] {
+                if (cfg.verbose)
+                    inform("study {} done in {} ms", name,
+                           build.elapsedMs());
+                cache.emplace(name, build.takeStudy());
+            });
     }
+    suite.graph.run(globalPool());
     if (cfg.verbose && store::ArtifactStore::global().enabled()) {
         auto& reg = obs::StatRegistry::global();
         inform("artifact store: {} hits, {} misses ({})",
@@ -282,6 +302,10 @@ ExperimentSuite::phaseBiasTable(const std::string& caption,
                                 std::size_t a, std::size_t b)
 {
     const sim::CrossBinaryStudy& s = study(workload);
+    if (a >= s.perBinary().size() || b >= s.perBinary().size())
+        fatal("phase-bias table: binary indices {}/{} out of range "
+              "(study '{}' has {} binaries)", a, b, workload,
+              s.perBinary().size());
     const auto& binA = s.perBinary()[a];
     const auto& binB = s.perBinary()[b];
     const std::string nameA = bin::targetName(binA.target);

@@ -20,11 +20,18 @@
 #define XBSP_HARNESS_EXPERIMENTS_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "pipeline/taskgraph.hh"
 #include "sim/study.hh"
 #include "util/table.hh"
+
+namespace xbsp::sim
+{
+class StudyBuild;
+}
 
 namespace xbsp::harness
 {
@@ -58,12 +65,13 @@ class ExperimentSuite
     const sim::CrossBinaryStudy& study(const std::string& workload);
 
     /**
-     * Run every not-yet-cached workload study, in parallel on the
-     * process-wide pool (in-flight work bounded by its size).  The
-     * cache contents and all table row orders are identical to
-     * running the studies one by one: each study is fully
-     * independent, and results are committed to the cache in
-     * workload-list order after all of them finish.  Called
+     * Run every not-yet-cached workload study as one task graph on
+     * the process-wide pool: all stages of all workloads are nodes of
+     * a single DAG, so studies' serial stages overlap (see
+     * SuiteGraph).  The cache contents and all table row orders are
+     * identical to running the studies one by one: each study is
+     * fully independent, and results are committed to the cache in
+     * workload-list order after the whole graph settles.  Called
      * automatically by the whole-suite table builders.
      */
     void precompute();
@@ -109,6 +117,36 @@ class ExperimentSuite
                          const std::string& workload, std::size_t a,
                          std::size_t b);
 };
+
+/**
+ * One task graph spanning several workload studies: every stage of
+ * every workload is a node of a single graph, so the serial
+ * match/cluster stages of one workload overlap with the profile and
+ * per-binary stages of others instead of hitting per-study barriers.
+ * The builds own all intermediate state and must stay put while the
+ * graph runs (hence unique_ptr slots and no copies).
+ */
+struct SuiteGraph
+{
+    SuiteGraph();
+    ~SuiteGraph();
+
+    SuiteGraph(const SuiteGraph&) = delete;
+    SuiteGraph& operator=(const SuiteGraph&) = delete;
+
+    std::vector<std::string> workloads;
+    std::vector<std::unique_ptr<sim::StudyBuild>> builds;
+    std::vector<pipeline::NodeId> finishNodes;  ///< one per workload
+    pipeline::TaskGraph graph;
+};
+
+/**
+ * Wire one study graph per workload (fatal on unknown names) into
+ * `out`, without running it.  Used by ExperimentSuite::runStudies and
+ * the `xbsp graph` command.
+ */
+void buildSuiteGraph(SuiteGraph& out, const ExperimentConfig& config,
+                     const std::vector<std::string>& workloads);
 
 /** Default study configuration used by all benches. */
 sim::StudyConfig defaultStudyConfig();

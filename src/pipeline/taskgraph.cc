@@ -1,0 +1,342 @@
+#include "pipeline/taskgraph.hh"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+
+namespace xbsp::pipeline
+{
+
+std::string
+nodeStatusName(NodeStatus status)
+{
+    switch (status) {
+      case NodeStatus::Pending:
+        return "pending";
+      case NodeStatus::Running:
+        return "running";
+      case NodeStatus::Done:
+        return "done";
+      case NodeStatus::CacheResolved:
+        return "cache";
+      case NodeStatus::Failed:
+        return "failed";
+      case NodeStatus::Skipped:
+        return "skipped";
+    }
+    return "?";
+}
+
+NodeId
+TaskGraph::add(std::string label, std::string stage,
+               std::vector<NodeId> deps, std::function<void()> work)
+{
+    if (ran)
+        panic("TaskGraph::add after run()");
+    const NodeId id = nodes.size();
+    for (NodeId dep : deps) {
+        if (dep >= id)
+            fatal("task graph: node {} ('{}') depends on node {}, "
+                  "which has not been added yet (dependencies must "
+                  "point at earlier nodes)", id, label, dep);
+    }
+    Node node;
+    node.label = std::move(label);
+    node.stage = std::move(stage);
+    node.deps = std::move(deps);
+    node.work = std::move(work);
+    edges += node.deps.size();
+    nodes.push_back(std::move(node));
+    for (NodeId dep : nodes.back().deps)
+        nodes[dep].dependents.push_back(id);
+    return id;
+}
+
+void
+TaskGraph::setProbe(NodeId id, std::function<bool()> probe)
+{
+    nodes.at(id).probe = std::move(probe);
+}
+
+void
+TaskGraph::setCommit(NodeId id, std::function<void()> commit)
+{
+    nodes.at(id).commit = std::move(commit);
+}
+
+void
+TaskGraph::run(ThreadPool& pool)
+{
+    if (ran)
+        panic("TaskGraph::run called twice");
+    ran = true;
+
+    obs::StatRegistry& reg = obs::StatRegistry::global();
+    reg.counter("scheduler.runs").add();
+    reg.counter("scheduler.nodes.added").add(nodes.size());
+    reg.counter("scheduler.edges").add(edges);
+    reg.distribution("scheduler.criticalPath")
+        .sample(criticalPathLength());
+    const obs::Counter readyCount = reg.counter("scheduler.nodes.ready");
+    const obs::Counter runCount = reg.counter("scheduler.nodes.run");
+    const obs::Counter cacheCount =
+        reg.counter("scheduler.nodes.cacheResolved");
+    const obs::Counter failCount = reg.counter("scheduler.nodes.failed");
+    const obs::Counter skipCount =
+        reg.counter("scheduler.nodes.skipped");
+    const obs::Timer busyTimer = reg.timer("scheduler.nodeBusy");
+    obs::ScopedTimer wallTimer(reg.timer("scheduler.wall"));
+
+    std::unique_lock lock(mutex);
+
+    // Dependency counters and the initial ready set.  std::set keeps
+    // ready nodes in id order, so the single-threaded (and probe-hit)
+    // execution order is the topological order the caller declared.
+    std::set<NodeId> ready;
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        nodes[id].remaining = nodes[id].deps.size();
+        if (nodes[id].remaining == 0)
+            ready.insert(id);
+    }
+    std::size_t active = 0;  // nodes in flight on the pool
+
+    // Settle a node (lock held): record status, release dependents.
+    auto settle = [this, &ready](NodeId id, NodeStatus status,
+                                 std::exception_ptr error,
+                                 std::string errorText) {
+        Node& node = nodes[id];
+        node.status = status;
+        node.error = std::move(error);
+        node.errorText = std::move(errorText);
+        for (NodeId dep : node.dependents) {
+            if (--nodes[dep].remaining == 0)
+                ready.insert(dep);
+        }
+    };
+
+    // Run a node's work (no lock held), then settle it.  Exceptions
+    // are captured here — pool futures are discarded, so nothing may
+    // escape into them.
+    auto execute = [this, &settle, &active, &busyTimer,
+                    &failCount](NodeId id, bool viaProbe) {
+        NodeStatus status =
+            viaProbe ? NodeStatus::CacheResolved : NodeStatus::Done;
+        std::exception_ptr error;
+        std::string errorText;
+        {
+            obs::TraceSpan span(nodes[id].label, "pipeline");
+            obs::ScopedTimer busy(busyTimer);
+            try {
+                if (nodes[id].work)
+                    nodes[id].work();
+            } catch (const std::exception& e) {
+                status = NodeStatus::Failed;
+                error = std::current_exception();
+                errorText = e.what();
+            } catch (...) {
+                status = NodeStatus::Failed;
+                error = std::current_exception();
+                errorText = "unknown exception";
+            }
+        }
+        if (status == NodeStatus::Failed)
+            failCount.add();
+        std::lock_guard guard(mutex);
+        settle(id, status, std::move(error), std::move(errorText));
+        if (!viaProbe)
+            --active;
+        wake.notify_all();
+    };
+
+    while (true) {
+        wake.wait(lock, [&] { return !ready.empty() || active == 0; });
+        if (ready.empty()) {
+            if (active == 0)
+                break;  // every node settled
+            continue;
+        }
+        const NodeId id = *ready.begin();
+        ready.erase(ready.begin());
+        readyCount.add();
+        Node& node = nodes[id];
+
+        // A failed (or skipped) dependency skips the whole subtree.
+        const bool depFailed = std::any_of(
+            node.deps.begin(), node.deps.end(), [this](NodeId dep) {
+                return nodes[dep].status == NodeStatus::Failed ||
+                       nodes[dep].status == NodeStatus::Skipped;
+            });
+        if (depFailed) {
+            skipCount.add();
+            settle(id, NodeStatus::Skipped, nullptr, {});
+            continue;
+        }
+
+        node.status = NodeStatus::Running;
+        lock.unlock();
+        const bool cached = node.probe && node.probe();
+        if (cached) {
+            // The store will serve every artifact this node needs:
+            // decode inline here instead of occupying a worker slot.
+            cacheCount.add();
+            execute(id, true);
+        } else {
+            runCount.add();
+            {
+                std::lock_guard guard(mutex);
+                ++active;
+            }
+            pool.submit([&execute, id] { execute(id, false); });
+        }
+        lock.lock();
+    }
+    lock.unlock();
+
+    // Everything has settled: commit in node-id order, then report
+    // failures — also in node-id order — and rethrow the first one.
+    for (Node& node : nodes) {
+        if ((node.status == NodeStatus::Done ||
+             node.status == NodeStatus::CacheResolved) &&
+            node.commit)
+            node.commit();
+    }
+    std::exception_ptr first;
+    for (const Node& node : nodes) {
+        if (node.status != NodeStatus::Failed)
+            continue;
+        warn("pipeline: node '{}' failed: {}", node.label,
+             node.errorText);
+        if (!first)
+            first = node.error;
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+NodeStatus
+TaskGraph::status(NodeId id) const
+{
+    std::lock_guard guard(mutex);
+    return nodes.at(id).status;
+}
+
+const std::string&
+TaskGraph::label(NodeId id) const
+{
+    return nodes.at(id).label;
+}
+
+std::size_t
+TaskGraph::criticalPathLocked() const
+{
+    std::size_t longest = 0;
+    std::vector<std::size_t> depth(nodes.size(), 0);
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        std::size_t best = 0;
+        for (NodeId dep : nodes[id].deps)
+            best = std::max(best, depth[dep]);
+        depth[id] = best + 1;
+        longest = std::max(longest, depth[id]);
+    }
+    return longest;
+}
+
+std::size_t
+TaskGraph::criticalPathLength() const
+{
+    return criticalPathLocked();
+}
+
+void
+TaskGraph::writeJson(JsonWriter& w) const
+{
+    std::lock_guard guard(mutex);
+    w.beginObject();
+    w.member("nodeCount", nodes.size());
+    w.member("edgeCount", edges);
+    w.member("criticalPath", criticalPathLocked());
+    w.key("nodes").beginArray();
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        const Node& node = nodes[id];
+        w.beginObject();
+        w.member("id", id);
+        w.member("label", node.label);
+        w.member("stage", node.stage);
+        w.member("status", nodeStatusName(node.status));
+        w.member("probed", static_cast<bool>(node.probe));
+        w.key("deps").beginArray();
+        for (NodeId dep : node.deps)
+            w.value(dep);
+        w.endArray();
+        if (node.status == NodeStatus::Failed)
+            w.member("error", node.errorText);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+namespace
+{
+
+std::string
+dotEscape(const std::string& text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+const char*
+dotColor(NodeStatus status)
+{
+    switch (status) {
+      case NodeStatus::Done:
+        return "palegreen";
+      case NodeStatus::CacheResolved:
+        return "lightblue";
+      case NodeStatus::Failed:
+        return "lightcoral";
+      case NodeStatus::Skipped:
+        return "khaki";
+      case NodeStatus::Pending:
+      case NodeStatus::Running:
+        break;
+    }
+    return "white";
+}
+
+} // namespace
+
+void
+TaskGraph::writeDot(std::ostream& os) const
+{
+    std::lock_guard guard(mutex);
+    os << "digraph pipeline {\n"
+       << "  rankdir=LR;\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        const Node& node = nodes[id];
+        os << "  n" << id << " [label=\"" << dotEscape(node.label)
+           << "\\n[" << nodeStatusName(node.status)
+           << "]\", style=filled, fillcolor=\""
+           << dotColor(node.status) << "\"];\n";
+    }
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        for (NodeId dep : nodes[id].deps)
+            os << "  n" << dep << " -> n" << id << ";\n";
+    }
+    os << "}\n";
+}
+
+} // namespace xbsp::pipeline

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic task-graph scheduler over the fixed-size ThreadPool.
+ *
+ * A TaskGraph is a DAG of named nodes, each carrying a work function
+ * and the ids of the nodes it depends on.  run() executes every node
+ * exactly once, dispatching ready nodes (all dependencies settled) to
+ * the pool.  The contracts extend the threading model of
+ * util/threadpool (see DESIGN.md, "Pipeline graph"):
+ *
+ *  - **Acyclic by construction.**  A node may only depend on nodes
+ *    with smaller ids (i.e. added before it), so cycles cannot be
+ *    expressed and node-id order is a topological order.
+ *  - **Deterministic output at any --jobs.**  Work functions write
+ *    into per-node slots owned by the caller; commit hooks run on the
+ *    scheduling thread in node-id order after every node settles, and
+ *    the exception of the *lowest-id* failed node is rethrown — so
+ *    cache state, log lines and errors never depend on how the pool
+ *    interleaved execution.  (With a 1-thread pool, nodes run inline
+ *    in ready-order, lowest id first.)
+ *  - **Cache probes bypass the pool.**  A node may carry a probe that
+ *    answers "are all of this node's artifact-store entries already
+ *    on disk?".  When the probe says yes at dispatch time, the work
+ *    runs inline on the scheduling thread (it will only decode cached
+ *    artifacts) instead of occupying a worker slot, keeping workers
+ *    free for nodes that actually compute.
+ *  - **Failure isolates, never poisons.**  A failed node marks its
+ *    transitive dependents Skipped; unrelated subgraphs still run to
+ *    completion.  Commit hooks of failed/skipped nodes do not run.
+ *
+ * Scheduling is observable: every node runs under a TraceSpan
+ * (category "pipeline"), and run() reports scheduler.* counters plus
+ * a scheduler.criticalPath distribution, all independent of the
+ * worker count.  writeJson()/writeDot() dump the graph with per-node
+ * status for `xbsp graph`.
+ */
+
+#ifndef XBSP_PIPELINE_TASKGRAPH_HH
+#define XBSP_PIPELINE_TASKGRAPH_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace xbsp
+{
+class JsonWriter;
+class ThreadPool;
+} // namespace xbsp
+
+namespace xbsp::pipeline
+{
+
+/** Index of a node within its graph (also its commit order). */
+using NodeId = std::size_t;
+
+/** Lifecycle of one node; terminal states after run() returns. */
+enum class NodeStatus
+{
+    Pending,        ///< not yet dispatched
+    Running,        ///< work in flight
+    Done,           ///< work completed on a pool worker
+    CacheResolved,  ///< probe hit: work completed inline off-pool
+    Failed,         ///< work threw; exception captured
+    Skipped         ///< a (transitive) dependency failed
+};
+
+/** Display name: "pending", "running", "done", "cache", ... */
+std::string nodeStatusName(NodeStatus status);
+
+/** See the file comment for the full contract. */
+class TaskGraph
+{
+  public:
+    TaskGraph() = default;
+
+    TaskGraph(const TaskGraph&) = delete;
+    TaskGraph& operator=(const TaskGraph&) = delete;
+
+    /**
+     * Append a node.  `deps` must name already-added nodes (fatal
+     * otherwise).  `label` is the display/trace name, `stage` a short
+     * stage kind ("compile", "profile", ...) for grouping in dumps.
+     * `work` runs exactly once, off the scheduler's lock; it must
+     * write results only into state owned by this node.
+     */
+    NodeId add(std::string label, std::string stage,
+               std::vector<NodeId> deps, std::function<void()> work);
+
+    /**
+     * Attach a cache probe: called (off-lock) when the node becomes
+     * ready; returning true promises that `work` will be served
+     * entirely from the artifact store, so it runs inline on the
+     * scheduling thread instead of a pool worker.  A probe must be
+     * read-only and side-effect free.
+     */
+    void setProbe(NodeId id, std::function<bool()> probe);
+
+    /**
+     * Attach a commit hook: runs on the scheduling thread after all
+     * nodes settle, in node-id order, only for Done/CacheResolved
+     * nodes.  This is the place for cache insertion and user-visible
+     * "done" log lines — anything whose order must not depend on
+     * scheduling.
+     */
+    void setCommit(NodeId id, std::function<void()> commit);
+
+    /**
+     * Execute the graph on `pool` (inline when it has no workers).
+     * Blocks until every node settles, runs commit hooks in node-id
+     * order, then rethrows the exception of the lowest-id failed
+     * node, if any.  A graph runs at most once.
+     */
+    void run(ThreadPool& pool);
+
+    std::size_t nodeCount() const { return nodes.size(); }
+    std::size_t edgeCount() const { return edges; }
+
+    NodeStatus status(NodeId id) const;
+    const std::string& label(NodeId id) const;
+
+    /** Longest dependency chain, in nodes (0 for an empty graph). */
+    std::size_t criticalPathLength() const;
+
+    /**
+     * Emit the graph as one JSON object value: node/edge counts,
+     * critical path, and per-node {id, label, stage, status, probed,
+     * deps}.  Callable before or after run().
+     */
+    void writeJson(JsonWriter& w) const;
+
+    /** Emit Graphviz DOT, nodes colored by status. */
+    void writeDot(std::ostream& os) const;
+
+  private:
+    struct Node
+    {
+        std::string label;
+        std::string stage;
+        std::vector<NodeId> deps;
+        std::vector<NodeId> dependents;
+        std::function<void()> work;
+        std::function<bool()> probe;
+        std::function<void()> commit;
+        NodeStatus status = NodeStatus::Pending;
+        std::size_t remaining = 0;  ///< unsettled deps during run()
+        std::exception_ptr error;
+        std::string errorText;
+    };
+
+    std::vector<Node> nodes;
+    std::size_t edges = 0;
+    bool ran = false;
+
+    mutable std::mutex mutex;       ///< guards node status during run
+    std::condition_variable wake;   ///< completions -> scheduler loop
+
+    std::size_t criticalPathLocked() const;
+};
+
+} // namespace xbsp::pipeline
+
+#endif // XBSP_PIPELINE_TASKGRAPH_HH

@@ -92,8 +92,8 @@ ProfilePass runProfilePassUncached(const bin::Binary& binary,
 
 } // namespace
 
-ProfilePass
-runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
+serial::Hash128
+profilePassKey(const bin::Binary& binary, InstrCount fliTarget,
                u64 seed)
 {
     serial::Hasher h;
@@ -101,10 +101,18 @@ runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
     bin::hashBinary(h, binary);
     h.u64v(fliTarget);
     h.u64v(seed);
+    return h.finish();
+}
+
+ProfilePass
+runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
+               u64 seed)
+{
     return store::ArtifactStore::global()
-        .getOrCompute<ProfilePassCodec>(h.finish(), "profile", [&] {
-            return runProfilePassUncached(binary, fliTarget, seed);
-        });
+        .getOrCompute<ProfilePassCodec>(
+            profilePassKey(binary, fliTarget, seed), "profile", [&] {
+                return runProfilePassUncached(binary, fliTarget, seed);
+            });
 }
 
 namespace

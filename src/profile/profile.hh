@@ -14,6 +14,7 @@
 #include "binary/binary.hh"
 #include "exec/engine.hh"
 #include "simpoint/fvec.hh"
+#include "util/serial.hh"
 
 namespace xbsp::prof
 {
@@ -114,6 +115,16 @@ struct ProfilePass
 ProfilePass runProfilePass(const bin::Binary& binary,
                            InstrCount fliTarget,
                            u64 seed = 0x5EEDull);
+
+/**
+ * Artifact-store key of one profile pass — the exact key
+ * runProfilePass memoizes under (artifact type ProfilePassCodec).
+ * Exposed so the pipeline scheduler can probe whether a profile
+ * stage is already cached.
+ */
+serial::Hash128 profilePassKey(const bin::Binary& binary,
+                               InstrCount fliTarget,
+                               u64 seed = 0x5EEDull);
 
 } // namespace xbsp::prof
 

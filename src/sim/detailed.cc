@@ -19,9 +19,11 @@ namespace
 DetailedRunResult runDetailedUncached(const bin::Binary& binary,
                                       const DetailedRunRequest& req);
 
-/** Cache key of one detailed run: binary + every request knob. */
+} // namespace
+
 serial::Hash128
-detailedKey(const bin::Binary& binary, const DetailedRunRequest& req)
+detailedRunKey(const bin::Binary& binary,
+               const DetailedRunRequest& req)
 {
     serial::Hasher h;
     h.str("detailed");
@@ -40,14 +42,12 @@ detailedKey(const bin::Binary& binary, const DetailedRunRequest& req)
     return h.finish();
 }
 
-} // namespace
-
 DetailedRunResult
 runDetailed(const bin::Binary& binary, const DetailedRunRequest& req)
 {
     return store::ArtifactStore::global()
         .getOrCompute<DetailedRunCodec>(
-            detailedKey(binary, req), "detailed", [&] {
+            detailedRunKey(binary, req), "detailed", [&] {
                 return runDetailedUncached(binary, req);
             });
 }

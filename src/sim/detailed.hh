@@ -70,6 +70,15 @@ struct DetailedRunRequest
 DetailedRunResult runDetailed(const bin::Binary& binary,
                               const DetailedRunRequest& request);
 
+/**
+ * Artifact-store key of one detailed run (binary + every request
+ * knob) — the exact key runDetailed memoizes under (artifact type
+ * DetailedRunCodec).  Exposed so the pipeline scheduler can probe
+ * whether a detailed-simulation stage is already cached.
+ */
+serial::Hash128 detailedRunKey(const bin::Binary& binary,
+                               const DetailedRunRequest& request);
+
 } // namespace xbsp::sim
 
 #endif // XBSP_SIM_DETAILED_HH

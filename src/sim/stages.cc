@@ -1,0 +1,273 @@
+#include "sim/stages.hh"
+
+#include <utility>
+
+#include "binary/serial.hh"
+#include "core/serial.hh"
+#include "obs/progress.hh"
+#include "obs/stats.hh"
+#include "profile/serial.hh"
+#include "simpoint/serial.hh"
+#include "sim/serial.hh"
+#include "store/store.hh"
+#include "util/format.hh"
+#include "util/logging.hh"
+
+namespace xbsp::sim
+{
+
+StudyBuild::StudyBuild(ir::Program program, StudyConfig config)
+    : prog(std::move(program)),
+      targets(compile::standardTargets().size())
+{
+    study.cfg = std::move(config);
+    study.name = prog.name;
+}
+
+void
+StudyBuild::compile()
+{
+    obs::StatRegistry::global().counter("study.runs").add();
+    started = std::chrono::steady_clock::now();
+    study.bins = compile::compileAllTargets(prog,
+                                            study.cfg.compileOptions);
+    if (study.cfg.primaryIdx >= study.bins.size())
+        fatal("primary binary index {} out of range",
+              study.cfg.primaryIdx);
+
+    // Step layout for --progress: compile, one profile pass per
+    // binary, the VLI build+cluster, one per-binary study step.
+    obs::Progress& progress = obs::Progress::global();
+    progress.addSteps(2 + 2 * study.bins.size());
+    progress.completeStep(format("study.{}.compile", prog.name));
+
+    passes.resize(study.bins.size());
+    study.studies.resize(study.bins.size());
+}
+
+void
+StudyBuild::profile(std::size_t b)
+{
+    // Every binary owns its own engine and per-block address-
+    // generator seeds (derived from config.engineSeed and block ids
+    // only), so the four passes are independent and their results do
+    // not depend on execution order.
+    passes[b] = prof::runProfilePass(study.bins[b],
+                                     study.cfg.intervalTarget,
+                                     study.cfg.engineSeed);
+    obs::Progress::global().completeStep(
+        format("study.{}.profile.{}", prog.name,
+               study.bins[b].displayName()));
+}
+
+void
+StudyBuild::match()
+{
+    std::vector<const bin::Binary*> binPtrs;
+    std::vector<const prof::MarkerProfile*> profPtrs;
+    for (std::size_t b = 0; b < study.bins.size(); ++b) {
+        binPtrs.push_back(&study.bins[b]);
+        profPtrs.push_back(&passes[b].markers);
+    }
+    study.mappableSet = core::findMappablePoints(binPtrs, profPtrs);
+    if (study.mappableSet.points.empty())
+        fatal("program '{}': no mappable points found across the "
+              "binaries; cross-binary SimPoint cannot proceed",
+              prog.name);
+}
+
+void
+StudyBuild::vliCluster()
+{
+    core::VliBuild vliBuild = core::buildVliPartition(
+        study.bins[study.cfg.primaryIdx], study.mappableSet,
+        study.cfg.primaryIdx, study.cfg.intervalTarget,
+        study.cfg.engineSeed);
+    study.vliPartition = vliBuild.partition;
+    study.vliCluster = sp::pickSimulationPoints(vliBuild.intervals,
+                                                study.cfg.simpoint);
+    obs::Progress::global().completeStep(
+        format("study.{}.cluster", prog.name));
+}
+
+void
+StudyBuild::binary(std::size_t b)
+{
+    // Reads shared state (bins, mappableSet, vliPartition,
+    // vliCluster) const-only and writes only its own BinaryStudy
+    // slot, so the four binaries proceed independently.  The step is
+    // only counted complete on success: a throwing stage leaves the
+    // progress meter short and surfaces as a failed node instead.
+    const StudyConfig& config = study.cfg;
+    BinaryStudy& bs = study.studies[b];
+    bs.target = study.bins[b].target;
+    bs.totalInstrs = passes[b].totalInstructions;
+    bs.fliIntervalCount = passes[b].fliIntervals.size();
+    bs.fliClustering = sp::pickSimulationPoints(
+        std::move(passes[b].fliIntervals), config.simpoint);
+    // The profile pass is dead from here on: steal its buffers
+    // rather than deep-copying them.
+    bs.markers = std::move(passes[b].markers);
+    bs.fliBoundaries = std::move(passes[b].fliBoundaries);
+
+    const std::string stepLabel = format(
+        "study.{}.binary.{}", prog.name, study.bins[b].displayName());
+
+    if (!config.detailed) {
+        // Interval sizes are still known without timing: compute
+        // the mapped VLI sizes with a cheap (no-cache) run.
+        exec::Engine engine(study.bins[b], config.engineSeed);
+        std::vector<InstrCount> cuts;
+        core::BoundaryTracker tracker(
+            study.mappableSet, b, study.vliPartition,
+            [&](std::size_t) {
+                cuts.push_back(engine.instructionsExecuted());
+            });
+        engine.addObserver(&tracker, {false, false, true});
+        engine.run();
+        if (!tracker.finished())
+            panic("binary {}: VLI boundaries not all crossed",
+                  study.bins[b].displayName());
+        bs.avgVliIntervalSize =
+            static_cast<double>(engine.instructionsExecuted()) /
+            static_cast<double>(study.vliPartition.intervalCount());
+        obs::Progress::global().completeStep(stepLabel);
+        return;
+    }
+
+    DetailedRunRequest req;
+    req.fliBoundaries = bs.fliBoundaries;
+    req.mappable = &study.mappableSet;
+    req.binaryIdx = b;
+    req.partition = &study.vliPartition;
+    req.memory = config.memory;
+    req.seed = config.engineSeed;
+    bs.detailedRun = runDetailed(study.bins[b], req);
+
+    bs.fliEstimate = estimateSampled(bs.fliClustering,
+                                     bs.detailedRun.fliIntervals);
+    bs.vliEstimate = estimateSampled(study.vliCluster,
+                                     bs.detailedRun.vliIntervals);
+    bs.avgVliIntervalSize =
+        static_cast<double>(bs.totalInstrs) /
+        static_cast<double>(study.vliPartition.intervalCount());
+    obs::Progress::global().completeStep(stepLabel);
+}
+
+void
+StudyBuild::finish()
+{
+    elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - started)
+                  .count();
+    finished = true;
+}
+
+CrossBinaryStudy
+StudyBuild::takeStudy()
+{
+    if (!finished)
+        panic("StudyBuild::takeStudy before finish()");
+    return std::move(study);
+}
+
+bool
+StudyBuild::compileCached() const
+{
+    const store::ArtifactStore& store = store::ArtifactStore::global();
+    for (const bin::Target& target : compile::standardTargets()) {
+        if (!store.contains(
+                compile::compileKey(prog, target,
+                                    study.cfg.compileOptions),
+                bin::BinaryCodec::tag, bin::BinaryCodec::version))
+            return false;
+    }
+    return true;
+}
+
+bool
+StudyBuild::profileCached(std::size_t b) const
+{
+    if (b >= study.bins.size())
+        return false;  // compile itself failed or hasn't run
+    return store::ArtifactStore::global().contains(
+        prof::profilePassKey(study.bins[b], study.cfg.intervalTarget,
+                             study.cfg.engineSeed),
+        prof::ProfilePassCodec::tag, prof::ProfilePassCodec::version);
+}
+
+bool
+StudyBuild::binaryCached(std::size_t b) const
+{
+    // The no-detailed branch always runs a (cheap, unmemoized)
+    // engine pass, so only the detailed path can cache-resolve.
+    if (!study.cfg.detailed)
+        return false;
+    if (b >= study.bins.size() || b >= passes.size())
+        return false;
+    const store::ArtifactStore& store = store::ArtifactStore::global();
+    if (!store.contains(
+            sp::simPointKey(passes[b].fliIntervals,
+                            study.cfg.simpoint),
+            sp::SimPointCodec::tag, sp::SimPointCodec::version))
+        return false;
+    DetailedRunRequest req;
+    req.fliBoundaries = passes[b].fliBoundaries;
+    req.mappable = &study.mappableSet;
+    req.binaryIdx = b;
+    req.partition = &study.vliPartition;
+    req.memory = study.cfg.memory;
+    req.seed = study.cfg.engineSeed;
+    return store.contains(detailedRunKey(study.bins[b], req),
+                          DetailedRunCodec::tag,
+                          DetailedRunCodec::version);
+}
+
+pipeline::NodeId
+appendStudyGraph(pipeline::TaskGraph& graph, StudyBuild& build)
+{
+    const std::string& name = build.workload();
+    const std::vector<bin::Target> targets = compile::standardTargets();
+
+    const pipeline::NodeId compileNode = graph.add(
+        format("study.{}.compile", name), "compile", {},
+        [&build] { build.compile(); });
+    graph.setProbe(compileNode,
+                   [&build] { return build.compileCached(); });
+
+    std::vector<pipeline::NodeId> profiles;
+    for (std::size_t b = 0; b < build.binaryCount(); ++b) {
+        const pipeline::NodeId id = graph.add(
+            format("study.{}.profile.{}", name,
+                   bin::targetName(targets[b])),
+            "profile", {compileNode}, [&build, b] { build.profile(b); });
+        graph.setProbe(id,
+                       [&build, b] { return build.profileCached(b); });
+        profiles.push_back(id);
+    }
+
+    const pipeline::NodeId matchNode = graph.add(
+        format("study.{}.match", name), "match", profiles,
+        [&build] { build.match(); });
+
+    const pipeline::NodeId vliNode = graph.add(
+        format("study.{}.cluster", name), "vli",
+        {compileNode, matchNode}, [&build] { build.vliCluster(); });
+
+    std::vector<pipeline::NodeId> binaries;
+    for (std::size_t b = 0; b < build.binaryCount(); ++b) {
+        const pipeline::NodeId id = graph.add(
+            format("study.{}.binary.{}", name,
+                   bin::targetName(targets[b])),
+            "binary", {profiles[b], matchNode, vliNode},
+            [&build, b] { build.binary(b); });
+        graph.setProbe(id,
+                       [&build, b] { return build.binaryCached(b); });
+        binaries.push_back(id);
+    }
+
+    return graph.add(format("study.{}.finish", name), "finish",
+                     binaries, [&build] { build.finish(); });
+}
+
+} // namespace xbsp::sim

@@ -2,9 +2,9 @@
 
 #include <utility>
 
-#include "obs/progress.hh"
-#include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "pipeline/taskgraph.hh"
+#include "sim/stages.hh"
 #include "util/format.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
@@ -23,152 +23,39 @@ CrossBinaryStudy
 CrossBinaryStudy::run(const ir::Program& program,
                       const StudyConfig& config)
 {
-    // Every stage called below (compileAllTargets, runProfilePass,
-    // buildVliPartition, pickSimulationPoints, runDetailed) is
-    // memoized through store::ArtifactStore::global(), keyed by the
-    // exact hash of its inputs.  A warm run therefore reads every
-    // artifact from disk and reassembles this struct bit-identically
-    // — the study itself needs no cache logic of its own.
-    CrossBinaryStudy study;
-    study.cfg = config;
-    study.name = program.name;
+    // Every stage (see sim/stages.hh) is memoized through
+    // store::ArtifactStore::global(), keyed by the exact hash of its
+    // inputs.  A warm run therefore reads every artifact from disk
+    // and reassembles this struct bit-identically — the study itself
+    // needs no cache logic of its own, and cached stages resolve
+    // their graph nodes without occupying a worker slot.
+    StudyBuild build(program, config);
+    pipeline::TaskGraph graph;
+    appendStudyGraph(graph, build);
+    graph.run(globalPool());
+    return build.takeStudy();
+}
 
-    obs::TraceSpan studySpan(format("study {}", program.name),
-                             "study");
-    obs::Progress& progress = obs::Progress::global();
-    obs::StatRegistry::global().counter("study.runs").add();
-
-    // 1. Compile the four standard binaries.
-    {
-        obs::TraceSpan span(format("compile {}", program.name),
-                            "study");
-        study.bins =
-            compile::compileAllTargets(program, config.compileOptions);
-    }
-    if (config.primaryIdx >= study.bins.size())
-        fatal("primary binary index {} out of range",
-              config.primaryIdx);
-
-    // Step layout for --progress: compile, one profile pass per
-    // binary, the VLI build+cluster, one per-binary study step.
-    progress.addSteps(2 + 2 * study.bins.size());
-    progress.completeStep(format("study.{}.compile", program.name));
-
+CrossBinaryStudy
+CrossBinaryStudy::runBarrier(const ir::Program& program,
+                             const StudyConfig& config)
+{
+    // The pre-graph orchestration shape: the same stage functions,
+    // with a full barrier after each parallel step.  The per-stage
+    // data flow is identical, so results match run() field for field.
+    obs::TraceSpan span(format("study {} (barrier)", program.name),
+                       "study");
+    StudyBuild build(program, config);
     ThreadPool& pool = globalPool();
-
-    // 2. Profile pass per binary: marker counts + FLI BBVs.  Every
-    // binary owns its own engine and per-block address-generator
-    // seeds (derived from config.engineSeed and block ids only), so
-    // the four passes are independent and their results do not depend
-    // on execution order — running them in parallel is bit-identical
-    // to the sequential loop.
-    std::vector<prof::ProfilePass> passes(study.bins.size());
-    parallelFor(pool, study.bins.size(), [&](std::size_t b) {
-        passes[b] = prof::runProfilePass(
-            study.bins[b], config.intervalTarget, config.engineSeed);
-        progress.completeStep(
-            format("study.{}.profile.{}", program.name,
-                   study.bins[b].displayName()));
-    });
-
-    // 3. Match mappable points across all binaries.
-    std::vector<const bin::Binary*> binPtrs;
-    std::vector<const prof::MarkerProfile*> profPtrs;
-    for (std::size_t b = 0; b < study.bins.size(); ++b) {
-        binPtrs.push_back(&study.bins[b]);
-        profPtrs.push_back(&passes[b].markers);
-    }
-    study.mappableSet = core::findMappablePoints(binPtrs, profPtrs);
-    if (study.mappableSet.points.empty())
-        fatal("program '{}': no mappable points found across the "
-              "binaries; cross-binary SimPoint cannot proceed",
-              program.name);
-
-    // 4. Build VLIs on the primary and cluster them.
-    {
-        obs::TraceSpan span(format("cluster {}", program.name),
-                            "study");
-        core::VliBuild vliBuild = core::buildVliPartition(
-            study.bins[config.primaryIdx], study.mappableSet,
-            config.primaryIdx, config.intervalTarget,
-            config.engineSeed);
-        study.vliPartition = vliBuild.partition;
-        study.vliCluster = sp::pickSimulationPoints(
-            vliBuild.intervals, config.simpoint);
-    }
-    progress.completeStep(format("study.{}.cluster", program.name));
-
-    // 5/6/7. Per-binary clustering, detailed run and estimates.
-    // Each iteration touches only its own BinaryStudy slot and reads
-    // shared state (bins, mappableSet, vliPartition, vliCluster)
-    // const-only, so the binaries proceed in parallel while producing
-    // results bit-identical to the sequential order.
-    study.studies.resize(study.bins.size());
-    parallelFor(pool, study.bins.size(), [&](std::size_t b) {
-        obs::TraceSpan span(
-            format("binary {} {}", program.name,
-                   study.bins[b].displayName()),
-            "study");
-        // Every exit of this step (including the early no-detailed
-        // return) counts it complete.
-        struct StepDone
-        {
-            obs::Progress& progress;
-            std::string label;
-            ~StepDone() { progress.completeStep(label); }
-        } stepDone{progress,
-                   format("study.{}.binary.{}", program.name,
-                          study.bins[b].displayName())};
-        BinaryStudy& bs = study.studies[b];
-        bs.target = study.bins[b].target;
-        bs.totalInstrs = passes[b].totalInstructions;
-        bs.fliIntervalCount = passes[b].fliIntervals.size();
-        bs.fliClustering = sp::pickSimulationPoints(
-            std::move(passes[b].fliIntervals), config.simpoint);
-        // The profile pass is dead from here on: steal its buffers
-        // rather than deep-copying them.
-        bs.markers = std::move(passes[b].markers);
-        bs.fliBoundaries = std::move(passes[b].fliBoundaries);
-
-        if (!config.detailed) {
-            // Interval sizes are still known without timing: compute
-            // the mapped VLI sizes with a cheap (no-cache) run.
-            exec::Engine engine(study.bins[b], config.engineSeed);
-            std::vector<InstrCount> cuts;
-            core::BoundaryTracker tracker(
-                study.mappableSet, b, study.vliPartition,
-                [&](std::size_t) {
-                    cuts.push_back(engine.instructionsExecuted());
-                });
-            engine.addObserver(&tracker, {false, false, true});
-            engine.run();
-            if (!tracker.finished())
-                panic("binary {}: VLI boundaries not all crossed",
-                      study.bins[b].displayName());
-            bs.avgVliIntervalSize =
-                static_cast<double>(engine.instructionsExecuted()) /
-                static_cast<double>(study.vliPartition.intervalCount());
-            return;
-        }
-
-        DetailedRunRequest req;
-        req.fliBoundaries = bs.fliBoundaries;
-        req.mappable = &study.mappableSet;
-        req.binaryIdx = b;
-        req.partition = &study.vliPartition;
-        req.memory = config.memory;
-        req.seed = config.engineSeed;
-        bs.detailedRun = runDetailed(study.bins[b], req);
-
-        bs.fliEstimate = estimateSampled(bs.fliClustering,
-                                         bs.detailedRun.fliIntervals);
-        bs.vliEstimate = estimateSampled(study.vliCluster,
-                                         bs.detailedRun.vliIntervals);
-        bs.avgVliIntervalSize =
-            static_cast<double>(bs.totalInstrs) /
-            static_cast<double>(study.vliPartition.intervalCount());
-    });
-    return study;
+    build.compile();
+    parallelFor(pool, build.binaryCount(),
+                [&build](std::size_t b) { build.profile(b); });
+    build.match();
+    build.vliCluster();
+    parallelFor(pool, build.binaryCount(),
+                [&build](std::size_t b) { build.binary(b); });
+    build.finish();
+    return build.takeStudy();
 }
 
 double
@@ -218,7 +105,8 @@ const BinaryEstimate&
 CrossBinaryStudy::estimateOf(Method method, std::size_t idx) const
 {
     if (idx >= studies.size())
-        panic("binary index {} out of range", idx);
+        fatal("study '{}': binary index {} out of range (study has "
+              "{} binaries)", name, idx, studies.size());
     return method == Method::PerBinaryFli ? studies[idx].fliEstimate
                                           : studies[idx].vliEstimate;
 }
@@ -248,15 +136,31 @@ CrossBinaryStudy::speedupError(Method method, std::size_t a,
                              estA.estCycles, estB.estCycles);
 }
 
-std::vector<SpeedupPair>
-samePlatformPairs()
+namespace
 {
+
+void
+checkPairTargets(std::size_t binaryCount)
+{
+    if (binaryCount < 4)
+        fatal("speedup pairs index the four standard binaries "
+              "(0=32u, 1=32o, 2=64u, 3=64o) but only {} are "
+              "available", binaryCount);
+}
+
+} // namespace
+
+std::vector<SpeedupPair>
+samePlatformPairs(std::size_t binaryCount)
+{
+    checkPairTargets(binaryCount);
     return {{0, 1, "32u32o"}, {2, 3, "64u64o"}};
 }
 
 std::vector<SpeedupPair>
-crossPlatformPairs()
+crossPlatformPairs(std::size_t binaryCount)
 {
+    checkPairTargets(binaryCount);
     return {{0, 2, "32u64u"}, {1, 3, "32o64o"}};
 }
 

@@ -98,9 +98,23 @@ struct BinaryStudy
 class CrossBinaryStudy
 {
   public:
-    /** Run the complete pipeline for one program. */
+    /**
+     * Run the complete pipeline for one program, scheduled as a
+     * pipeline::TaskGraph of stages on the global pool (see
+     * sim/stages.hh).  Bit-identical at any --jobs count.
+     */
     static CrossBinaryStudy run(const ir::Program& program,
                                 const StudyConfig& config);
+
+    /**
+     * Run the same stages as run(), but with the pre-graph barrier
+     * orchestration (parallelFor over profiles, then over binaries,
+     * with full barriers between stages).  Produces field-identical
+     * results; kept for the golden equivalence test and the
+     * barrier-vs-graph wall-time benchmark.
+     */
+    static CrossBinaryStudy runBarrier(const ir::Program& program,
+                                       const StudyConfig& config);
 
     const StudyConfig& config() const { return cfg; }
     const std::vector<bin::Binary>& binaries() const { return bins; }
@@ -131,6 +145,8 @@ class CrossBinaryStudy
                         std::size_t b) const;
 
   private:
+    friend class StudyBuild;  // assembles the fields stage by stage
+
     StudyConfig cfg;
     std::string name;
     std::vector<bin::Binary> bins;
@@ -156,8 +172,14 @@ struct SpeedupPair
     std::string label;
 };
 
-std::vector<SpeedupPair> samePlatformPairs();
-std::vector<SpeedupPair> crossPlatformPairs();
+/**
+ * The pairs assume the canonical four-binary layout; pass the actual
+ * binary count of the study (or studies) the pairs will index into —
+ * a count below four is a clear `fatal` here instead of an
+ * out-of-range access later.
+ */
+std::vector<SpeedupPair> samePlatformPairs(std::size_t binaryCount = 4);
+std::vector<SpeedupPair> crossPlatformPairs(std::size_t binaryCount = 4);
 
 } // namespace xbsp::sim
 

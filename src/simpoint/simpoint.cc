@@ -179,12 +179,8 @@ pickFromNormalized(const FrequencyVectorSet& fvs,
     return out;
 }
 
-/**
- * Cache key of one clustering run.  Hashed over the *raw* (pre-
- * normalization) vectors, which is what both public overloads
- * receive; the consuming overload normalizes in place, so the key
- * must be derived before the input is mutated.
- */
+} // namespace
+
 serial::Hash128
 simPointKey(const FrequencyVectorSet& fvs,
             const SimPointOptions& options)
@@ -195,8 +191,6 @@ simPointKey(const FrequencyVectorSet& fvs,
     hashSimPointOptions(h, options);
     return h.finish();
 }
-
-} // namespace
 
 SimPointResult
 pickSimulationPoints(const FrequencyVectorSet& fvs,

@@ -15,6 +15,7 @@
 #include "simpoint/bic.hh"
 #include "simpoint/fvec.hh"
 #include "simpoint/kmeans.hh"
+#include "util/serial.hh"
 
 namespace xbsp::sp
 {
@@ -97,6 +98,16 @@ SimPointResult pickSimulationPoints(const FrequencyVectorSet& fvs,
  */
 SimPointResult pickSimulationPoints(FrequencyVectorSet&& fvs,
                                     const SimPointOptions& options);
+
+/**
+ * Artifact-store key of one clustering run — the exact key
+ * pickSimulationPoints memoizes under (artifact type SimPointCodec).
+ * Hashed over the *raw* (pre-normalization) vectors, which is what
+ * both overloads receive.  Exposed so the pipeline scheduler can
+ * probe whether a clustering stage is already cached.
+ */
+serial::Hash128 simPointKey(const FrequencyVectorSet& fvs,
+                            const SimPointOptions& options);
 
 } // namespace xbsp::sp
 

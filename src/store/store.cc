@@ -196,6 +196,33 @@ ArtifactStore::warnWriteOnce(const std::string& what)
              "without persisting artifacts", directory(), what);
 }
 
+bool
+ArtifactStore::contains(const serial::Hash128& key, u32 typeTag,
+                        u32 typeVersion) const
+{
+    if (!enabled())
+        return false;
+    const std::string dir = directory();
+    if (dir.empty())
+        return false;
+    counter("store.probes").add();
+    std::ifstream in(entryPath(key), std::ios::binary);
+    if (!in)
+        return false;
+    char header[headerBytes];
+    in.read(header, headerBytes);
+    if (!in)
+        return false;  // truncated; readEntry will evict it
+    try {
+        serial::Decoder d(std::string_view(header, headerBytes));
+        return d.fixed32() == entryMagic &&
+               d.fixed32() == storeFormatVersion &&
+               d.fixed32() == typeTag && d.fixed32() == typeVersion;
+    } catch (const serial::DecodeError&) {
+        return false;
+    }
+}
+
 std::optional<std::string>
 ArtifactStore::readEntry(const serial::Hash128& key, u32 typeTag,
                          u32 typeVersion)

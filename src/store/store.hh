@@ -141,6 +141,18 @@ class ArtifactStore
     }
 
     /**
+     * Cheap existence probe: true when an entry for `key` is on disk
+     * with a valid header of the given type tag/version.  Reads only
+     * the fixed header — no payload decode, no checksum, no hit/miss
+     * counters, no mtime bump — so the pipeline scheduler can ask
+     * "would this stage be served from the cache?" without perturbing
+     * the store's statistics or LRU state.  Always false when the
+     * store is disabled.  Counts store.probes (enabled calls only).
+     */
+    bool contains(const serial::Hash128& key, u32 typeTag,
+                  u32 typeVersion) const;
+
+    /**
      * Read and verify one entry's payload; nullopt on miss.  Corrupt,
      * truncated or version-skewed entries are evicted on the way.
      * (Public for tests; getOrCompute is the normal interface.)

@@ -106,6 +106,38 @@ TEST_F(StoreTest, GetOrComputeMissThenHit)
     EXPECT_GT(counterValue("store.bytes_read"), 0u);
 }
 
+TEST_F(StoreTest, ContainsProbesHeaderWithoutHitMissAccounting)
+{
+    const serial::Hash128 key = keyOf("probe-me");
+    EXPECT_FALSE(
+        store.contains(key, StringCodec::tag, StringCodec::version));
+    store.getOrCompute<StringCodec>(key, "test",
+                                    [] { return std::string("v"); });
+
+    const u64 hits0 = counterValue("store.stage.test.hits");
+    const u64 misses0 = counterValue("store.stage.test.misses");
+    const u64 probes0 = counterValue("store.probes");
+    EXPECT_TRUE(
+        store.contains(key, StringCodec::tag, StringCodec::version));
+    // Wrong type tag or version: present on disk, but not usable.
+    EXPECT_FALSE(store.contains(key, serial::fourcc("XXXX"),
+                                StringCodec::version));
+    EXPECT_FALSE(
+        store.contains(key, StringCodec::tag,
+                       StringCodec::version + 1));
+    EXPECT_FALSE(store.contains(keyOf("absent"), StringCodec::tag,
+                                StringCodec::version));
+    // Probes are header-only reads: they never count as hits or
+    // misses (a miss would skew the warm-run assertions in CI).
+    EXPECT_EQ(counterValue("store.stage.test.hits"), hits0);
+    EXPECT_EQ(counterValue("store.stage.test.misses"), misses0);
+    EXPECT_EQ(counterValue("store.probes"), probes0 + 4);
+
+    store.configure({dir.string(), false});
+    EXPECT_FALSE(
+        store.contains(key, StringCodec::tag, StringCodec::version));
+}
+
 TEST_F(StoreTest, DisabledStoreAlwaysComputes)
 {
     store.configure({dir.string(), false});

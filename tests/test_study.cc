@@ -173,6 +173,26 @@ TEST(Study, BadPrimaryIndexFatal)
                 ::testing::ExitedWithCode(1), "out of range");
 }
 
+TEST(Study, SpeedupIndexOutOfRangeFatal)
+{
+    const auto study = runTiny();
+    EXPECT_EXIT((void)study.trueSpeedup(9, 0),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT((void)study.estimatedSpeedup(sim::Method::MappableVli,
+                                             0, 17),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(Study, PairHelpersValidateBinaryCount)
+{
+    EXPECT_EXIT((void)sim::samePlatformPairs(2),
+                ::testing::ExitedWithCode(1),
+                "four standard binaries");
+    EXPECT_EXIT((void)sim::crossPlatformPairs(3),
+                ::testing::ExitedWithCode(1),
+                "four standard binaries");
+}
+
 TEST(Study, EndToEndOnRealWorkload)
 {
     sim::StudyConfig config;

@@ -16,6 +16,13 @@
  *                                     full cross-binary pipeline; with
  *                                     --regions, write per-binary
  *                                     region-spec files
+ *   xbsp graph     [W...] [--dot] [--run] [--out file]
+ *                                     dump the stage task graph the
+ *                                     scheduler would execute for the
+ *                                     workloads (default --workload)
+ *                                     as JSON (or DOT); with --run,
+ *                                     execute it first so every node
+ *                                     carries its final status
  *   xbsp cache stats|gc|clear         inspect / collect / wipe the
  *                                     artifact cache (--cache-dir or
  *                                     XBSP_CACHE_DIR)
@@ -33,13 +40,16 @@
 #include "core/regionspec.hh"
 #include "harness/experiments.hh"
 #include "obs/setup.hh"
+#include "pipeline/taskgraph.hh"
 #include "profile/profile.hh"
 #include "sim/report.hh"
 #include "sim/study.hh"
 #include "simpoint/io.hh"
 #include "store/store.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
+#include "util/threadpool.hh"
 #include "workloads/workloads.hh"
 
 using namespace xbsp;
@@ -190,6 +200,49 @@ cmdStudy(const Options& options)
 }
 
 int
+cmdGraph(const Options& options)
+{
+    harness::ExperimentConfig config;
+    config.workScale = options.getDouble("scale");
+    config.study = harness::defaultStudyConfig();
+    config.study.intervalTarget = options.getUint("interval");
+    config.study.simpoint.maxK =
+        static_cast<u32>(options.getUint("maxk"));
+    config.study.simpoint.seed = options.getUint("seed");
+    config.study.simpoint.accelerate = options.getBool("accel");
+
+    // Workloads come as positionals after the command; default to
+    // the --workload option like the other single-study commands.
+    std::vector<std::string> names(options.positional().begin() + 1,
+                                   options.positional().end());
+    if (names.empty())
+        names.push_back(options.getString("workload"));
+
+    harness::SuiteGraph suite;
+    harness::buildSuiteGraph(suite, config, names);
+    if (options.getBool("run"))
+        suite.graph.run(globalPool());
+
+    std::ofstream file;
+    std::ostream* os = &std::cout;
+    if (const std::string path = options.getString("out");
+        !path.empty()) {
+        file.open(path);
+        if (!file)
+            fatal("cannot write '{}'", path);
+        os = &file;
+    }
+    if (options.getBool("dot")) {
+        suite.graph.writeDot(*os);
+    } else {
+        JsonWriter w(*os);
+        suite.graph.writeJson(w);
+        *os << '\n';
+    }
+    return 0;
+}
+
+int
 cmdCache(const Options& options)
 {
     store::ArtifactStore& store = store::ArtifactStore::global();
@@ -241,7 +294,7 @@ main(int argc, char** argv)
 {
     Options options(
         "xbsp <command> [options] — commands: list, describe, bbv, "
-        "simpoints, study, cache");
+        "simpoints, study, graph, cache");
     options.addString("workload", "workload name", "swim");
     options.addString("target", "binary target (32u/32o/64u/64o)",
                       "32u");
@@ -258,6 +311,11 @@ main(int argc, char** argv)
     options.addString("out", "output path prefix", "");
     options.addString("regions", "region-spec output prefix", "");
     options.addBool("stats", "dump gem5-style stats (study)", false);
+    options.addBool("dot", "emit Graphviz DOT instead of JSON (graph)",
+                    false);
+    options.addBool("run",
+                    "execute the graph before dumping it, so nodes "
+                    "carry final statuses (graph)", false);
     options.addString("cache-dir",
                       "artifact cache directory (default: "
                       "XBSP_CACHE_DIR)", "");
@@ -298,6 +356,8 @@ main(int argc, char** argv)
         return cmdSimpoints(options);
     if (command == "study")
         return cmdStudy(options);
+    if (command == "graph")
+        return cmdGraph(options);
     if (command == "cache")
         return cmdCache(options);
     fatal("unknown command '{}'", command);
