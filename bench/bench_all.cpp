@@ -19,6 +19,7 @@
 
 #include "bench_clustering_common.hh"
 #include "bench_common.hh"
+#include "bench_kernels_common.hh"
 #include "obs/stats.hh"
 #include "store/store.hh"
 #include "util/logging.hh"
@@ -100,6 +101,17 @@ main(int argc, char** argv)
         return bench::clusteringTable(clustering);
     });
 
+    // Kernel microbench (scalar reference vs dispatched vector
+    // kernels, plus the dedup digest build); the dedicated
+    // bench_micro_kernels binary measures with more reps.
+    std::vector<bench::KernelBenchResult> kernels;
+    bench::DedupBenchResult dedup;
+    timed("kernels", [&] {
+        kernels = bench::benchKernels(3);
+        dedup = bench::benchDedupBuild(3);
+        return bench::kernelsTable(kernels);
+    });
+
     const double totalSeconds =
         std::chrono::duration<double>(clock::now() - suiteStart)
             .count();
@@ -129,6 +141,8 @@ main(int argc, char** argv)
                  static_cast<double>(instructions) / totalSeconds, 0);
         w.key("clustering");
         bench::writeClusteringCases(w, clustering);
+        w.key("kernels");
+        bench::writeKernelsJson(w, kernels, dedup);
         w.key("figures").beginArray();
         for (const FigureTiming& t : timings) {
             w.beginObject();

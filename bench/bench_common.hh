@@ -16,6 +16,7 @@
 #include "harness/experiments.hh"
 #include "util/format.hh"
 #include "util/options.hh"
+#include "util/simd/simd.hh"
 #include "util/stats.hh"
 
 namespace xbsp::bench
@@ -40,6 +41,10 @@ makeOptions(const std::string& description)
                     true);
     options.addBool("csv", "also emit CSV after the table", false);
     options.addBool("verbose", "per-study progress on stderr", true);
+    options.addString("simd",
+                      "kernel dispatch: off|scalar|auto|on|avx2|neon "
+                      "(default: XBSP_SIMD, else best available; pure "
+                      "speed knob — results are bit-identical)", "");
     options.addJobs();
     options.addString("json",
                       "write a machine-readable timing summary to "
@@ -68,6 +73,9 @@ makeConfig(const Options& options)
 {
     harness::ExperimentConfig config;
     options.applyJobs();
+    if (const std::string mode = options.getString("simd");
+        !mode.empty())
+        simd::select(mode);
     config.workloads = splitList(options.getString("workloads"));
     config.workScale = options.getDouble("scale");
     config.study = harness::defaultStudyConfig();

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Shared core of the kernel microbench: time the dispatched vector
+ * kernels (sqDist, batched E-step distances, axpy, sum) against the
+ * scalar reference on dense rows of several dimensionalities —
+ * including non-multiples of the 4-lane width, so the tail path is
+ * measured too — and time the dedup digest build on duplicate-heavy
+ * sparse input.  Verifies scalar/vector bit-identity on every
+ * measured buffer as a side effect.  Used by bench_micro_kernels
+ * (standalone, writes BENCH_kernels.json) and by bench_all (folds a
+ * "kernels" section into BENCH_pipeline.json).
+ */
+
+#ifndef XBSP_BENCH_KERNELS_COMMON_HH
+#define XBSP_BENCH_KERNELS_COMMON_HH
+
+#include <chrono>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "simpoint/fvec.hh"
+#include "util/json.hh"
+#include "util/rng.hh"
+#include "util/simd/simd.hh"
+#include "util/table.hh"
+
+namespace xbsp::bench
+{
+
+/** One kernel x dimensionality measurement. */
+struct KernelBenchResult
+{
+    std::string kernel;
+    std::size_t dims = 0;
+    double scalarNs = 0.0;  ///< ns per element-op, scalar reference
+    double simdNs = 0.0;    ///< ns per element-op, dispatched kernels
+    double speedup = 0.0;
+    bool identical = false; ///< dispatched bits == scalar bits
+};
+
+/** Timing of the dedup digest build (not a SIMD kernel; hash-bound). */
+struct DedupBenchResult
+{
+    std::size_t intervals = 0;
+    std::size_t classes = 0;
+    double buildSeconds = 0.0;   ///< best-of-reps wall clock
+    double nsPerInterval = 0.0;
+};
+
+namespace detail
+{
+
+inline simd::AlignedVec
+randomRows(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    simd::AlignedVec v(n);
+    for (double& x : v)
+        x = rng.nextDouble(-2.0, 2.0);
+    return v;
+}
+
+/** Best-of-`reps` wall-clock seconds of `body()` (after one warmup). */
+template <typename F>
+double
+bestOf(int reps, F&& body)
+{
+    using clock = std::chrono::steady_clock;
+    body();
+    double best = std::numeric_limits<double>::max();
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto start = clock::now();
+        body();
+        best = std::min(
+            best,
+            std::chrono::duration<double>(clock::now() - start)
+                .count());
+    }
+    return best;
+}
+
+} // namespace detail
+
+/**
+ * Measure the clustering-path kernels at E-step-like shapes: `points`
+ * rows of each dimensionality against `k` centroid rows.  Element-op
+ * normalization (points x k x dims for distances, points x dims for
+ * axpy/sum) makes rows comparable across dims.
+ */
+inline std::vector<KernelBenchResult>
+benchKernels(int reps, std::size_t points = 4096, std::size_t k = 16)
+{
+    const simd::Kernels& vec = simd::active();
+    const simd::Kernels& ref = simd::scalarKernels();
+    std::vector<KernelBenchResult> results;
+
+    for (const std::size_t dims : {8ul, 15ul, 16ul, 33ul, 64ul}) {
+        const std::size_t stride = simd::padded(dims);
+        simd::AlignedVec data = detail::randomRows(points * stride,
+                                                   0xbe0000 + dims);
+        simd::AlignedVec centroids =
+            detail::randomRows(k * stride, 0xce0000 + dims);
+        // Zero the padding so the buffers mirror the production
+        // layout (padding must be +0.0 for bit-transparency).
+        for (std::size_t r = 0; r < points; ++r)
+            for (std::size_t d = dims; d < stride; ++d)
+                data[r * stride + d] = 0.0;
+        for (std::size_t c = 0; c < k; ++c)
+            for (std::size_t d = dims; d < stride; ++d)
+                centroids[c * stride + d] = 0.0;
+
+        std::vector<double> outVec(points * k, 0.0);
+        std::vector<double> outRef(points * k, 0.0);
+
+        // Batched E-step distances: one point vs all k centroids.
+        auto batchBody = [&](const simd::Kernels& kern,
+                             std::vector<double>& out) {
+            for (std::size_t i = 0; i < points; ++i)
+                kern.sqDistBatch(data.data() + i * stride,
+                                 centroids.data(), k, stride, stride,
+                                 out.data() + i * k);
+        };
+        KernelBenchResult batch;
+        batch.kernel = "sqDistBatch";
+        batch.dims = dims;
+        const double ops =
+            static_cast<double>(points) * static_cast<double>(k) *
+            static_cast<double>(dims);
+        batch.simdNs = detail::bestOf(reps, [&] {
+            batchBody(vec, outVec);
+        }) * 1e9 / ops;
+        batch.scalarNs = detail::bestOf(reps, [&] {
+            batchBody(ref, outRef);
+        }) * 1e9 / ops;
+        batch.speedup = batch.scalarNs / batch.simdNs;
+        batch.identical = outVec == outRef;
+        results.push_back(batch);
+
+        // Single-row sqDist (the Hamerly owner-check shape).
+        auto distBody = [&](const simd::Kernels& kern,
+                            std::vector<double>& out) {
+            for (std::size_t i = 0; i < points; ++i)
+                out[i] = kern.sqDist(data.data() + i * stride,
+                                     centroids.data(), stride);
+        };
+        KernelBenchResult dist;
+        dist.kernel = "sqDist";
+        dist.dims = dims;
+        const double distOps = static_cast<double>(points) *
+                               static_cast<double>(dims);
+        dist.simdNs = detail::bestOf(reps, [&] {
+            distBody(vec, outVec);
+        }) * 1e9 / distOps;
+        dist.scalarNs = detail::bestOf(reps, [&] {
+            distBody(ref, outRef);
+        }) * 1e9 / distOps;
+        dist.speedup = dist.scalarNs / dist.simdNs;
+        dist.identical =
+            std::equal(outVec.begin(), outVec.begin() + points,
+                       outRef.begin());
+        results.push_back(dist);
+
+        // axpy (the projection / centroid-accumulation shape).
+        simd::AlignedVec accVec(stride, 0.0), accRef(stride, 0.0);
+        auto axpyBody = [&](const simd::Kernels& kern,
+                            simd::AlignedVec& acc) {
+            for (std::size_t i = 0; i < points; ++i)
+                kern.axpy(acc.data(), data.data() + i * stride,
+                          1e-6, stride);
+        };
+        KernelBenchResult axpy;
+        axpy.kernel = "axpy";
+        axpy.dims = dims;
+        axpy.simdNs = detail::bestOf(reps, [&] {
+            std::fill(accVec.begin(), accVec.end(), 0.0);
+            axpyBody(vec, accVec);
+        }) * 1e9 / distOps;
+        axpy.scalarNs = detail::bestOf(reps, [&] {
+            std::fill(accRef.begin(), accRef.end(), 0.0);
+            axpyBody(ref, accRef);
+        }) * 1e9 / distOps;
+        axpy.speedup = axpy.scalarNs / axpy.simdNs;
+        axpy.identical = accVec == accRef;
+        results.push_back(axpy);
+    }
+
+    // sum (the BIC weight-total shape) at one large length.
+    {
+        const std::size_t n = points * 16;
+        const simd::AlignedVec a = detail::randomRows(n, 0x5e55);
+        double sVec = 0.0, sRef = 0.0;
+        KernelBenchResult sum;
+        sum.kernel = "sum";
+        sum.dims = n;
+        sum.simdNs = detail::bestOf(reps, [&] {
+            sVec = vec.sum(a.data(), n);
+        }) * 1e9 / static_cast<double>(n);
+        sum.scalarNs = detail::bestOf(reps, [&] {
+            sRef = ref.sum(a.data(), n);
+        }) * 1e9 / static_cast<double>(n);
+        sum.speedup = sum.scalarNs / sum.simdNs;
+        sum.identical = sVec == sRef;
+        results.push_back(sum);
+    }
+    return results;
+}
+
+/**
+ * Time the dedup digest build on a duplicate-heavy synthetic set
+ * shaped like real phase behaviour: `phases` distinct vectors
+ * emitted in runs of `runLen` (a loop-dominated phase produces the
+ * same interval vector for a long stretch before the program moves
+ * on), cycling until `intervals` rows exist.  This is the shape the
+ * accelerated sweep is bound by.
+ */
+inline DedupBenchResult
+benchDedupBuild(int reps, std::size_t intervals = 20000,
+                std::size_t phases = 12, std::size_t nnz = 24,
+                std::size_t runLen = 50)
+{
+    sp::FrequencyVectorSet fvs;
+    fvs.dimension = static_cast<u32>(phases * nnz * 2);
+    Rng rng(0xdedb);
+    std::vector<sp::SparseVec> prototypes(phases);
+    for (std::size_t p = 0; p < phases; ++p) {
+        for (std::size_t e = 0; e < nnz; ++e)
+            prototypes[p].emplace_back(
+                static_cast<u32>(p * nnz * 2 + e * 2),
+                rng.nextDouble(0.1, 10.0));
+    }
+    for (std::size_t i = 0; i < intervals; ++i)
+        fvs.addInterval(prototypes[(i / runLen) % phases], 1000);
+    fvs.normalize();
+
+    DedupBenchResult result;
+    result.intervals = intervals;
+    sp::DedupMap map;
+    result.buildSeconds = detail::bestOf(reps, [&] {
+        map = fvs.dedup();
+    });
+    result.classes = map.classes();
+    result.nsPerInterval = result.buildSeconds * 1e9 /
+                           static_cast<double>(intervals);
+    return result;
+}
+
+/** Render the kernel measurements as a standard bench table. */
+inline Table
+kernelsTable(const std::vector<KernelBenchResult>& results)
+{
+    Table table(std::string("Vector kernels: scalar reference vs "
+                            "dispatched (") +
+                    simd::archName(simd::active().arch) + ")",
+                {"kernel", "dims", "scalar_ns", "simd_ns", "speedup",
+                 "identical"});
+    for (const KernelBenchResult& r : results) {
+        table.startRow();
+        table.addCell(r.kernel);
+        table.addInteger(static_cast<long long>(r.dims));
+        table.addNumber(r.scalarNs, 3);
+        table.addNumber(r.simdNs, 3);
+        table.addNumber(r.speedup, 2);
+        table.addCell(r.identical ? "yes" : "NO");
+    }
+    return table;
+}
+
+/**
+ * Emit the kernel + dedup measurements as one JSON object value on
+ * `w` (the caller has already placed the key).
+ */
+inline void
+writeKernelsJson(JsonWriter& w,
+                 const std::vector<KernelBenchResult>& results,
+                 const DedupBenchResult& dedup)
+{
+    w.beginObject();
+    w.member("arch", simd::archName(simd::active().arch));
+    w.member("lanes", simd::kLanes);
+    w.key("kernels").beginArray();
+    for (const KernelBenchResult& r : results) {
+        w.beginObject();
+        w.member("kernel", r.kernel);
+        w.member("dims", r.dims);
+        w.member("scalar_ns_per_op", r.scalarNs, 4);
+        w.member("simd_ns_per_op", r.simdNs, 4);
+        w.member("speedup", r.speedup, 2);
+        w.member("identical", r.identical);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("dedup").beginObject();
+    w.member("intervals", dedup.intervals);
+    w.member("classes", dedup.classes);
+    w.member("build_seconds", dedup.buildSeconds, 6);
+    w.member("ns_per_interval", dedup.nsPerInterval, 1);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace xbsp::bench
+
+#endif // XBSP_BENCH_KERNELS_COMMON_HH

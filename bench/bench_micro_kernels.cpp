@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Kernel microbench: times the dispatched vector kernels (batched
+ * E-step distances, single-row sqDist, axpy, sum) against the scalar
+ * reference across several dimensionalities — including
+ * non-multiples of the 4-lane width — plus the dedup digest build,
+ * and writes BENCH_kernels.json.  Single-threaded: these are
+ * per-element kernel numbers, orthogonal to the pool-level scaling
+ * the clustering bench measures.  Every measured buffer is also
+ * cross-checked for scalar/vector bit-identity; any mismatch is a
+ * hard failure.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "bench_kernels_common.hh"
+#include "obs/stats.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+
+using namespace xbsp;
+
+int
+main(int argc, char** argv)
+{
+    Options options(
+        "bench_micro_kernels: scalar vs SIMD clustering kernels");
+    options.addUint("reps", "repetitions per kernel (best-of)", 5);
+    options.addUint("points", "rows per kernel measurement", 4096);
+    options.addUint("k", "centroid rows in the batched E-step shape",
+                    16);
+    options.addString("simd",
+                      "kernel dispatch: off|scalar|auto|on|avx2|neon "
+                      "(default: XBSP_SIMD, else best available)", "");
+    options.addBool("csv", "also emit CSV after the table", false);
+    options.addString("json",
+                      "output path (default BENCH_kernels.json)", "");
+    if (!options.parse(argc, argv))
+        return 0;
+    if (const std::string mode = options.getString("simd");
+        !mode.empty())
+        simd::select(mode);
+    setGlobalJobs(1);
+
+    const int reps = static_cast<int>(options.getUint("reps"));
+    inform("kernel bench: dispatch arch '{}' ({} lanes)",
+           simd::archName(simd::active().arch), simd::kLanes);
+
+    const std::vector<bench::KernelBenchResult> kernels =
+        bench::benchKernels(reps, options.getUint("points"),
+                            options.getUint("k"));
+    const bench::DedupBenchResult dedup = bench::benchDedupBuild(reps);
+
+    const Table table = bench::kernelsTable(kernels);
+    table.print(std::cout);
+    if (options.getBool("csv")) {
+        std::cout << "\n";
+        table.printCsv(std::cout);
+    }
+    std::cout << "\n";
+    inform("dedup build: {} intervals -> {} classes in {:.3f} ms "
+           "({:.0f} ns/interval)",
+           dedup.intervals, dedup.classes, dedup.buildSeconds * 1e3,
+           dedup.nsPerInterval);
+
+    std::string jsonPath = options.getString("json");
+    if (jsonPath.empty())
+        jsonPath = "BENCH_kernels.json";
+    std::ofstream json(jsonPath);
+    if (!json)
+        fatal("cannot write '{}'", jsonPath);
+    {
+        JsonWriter w(json);
+        w.beginObject();
+        w.member("reps", reps);
+        w.member("points", options.getUint("points"));
+        w.key("kernels");
+        bench::writeKernelsJson(w, kernels, dedup);
+        w.endObject();
+        json << '\n';
+    }
+    inform("wrote kernel summary to {}", jsonPath);
+
+    for (const bench::KernelBenchResult& r : kernels) {
+        if (!r.identical) {
+            fatal("kernel '{}' (dims {}) diverged from the scalar "
+                  "reference", r.kernel, r.dims);
+        }
+    }
+    return 0;
+}

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/simd/simd.hh"
+
 namespace xbsp::sp
 {
 
@@ -12,10 +14,10 @@ bicScore(const ProjectedData& data, const KMeansResult& result)
     const double dims = data.dims;
     // Effective totals; weights were rescaled to sum to the point
     // count, so R is (approximately) the number of intervals while
-    // still crediting long intervals more.
-    double bigR = 0.0;
-    for (double w : data.weights)
-        bigR += w;
+    // still crediting long intervals more.  Summed under the pinned
+    // simd reduction order so the score is arch-independent.
+    const double bigR = simd::active().sum(data.weights.data(),
+                                           data.weights.size());
     if (bigR <= 0.0)
         return 0.0;
 

@@ -6,7 +6,8 @@
 
 #include "obs/stats.hh"
 #include "util/logging.hh"
-#include "util/rng.hh"
+#include "util/serial.hh"
+#include "util/threadpool.hh"
 
 namespace xbsp::sp
 {
@@ -32,16 +33,22 @@ entryKey(double value, double quantum)
     return static_cast<u64>(std::llround(value / quantum));
 }
 
-/** Order-sensitive hash of a sparse vector under `quantum`. */
-u64
-vectorHash(const SparseVec& vec, double quantum)
+/**
+ * Pinned 128-bit digest of a sparse vector's quantized form (the
+ * frozen util/serial hash, aligned-word fast path).  Probes compare
+ * digests first, and only a full-digest match falls through to the
+ * verifying element comparison.
+ */
+serial::Hash128
+vectorDigest(const SparseVec& vec, double quantum)
 {
-    u64 h = hashMix(vec.size());
+    serial::Hasher h;
+    h.u64w(vec.size());
     for (const auto& [idx, val] : vec) {
-        h = hashMix(h ^ idx);
-        h = hashMix(h ^ entryKey(val, quantum));
+        h.u64w(idx);
+        h.u64w(entryKey(val, quantum));
     }
-    return h;
+    return h.finish();
 }
 
 /** Exact equality of two sparse vectors under `quantum`. */
@@ -105,36 +112,69 @@ FrequencyVectorSet::normalize()
 DedupMap
 FrequencyVectorSet::dedup(double quantum) const
 {
+    auto& reg = obs::StatRegistry::global();
+    obs::ScopedTimer buildTimer(reg.timer("dedup.build"));
+
     DedupMap map;
     map.classOf.resize(vectors.size());
-    // Buckets of class ids per hash; collisions resolved by full
-    // comparison, so two intervals share a class only when their
-    // vectors really are equal under the quantum.
+
+    // Phase 1, parallel: compare each row to its predecessor and
+    // digest the rows that start a run.  Phase-structured profiles
+    // emit long runs of identical vectors (a loop-dominated phase
+    // produces the same interval thousands of times), so most rows
+    // resolve on the predecessor comparison — which fails fast on
+    // the first differing entry — and never pay the digest.  Rows
+    // are independent (row i reads only rows i and i-1, both
+    // read-only) and land in preallocated slots, so the result is
+    // identical at any --jobs.
+    std::vector<serial::Hash128> digests(vectors.size());
+    std::vector<unsigned char> sameAsPrev(vectors.size(), 0);
+    parallelFor(globalPool(), vectors.size(), [&](std::size_t i) {
+        if (i > 0 &&
+            vectorsEqual(vectors[i], vectors[i - 1], quantum)) {
+            sameAsPrev[i] = 1;
+            return;
+        }
+        digests[i] = vectorDigest(vectors[i], quantum);
+    });
+
+    // Phase 2, serial in row order (class ids must be assigned in
+    // first-appearance order): run members copy the predecessor's
+    // class; run heads probe a flat pre-reserved map keyed on the
+    // low digest word.  A candidate matches only on the full 128-bit
+    // digest AND the verifying element comparison, so two intervals
+    // share a class only when their vectors really are equal under
+    // the quantum — even across digest collisions.  (A run member
+    // can never be a class representative, so every firstOf row has
+    // a computed digest.)
     std::unordered_map<u64, std::vector<u32>> buckets;
     buckets.reserve(vectors.size());
     for (std::size_t i = 0; i < vectors.size(); ++i) {
-        const u64 h = vectorHash(vectors[i], quantum);
-        std::vector<u32>& bucket = buckets[h];
-        const u32 fresh = static_cast<u32>(map.classes());
-        u32 cls = fresh;
-        for (u32 candidate : bucket) {
-            if (vectorsEqual(vectors[i],
-                             vectors[map.firstOf[candidate]],
-                             quantum)) {
-                cls = candidate;
-                break;
+        u32 cls;
+        if (sameAsPrev[i]) {
+            cls = map.classOf[i - 1];
+        } else {
+            std::vector<u32>& bucket = buckets[digests[i].lo];
+            const u32 fresh = static_cast<u32>(map.classes());
+            cls = fresh;
+            for (u32 candidate : bucket) {
+                const u32 rep = map.firstOf[candidate];
+                if (digests[rep] == digests[i] &&
+                    vectorsEqual(vectors[i], vectors[rep], quantum)) {
+                    cls = candidate;
+                    break;
+                }
             }
-        }
-        if (cls == fresh) {
-            bucket.push_back(cls);
-            map.firstOf.push_back(static_cast<u32>(i));
-            map.classLength.push_back(0);
+            if (cls == fresh) {
+                bucket.push_back(cls);
+                map.firstOf.push_back(static_cast<u32>(i));
+                map.classLength.push_back(0);
+            }
         }
         map.classOf[i] = cls;
         map.classLength[cls] += lengths[i];
     }
 
-    auto& reg = obs::StatRegistry::global();
     reg.counter("dedup.calls").add();
     reg.counter("dedup.intervals").add(vectors.size());
     reg.counter("dedup.classes").add(map.classes());

@@ -6,6 +6,7 @@
 
 #include "obs/stats.hh"
 #include "util/logging.hh"
+#include "util/simd/simd.hh"
 #include "util/threadpool.hh"
 
 namespace xbsp::sp
@@ -27,6 +28,7 @@ struct KMeansStats
     obs::Counter skips;      ///< Hamerly bound proved the owner
     obs::Counter fallbacks;  ///< bound failed: full scan
     obs::Distribution iterations;
+    obs::Distribution batchSize;  ///< centroid rows per batched call
 };
 
 KMeansStats&
@@ -39,6 +41,7 @@ kmeansStats()
         reg.counter("kmeans.hamerly.skips"),
         reg.counter("kmeans.hamerly.fallbacks"),
         reg.distribution("kmeans.iterations"),
+        reg.distribution("kmeans.estep.batchSize"),
     };
     return stats;
 }
@@ -57,20 +60,31 @@ double
 assignLabels(const ProjectedData& data, const KMeansResult& res,
              std::vector<u32>& labels)
 {
+    const simd::Kernels& kern = simd::active();
+    const std::size_t stride = data.rowStride();
+    // One sample per E-step (not per point): deterministic at any
+    // --jobs, and enough to see the batch shape in the stats dump.
+    kmeansStats().batchSize.sample(res.k);
     std::vector<double> partialSse(parallelChunkCount(data.count), 0.0);
     parallelChunks(
         globalPool(), data.count,
         [&](std::size_t begin, std::size_t end, std::size_t chunk) {
             obs::ShardCounter distances(kmeansStats().distances);
             double sse = 0.0;
+            std::vector<double> dist(res.k);
             for (std::size_t i = begin; i < end; ++i) {
+                // All k distances in one batched call: the point row
+                // stays hot while the centroid matrix streams.  Each
+                // dist[c] is bit-for-bit sqDist(point, centroid c).
+                kern.sqDistBatch(data.row(i), res.centroids.data(),
+                                 res.k, stride,
+                                 res.rowStride(data.dims),
+                                 dist.data());
                 double best = std::numeric_limits<double>::max();
                 u32 bestC = 0;
                 for (u32 c = 0; c < res.k; ++c) {
-                    const double d = sqDist(data.point(i),
-                                            res.centroid(c, data.dims));
-                    if (d < best) {
-                        best = d;
+                    if (dist[c] < best) {
+                        best = dist[c];
                         bestC = c;
                     }
                 }
@@ -158,19 +172,22 @@ struct AccelState
 
     /** Centroids moved smoothly: shrink bounds by the worst move. */
     void
-    relax(const std::vector<double>& oldCentroids,
+    relax(const simd::AlignedVec& oldCentroids,
           const KMeansResult& res, u32 dims)
     {
         if (!boundsValid)
             return;
+        const simd::Kernels& kern = simd::active();
+        const std::size_t cstride = res.rowStride(dims);
         double maxMove = 0.0;
         for (u32 c = 0; c < res.k; ++c) {
-            const std::span<const double> before{
+            const double* before =
                 oldCentroids.data() +
-                    static_cast<std::size_t>(c) * dims,
-                dims};
+                static_cast<std::size_t>(c) * cstride;
             maxMove = std::max(
-                maxMove, sqDist(before, res.centroid(c, dims)));
+                maxMove, kern.sqDist(before,
+                                     res.centroidRow(c, dims),
+                                     cstride));
         }
         if (maxMove <= 0.0)
             return;
@@ -192,14 +209,18 @@ assignLabelsAccel(const ProjectedData& data, const KMeansResult& res,
                   std::vector<u32>& labels, AccelState& state)
 {
     const u32 k = res.k;
+    const simd::Kernels& kern = simd::active();
+    const std::size_t stride = data.rowStride();
+    const std::size_t cstride = res.rowStride(data.dims);
     // Half-distance from each centroid to its nearest neighbour.
     // With k == 1 this stays huge and every class skips (the single
     // centroid is trivially nearest).
     std::vector<double> guard(k, std::numeric_limits<double>::max());
     for (u32 c = 0; c < k; ++c) {
         for (u32 c2 = c + 1; c2 < k; ++c2) {
-            const double d = sqDist(res.centroid(c, data.dims),
-                                    res.centroid(c2, data.dims));
+            const double d = kern.sqDist(res.centroidRow(c, data.dims),
+                                         res.centroidRow(c2, data.dims),
+                                         cstride);
             guard[c] = std::min(guard[c], d);
             guard[c2] = std::min(guard[c2], d);
         }
@@ -218,11 +239,13 @@ assignLabelsAccel(const ProjectedData& data, const KMeansResult& res,
             obs::ShardCounter distances(kmeansStats().distances);
             obs::ShardCounter skips(kmeansStats().skips);
             obs::ShardCounter fallbacks(kmeansStats().fallbacks);
+            std::vector<double> dist(k);
             for (std::size_t u = begin; u < end; ++u) {
-                const auto x = data.point(state.classFirst[u]);
+                const double* x = data.row(state.classFirst[u]);
                 const u32 a = state.ownerOf[u];
                 const double down =
-                    sqDist(x, res.centroid(a, data.dims));
+                    kern.sqDist(x, res.centroidRow(a, data.dims),
+                                stride);
                 distances.add();
                 if (std::sqrt(down) <
                     std::max(guard[a], state.lower[u])) {
@@ -232,20 +255,21 @@ assignLabelsAccel(const ProjectedData& data, const KMeansResult& res,
                 }
                 fallbacks.add();
                 distances.add(k);
-                // Fallback: the naive scan, verbatim, plus
-                // second-best tracking to refresh the lower bound.
+                // Fallback: the naive scan, verbatim (same batched
+                // kernel over the same operands), plus second-best
+                // tracking to refresh the lower bound.
+                kern.sqDistBatch(x, res.centroids.data(), k, stride,
+                                 cstride, dist.data());
                 double best = std::numeric_limits<double>::max();
                 double second = best;
                 u32 bestC = 0;
                 for (u32 c = 0; c < k; ++c) {
-                    const double d =
-                        sqDist(x, res.centroid(c, data.dims));
-                    if (d < best) {
+                    if (dist[c] < best) {
                         second = best;
-                        best = d;
+                        best = dist[c];
                         bestC = c;
-                    } else if (d < second) {
-                        second = d;
+                    } else if (dist[c] < second) {
+                        second = dist[c];
                     }
                 }
                 state.ownerOf[u] = bestC;
@@ -279,17 +303,19 @@ assignLabelsAccel(const ProjectedData& data, const KMeansResult& res,
 std::vector<u32>
 updateCentroids(const ProjectedData& data, KMeansResult& res)
 {
+    const simd::Kernels& kern = simd::active();
+    const std::size_t cstride = res.rowStride(data.dims);
     std::fill(res.centroids.begin(), res.centroids.end(), 0.0);
     std::fill(res.clusterWeight.begin(), res.clusterWeight.end(), 0.0);
+    // Accumulation stays serial in point order: the reduction order
+    // into each centroid is part of the pinned semantics (elementwise
+    // axpy per point, points in increasing index order).
     for (std::size_t i = 0; i < data.count; ++i) {
         const u32 c = res.labels[i];
-        double* crow =
-            res.centroids.data() + static_cast<std::size_t>(c) *
-                                       data.dims;
-        const auto p = data.point(i);
+        double* crow = res.centroids.data() +
+                       static_cast<std::size_t>(c) * cstride;
         const double w = data.weights[i];
-        for (u32 d = 0; d < data.dims; ++d)
-            crow[d] += w * p[d];
+        kern.axpy(crow, data.row(i), w, data.rowStride());
         res.clusterWeight[c] += w;
     }
     std::vector<u32> empty;
@@ -299,7 +325,7 @@ updateCentroids(const ProjectedData& data, KMeansResult& res)
             continue;
         }
         double* crow = res.centroids.data() +
-                       static_cast<std::size_t>(c) * data.dims;
+                       static_cast<std::size_t>(c) * cstride;
         for (u32 d = 0; d < data.dims; ++d)
             crow[d] /= res.clusterWeight[c];
     }
@@ -311,6 +337,8 @@ void
 reseedEmpty(const ProjectedData& data, KMeansResult& res,
             const std::vector<u32>& empty)
 {
+    const simd::Kernels& kern = simd::active();
+    const std::size_t cstride = res.rowStride(data.dims);
     for (u32 c : empty) {
         double worst = -1.0;
         std::size_t worstIdx = 0;
@@ -318,15 +346,17 @@ reseedEmpty(const ProjectedData& data, KMeansResult& res,
             const u32 owner = res.labels[i];
             if (res.clusterWeight[owner] <= 0.0)
                 continue;
-            const double d = sqDist(data.point(i),
-                                    res.centroid(owner, data.dims));
+            const double d =
+                kern.sqDist(data.row(i),
+                            res.centroidRow(owner, data.dims),
+                            data.rowStride());
             if (d > worst) {
                 worst = d;
                 worstIdx = i;
             }
         }
         double* crow = res.centroids.data() +
-                       static_cast<std::size_t>(c) * data.dims;
+                       static_cast<std::size_t>(c) * cstride;
         const auto p = data.point(worstIdx);
         std::copy(p.begin(), p.end(), crow);
         res.labels[worstIdx] = c;
@@ -359,10 +389,12 @@ initPlusPlus(const ProjectedData& data, KMeansResult& res, Rng& rng,
         return probs.size() - 1;
     };
 
+    const simd::Kernels& kern = simd::active();
+    const std::size_t cstride = res.rowStride(data.dims);
     std::size_t first = pickWeighted(data.weights);
     auto setCentroid = [&](u32 c, std::size_t i) {
         double* crow = res.centroids.data() +
-                       static_cast<std::size_t>(c) * data.dims;
+                       static_cast<std::size_t>(c) * cstride;
         const auto p = data.point(i);
         std::copy(p.begin(), p.end(), crow);
     };
@@ -377,8 +409,10 @@ initPlusPlus(const ProjectedData& data, KMeansResult& res, Rng& rng,
         for (std::size_t u = 0; u < slots; ++u) {
             const std::size_t rep =
                 accel ? accel->classFirst[u] : u;
-            const double d = sqDist(data.point(rep),
-                                    res.centroid(c - 1, data.dims));
+            const double d =
+                kern.sqDist(data.row(rep),
+                            res.centroidRow(c - 1, data.dims),
+                            data.rowStride());
             minDist[u] = std::min(minDist[u], d);
         }
         for (std::size_t i = 0; i < data.count; ++i) {
@@ -420,8 +454,11 @@ runKMeans(const ProjectedData& data, u32 k, Rng& rng,
     res.k = std::max<u32>(1, std::min<u32>(
                                  k, static_cast<u32>(data.count)));
     res.labels.assign(data.count, 0);
+    // Centroid rows share the data's padded stride so the batched
+    // kernels can stream both matrices tail-free.
+    res.stride = data.rowStride();
     res.centroids.assign(
-        static_cast<std::size_t>(res.k) * data.dims, 0.0);
+        static_cast<std::size_t>(res.k) * res.stride, 0.0);
     res.clusterWeight.assign(res.k, 0.0);
 
     AccelState state;
@@ -443,7 +480,7 @@ runKMeans(const ProjectedData& data, u32 k, Rng& rng,
     };
 
     std::vector<u32> newLabels(data.count, 0);
-    std::vector<double> oldCentroids;
+    simd::AlignedVec oldCentroids;
     for (u32 iter = 0; iter < options.maxIterations; ++iter) {
         res.iterations = iter + 1;
         res.weightedSse = assign(newLabels);

@@ -50,18 +50,33 @@ struct KMeansResult
 {
     u32 k = 0;
     std::vector<u32> labels;           ///< per point
-    std::vector<double> centroids;     ///< k x dims, row-major
+    std::size_t stride = 0;            ///< doubles between centroid rows
+    simd::AlignedVec centroids;        ///< k x stride, row-major, padded
     std::vector<double> clusterWeight; ///< sum of member weights
     double weightedSse = 0.0;          ///< sum w * dist^2
     u32 iterations = 0;
     bool converged = false;
 
-    /** Centroid row accessor. */
+    /** Doubles between centroid row starts (tolerates unset stride). */
+    std::size_t
+    rowStride(u32 dims) const
+    {
+        return stride ? stride : dims;
+    }
+
+    /** Raw padded centroid row (kernel operand). */
+    const double*
+    centroidRow(u32 c, u32 dims) const
+    {
+        return centroids.data() +
+               static_cast<std::size_t>(c) * rowStride(dims);
+    }
+
+    /** Centroid row accessor over the true (unpadded) dimensions. */
     std::span<const double>
     centroid(u32 c, u32 dims) const
     {
-        return {centroids.data() + static_cast<std::size_t>(c) * dims,
-                dims};
+        return {centroidRow(c, dims), dims};
     }
 };
 

@@ -5,6 +5,8 @@
 #include "obs/stats.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd/simd.hh"
+#include "util/threadpool.hh"
 
 namespace xbsp::sp
 {
@@ -12,12 +14,7 @@ namespace xbsp::sp
 double
 sqDist(std::span<const double> a, std::span<const double> b)
 {
-    double acc = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
-        acc += d * d;
-    }
-    return acc;
+    return simd::active().sqDist(a.data(), b.data(), a.size());
 }
 
 ProjectedData
@@ -27,43 +24,64 @@ project(const FrequencyVectorSet& fvs, u32 dims, u64 seed,
     if (dims == 0)
         fatal("projection dimension must be > 0");
     ProjectedData out;
-    out.dims = dims;
-    out.count = fvs.size();
-    out.points.assign(out.count * dims, 0.0);
-    out.weights.assign(out.count, 1.0);
+    out.allocate(fvs.size(), dims);
 
-    // Dense projection matrix, one row per original dimension.
+    // Dense projection matrix, one row per original dimension, with
+    // rows padded to the same stride as the output so the axpy kernel
+    // runs tail-free (padded entries are +0.0 and contribute exact
+    // +0.0 to padded output lanes).  Entries are drawn in the same
+    // flat row-major order as ever, so the matrix values — and hence
+    // the projection — are independent of the padded layout.
     Rng rng(hashMix(seed ^ 0x9e3779b97f4a7c15ull));
-    std::vector<double> matrix(
-        static_cast<std::size_t>(fvs.dimension) * dims);
-    for (double& entry : matrix)
-        entry = rng.nextDouble(-1.0, 1.0);
+    const std::size_t stride = out.rowStride();
+    simd::AlignedVec matrix(
+        static_cast<std::size_t>(fvs.dimension) * stride, 0.0);
+    for (std::size_t r = 0; r < fvs.dimension; ++r) {
+        double* mrow = matrix.data() + r * stride;
+        for (u32 d = 0; d < dims; ++d)
+            mrow[d] = rng.nextDouble(-1.0, 1.0);
+    }
 
-    auto projectRow = [&](std::size_t i) {
-        double* row = out.points.data() + i * dims;
-        for (const auto& [idx, val] : fvs.vectors[i]) {
-            const double* prow = matrix.data() +
-                                 static_cast<std::size_t>(idx) * dims;
-            for (u32 d = 0; d < dims; ++d)
-                row[d] += val * prow[d];
-        }
-    };
+    // One multiply-add per (sparse entry x output dim): the dot-op
+    // count of a row is nnz * dims regardless of layout, padding or
+    // kernel arch, so the counter merges exactly at any --jobs.
     auto& reg = obs::StatRegistry::global();
+    obs::Counter dotOps = reg.counter("projection.dotOps");
+
+    const simd::Kernels& kern = simd::active();
+    auto projectRow = [&](std::size_t i, obs::ShardCounter& ops) {
+        double* row = out.row(i);
+        for (const auto& [idx, val] : fvs.vectors[i]) {
+            const double* mrow =
+                matrix.data() + static_cast<std::size_t>(idx) * stride;
+            kern.axpy(row, mrow, val, stride);
+        }
+        ops.add(static_cast<u64>(fvs.vectors[i].size()) * dims);
+    };
+
+    ThreadPool& pool = globalPool();
     if (dedup == nullptr) {
-        for (std::size_t i = 0; i < fvs.size(); ++i)
-            projectRow(i);
+        parallelChunks(pool, fvs.size(),
+                       [&](std::size_t begin, std::size_t end,
+                           std::size_t) {
+                           obs::ShardCounter ops(dotOps);
+                           for (std::size_t i = begin; i < end; ++i)
+                               projectRow(i, ops);
+                       });
         reg.counter("projection.rows.projected").add(fvs.size());
     } else {
-        for (u32 first : dedup->firstOf)
-            projectRow(first);
-        for (std::size_t i = 0; i < fvs.size(); ++i) {
+        parallelChunks(pool, dedup->firstOf.size(),
+                       [&](std::size_t begin, std::size_t end,
+                           std::size_t) {
+                           obs::ShardCounter ops(dotOps);
+                           for (std::size_t c = begin; c < end; ++c)
+                               projectRow(dedup->firstOf[c], ops);
+                       });
+        parallelFor(pool, fvs.size(), [&](std::size_t i) {
             const u32 first = dedup->firstOf[dedup->classOf[i]];
-            if (static_cast<std::size_t>(first) == i)
-                continue;
-            std::copy_n(out.points.data() +
-                            static_cast<std::size_t>(first) * dims,
-                        dims, out.points.data() + i * dims);
-        }
+            if (static_cast<std::size_t>(first) != i)
+                std::copy_n(out.row(first), stride, out.row(i));
+        });
         out.classOf = dedup->classOf;
         out.classFirst = dedup->firstOf;
         reg.counter("projection.rows.projected")

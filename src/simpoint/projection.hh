@@ -14,17 +14,24 @@
 #include <vector>
 
 #include "simpoint/fvec.hh"
+#include "util/simd/simd.hh"
 #include "util/types.hh"
 
 namespace xbsp::sp
 {
 
-/** Dense, row-major projected data plus per-point weights. */
+/**
+ * Dense, row-major projected data plus per-point weights.  Rows are
+ * padded with +0.0 to `stride = simd::padded(dims)` doubles and the
+ * storage is 32-byte aligned, so the vector kernels run tail-free
+ * over whole rows (padding is bit-transparent — see util/simd).
+ */
 struct ProjectedData
 {
     u32 dims = 0;
     std::size_t count = 0;
-    std::vector<double> points;   ///< count x dims, row-major
+    std::size_t stride = 0;       ///< doubles between row starts
+    simd::AlignedVec points;      ///< count x stride, row-major
     std::vector<double> weights;  ///< per point; sums to count
 
     /**
@@ -40,11 +47,34 @@ struct ProjectedData
     /** True when duplicate-class information is attached. */
     bool hasClasses() const { return !classFirst.empty(); }
 
-    /** Row accessor. */
+    /** Size `count` x `dims` zero-filled padded storage. */
+    void
+    allocate(std::size_t n, u32 d)
+    {
+        dims = d;
+        count = n;
+        stride = simd::padded(d);
+        points.assign(n * stride, 0.0);
+        weights.assign(n, 1.0);
+    }
+
+    /** Doubles between row starts (tolerates unset stride). */
+    std::size_t rowStride() const { return stride ? stride : dims; }
+
+    /** Raw padded row (kernel operand). */
+    const double*
+    row(std::size_t i) const
+    {
+        return points.data() + i * rowStride();
+    }
+
+    double* row(std::size_t i) { return points.data() + i * rowStride(); }
+
+    /** Row accessor over the true (unpadded) dimensions. */
     std::span<const double>
     point(std::size_t i) const
     {
-        return {points.data() + i * dims, dims};
+        return {row(i), dims};
     }
 };
 
@@ -64,7 +94,11 @@ struct ProjectedData
 ProjectedData project(const FrequencyVectorSet& fvs, u32 dims,
                       u64 seed, const DedupMap* dedup = nullptr);
 
-/** Squared Euclidean distance between a row and a centroid. */
+/**
+ * Squared Euclidean distance between a row and a centroid, under the
+ * pinned simd reduction order (dispatched kernel; bit-identical
+ * across scalar/AVX2/NEON and any --jobs).
+ */
 double sqDist(std::span<const double> a, std::span<const double> b);
 
 } // namespace xbsp::sp

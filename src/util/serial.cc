@@ -93,6 +93,16 @@ Hasher::u64v(u64 v)
 }
 
 Hasher&
+Hasher::u64w(u64 v)
+{
+    if (pendingLen != 0)
+        return u64v(v);
+    length += 8;
+    word(v);
+    return *this;
+}
+
+Hasher&
 Hasher::f64(double v)
 {
     u64 pattern;

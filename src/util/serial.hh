@@ -75,6 +75,14 @@ class Hasher
     /** Fold a u64 as 8 little-endian bytes. */
     Hasher& u64v(u64 v);
 
+    /**
+     * Fold a u64 as one word, skipping the byte-assembly machinery.
+     * Digest-identical to u64v: the fast path applies only when the
+     * byte stream is 8-aligned (it falls back to u64v otherwise), and
+     * an aligned u64v folds exactly word(v).
+     */
+    Hasher& u64w(u64 v);
+
     /** Fold a u32 (widened; one canonical integer encoding). */
     Hasher& u32v(u32 v) { return u64v(v); }
 

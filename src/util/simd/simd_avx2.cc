@@ -1,0 +1,182 @@
+/**
+ * @file
+ * AVX2 kernels — the only translation unit compiled with -mavx2, so
+ * the rest of the binary stays runnable on any x86-64 and these
+ * functions are only reached after the runtime dispatch confirms CPU
+ * support.
+ *
+ * Bit-identity with the scalar reference follows from the lane
+ * mapping: a 4-double register accumulates element i into lane
+ * i % 4, exactly the reference's accumulator array, with the same
+ * sub/mul/add instruction per element (explicit intrinsics, never
+ * FMA — and the build pins -ffp-contract=off so the compiler cannot
+ * fuse the tail loops either), and the horizontal combine extracts
+ * the lanes and adds them in the pinned (l0+l1)+(l2+l3) order.
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "util/simd/simd.hh"
+
+namespace xbsp::simd
+{
+
+namespace
+{
+
+/** Scalar tail + pinned horizontal combine of one accumulator. */
+double
+finishSqDist(__m256d acc, const double* a, const double* b,
+             std::size_t i, std::size_t n)
+{
+    alignas(kAlign) double lanes[kLanes];
+    _mm256_store_pd(lanes, acc);
+    for (; i < n; ++i) {
+        const double d = a[i] - b[i];
+        lanes[i % kLanes] = lanes[i % kLanes] + d * d;
+    }
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double
+sqDistAvx2(const double* a, const double* b, std::size_t n)
+{
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                        _mm256_loadu_pd(b + i));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    return finishSqDist(acc, a, b, i, n);
+}
+
+void
+sqDistBatchAvx2(const double* point, const double* rows,
+                std::size_t k, std::size_t n, std::size_t stride,
+                double* out)
+{
+    // Four centroid rows per pass: the point row is loaded once per
+    // block, and the four independent accumulators overlap the add
+    // latency chains that bound the single-row kernel.  Each out[c]
+    // is still bit-for-bit the single-row kernel on the same
+    // operands — interleaving across centroids never reorders any
+    // one centroid's accumulation.
+    std::size_t c = 0;
+    for (; c + 4 <= k; c += 4) {
+        const double* r0 = rows + c * stride;
+        const double* r1 = r0 + stride;
+        const double* r2 = r1 + stride;
+        const double* r3 = r2 + stride;
+        __m256d a0 = _mm256_setzero_pd();
+        __m256d a1 = _mm256_setzero_pd();
+        __m256d a2 = _mm256_setzero_pd();
+        __m256d a3 = _mm256_setzero_pd();
+        std::size_t i = 0;
+        // Two vector steps per iteration to amortize loop overhead;
+        // both steps feed each centroid's single accumulator in
+        // element order, so the reduction order is unchanged.
+        for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
+            const __m256d p = _mm256_loadu_pd(point + i);
+            const __m256d q = _mm256_loadu_pd(point + i + kLanes);
+            __m256d d = _mm256_sub_pd(p, _mm256_loadu_pd(r0 + i));
+            a0 = _mm256_add_pd(a0, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(q, _mm256_loadu_pd(r0 + i + kLanes));
+            a0 = _mm256_add_pd(a0, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(p, _mm256_loadu_pd(r1 + i));
+            a1 = _mm256_add_pd(a1, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(q, _mm256_loadu_pd(r1 + i + kLanes));
+            a1 = _mm256_add_pd(a1, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(p, _mm256_loadu_pd(r2 + i));
+            a2 = _mm256_add_pd(a2, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(q, _mm256_loadu_pd(r2 + i + kLanes));
+            a2 = _mm256_add_pd(a2, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(p, _mm256_loadu_pd(r3 + i));
+            a3 = _mm256_add_pd(a3, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(q, _mm256_loadu_pd(r3 + i + kLanes));
+            a3 = _mm256_add_pd(a3, _mm256_mul_pd(d, d));
+        }
+        for (; i + kLanes <= n; i += kLanes) {
+            const __m256d p = _mm256_loadu_pd(point + i);
+            __m256d d = _mm256_sub_pd(p, _mm256_loadu_pd(r0 + i));
+            a0 = _mm256_add_pd(a0, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(p, _mm256_loadu_pd(r1 + i));
+            a1 = _mm256_add_pd(a1, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(p, _mm256_loadu_pd(r2 + i));
+            a2 = _mm256_add_pd(a2, _mm256_mul_pd(d, d));
+            d = _mm256_sub_pd(p, _mm256_loadu_pd(r3 + i));
+            a3 = _mm256_add_pd(a3, _mm256_mul_pd(d, d));
+        }
+        if (i == n) {
+            // No scalar tail (the production case: n is the padded
+            // stride).  hadd yields exactly l0+l1 and l2+l3 per
+            // accumulator, and the cross-half add is the pinned
+            // (l0+l1)+(l2+l3) — the same combine, four at a time.
+            const __m256d h01 = _mm256_hadd_pd(a0, a1);
+            const __m256d h23 = _mm256_hadd_pd(a2, a3);
+            _mm_storeu_pd(out + c,
+                          _mm_add_pd(_mm256_castpd256_pd128(h01),
+                                     _mm256_extractf128_pd(h01, 1)));
+            _mm_storeu_pd(out + c + 2,
+                          _mm_add_pd(_mm256_castpd256_pd128(h23),
+                                     _mm256_extractf128_pd(h23, 1)));
+        } else {
+            out[c] = finishSqDist(a0, point, r0, i, n);
+            out[c + 1] = finishSqDist(a1, point, r1, i, n);
+            out[c + 2] = finishSqDist(a2, point, r2, i, n);
+            out[c + 3] = finishSqDist(a3, point, r3, i, n);
+        }
+    }
+    for (; c < k; ++c)
+        out[c] = sqDistAvx2(point, rows + c * stride, n);
+}
+
+void
+axpyAvx2(double* dst, const double* src, double a, std::size_t n)
+{
+    const __m256d va = _mm256_set1_pd(a);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const __m256d s = _mm256_mul_pd(va, _mm256_loadu_pd(src + i));
+        _mm256_storeu_pd(dst + i,
+                         _mm256_add_pd(_mm256_loadu_pd(dst + i), s));
+    }
+    for (; i < n; ++i)
+        dst[i] = dst[i] + a * src[i];
+}
+
+double
+sumAvx2(const double* a, std::size_t n)
+{
+    __m256d acc = _mm256_setzero_pd();
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+        acc = _mm256_add_pd(acc, _mm256_loadu_pd(a + i));
+    alignas(kAlign) double lanes[kLanes];
+    _mm256_store_pd(lanes, acc);
+    for (; i < n; ++i)
+        lanes[i % kLanes] = lanes[i % kLanes] + a[i];
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+constexpr Kernels avx2Table{
+    Arch::Avx2,
+    &sqDistAvx2,
+    &sqDistBatchAvx2,
+    &axpyAvx2,
+    &sumAvx2,
+};
+
+} // namespace
+
+const Kernels&
+avx2Kernels()
+{
+    return avx2Table;
+}
+
+} // namespace xbsp::simd
+
+#endif // x86-64

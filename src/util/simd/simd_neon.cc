@@ -1,0 +1,153 @@
+/**
+ * @file
+ * NEON kernels (aarch64).  A pair of 2-double registers plays the
+ * role of one AVX2 register: the low pair carries lanes 0..1, the
+ * high pair lanes 2..3, so element i lands in pinned lane i % 4 and
+ * the horizontal combine is the same (l0+l1)+(l2+l3) as the scalar
+ * reference.  Explicit vmulq/vaddq only — vfmaq would fuse the
+ * rounding and change bits.
+ */
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "util/simd/simd.hh"
+
+namespace xbsp::simd
+{
+
+namespace
+{
+
+/** Scalar tail + pinned horizontal combine of one accumulator pair. */
+double
+finishSqDist(float64x2_t acc01, float64x2_t acc23, const double* a,
+             const double* b, std::size_t i, std::size_t n)
+{
+    double lanes[kLanes] = {
+        vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+        vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+    for (; i < n; ++i) {
+        const double d = a[i] - b[i];
+        lanes[i % kLanes] = lanes[i % kLanes] + d * d;
+    }
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double
+sqDistNeon(const double* a, const double* b, std::size_t n)
+{
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const float64x2_t d01 =
+            vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i));
+        const float64x2_t d23 =
+            vsubq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+        acc01 = vaddq_f64(acc01, vmulq_f64(d01, d01));
+        acc23 = vaddq_f64(acc23, vmulq_f64(d23, d23));
+    }
+    return finishSqDist(acc01, acc23, a, b, i, n);
+}
+
+void
+sqDistBatchNeon(const double* point, const double* rows,
+                std::size_t k, std::size_t n, std::size_t stride,
+                double* out)
+{
+    // Two centroid rows per pass (four accumulator pairs would spill
+    // on narrower cores): the point row is loaded once per block and
+    // the independent accumulator pairs overlap the vaddq latency
+    // chains.  Each out[c] is still bit-for-bit the single-row
+    // kernel — interleaving across centroids never reorders any one
+    // centroid's accumulation.
+    std::size_t c = 0;
+    for (; c + 2 <= k; c += 2) {
+        const double* r0 = rows + c * stride;
+        const double* r1 = r0 + stride;
+        float64x2_t a001 = vdupq_n_f64(0.0);
+        float64x2_t a023 = vdupq_n_f64(0.0);
+        float64x2_t a101 = vdupq_n_f64(0.0);
+        float64x2_t a123 = vdupq_n_f64(0.0);
+        std::size_t i = 0;
+        for (; i + kLanes <= n; i += kLanes) {
+            const float64x2_t p01 = vld1q_f64(point + i);
+            const float64x2_t p23 = vld1q_f64(point + i + 2);
+            float64x2_t d01 = vsubq_f64(p01, vld1q_f64(r0 + i));
+            float64x2_t d23 = vsubq_f64(p23, vld1q_f64(r0 + i + 2));
+            a001 = vaddq_f64(a001, vmulq_f64(d01, d01));
+            a023 = vaddq_f64(a023, vmulq_f64(d23, d23));
+            d01 = vsubq_f64(p01, vld1q_f64(r1 + i));
+            d23 = vsubq_f64(p23, vld1q_f64(r1 + i + 2));
+            a101 = vaddq_f64(a101, vmulq_f64(d01, d01));
+            a123 = vaddq_f64(a123, vmulq_f64(d23, d23));
+        }
+        if (i == n) {
+            // No scalar tail (the production case: n is the padded
+            // stride).  vpaddq gives exactly [l0+l1, l2+l3] per
+            // centroid, and the second vpaddq adds those pairs — the
+            // pinned (l0+l1)+(l2+l3) combine, two at a time.
+            const float64x2_t t0 = vpaddq_f64(a001, a023);
+            const float64x2_t t1 = vpaddq_f64(a101, a123);
+            vst1q_f64(out + c, vpaddq_f64(t0, t1));
+        } else {
+            out[c] = finishSqDist(a001, a023, point, r0, i, n);
+            out[c + 1] = finishSqDist(a101, a123, point, r1, i, n);
+        }
+    }
+    for (; c < k; ++c)
+        out[c] = sqDistNeon(point, rows + c * stride, n);
+}
+
+void
+axpyNeon(double* dst, const double* src, double a, std::size_t n)
+{
+    const float64x2_t va = vdupq_n_f64(a);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float64x2_t s = vmulq_f64(va, vld1q_f64(src + i));
+        vst1q_f64(dst + i, vaddq_f64(vld1q_f64(dst + i), s));
+    }
+    for (; i < n; ++i)
+        dst[i] = dst[i] + a * src[i];
+}
+
+double
+sumNeon(const double* a, std::size_t n)
+{
+    float64x2_t acc01 = vdupq_n_f64(0.0);
+    float64x2_t acc23 = vdupq_n_f64(0.0);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        acc01 = vaddq_f64(acc01, vld1q_f64(a + i));
+        acc23 = vaddq_f64(acc23, vld1q_f64(a + i + 2));
+    }
+    double lanes[kLanes] = {
+        vgetq_lane_f64(acc01, 0), vgetq_lane_f64(acc01, 1),
+        vgetq_lane_f64(acc23, 0), vgetq_lane_f64(acc23, 1)};
+    for (; i < n; ++i)
+        lanes[i % kLanes] = lanes[i % kLanes] + a[i];
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+constexpr Kernels neonTable{
+    Arch::Neon,
+    &sqDistNeon,
+    &sqDistBatchNeon,
+    &axpyNeon,
+    &sumNeon,
+};
+
+} // namespace
+
+const Kernels&
+neonKernels()
+{
+    return neonTable;
+}
+
+} // namespace xbsp::simd
+
+#endif // aarch64

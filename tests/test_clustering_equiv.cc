@@ -16,6 +16,7 @@
 #include "obs/stats.hh"
 #include "profile/profile.hh"
 #include "simpoint/simpoint.hh"
+#include "util/simd/simd.hh"
 #include "util/threadpool.hh"
 #include "workloads/workloads.hh"
 
@@ -238,6 +239,51 @@ TEST(ClusteringEquiv, StatsQuantifyAcceleration)
     EXPECT_GE(reg.counterValue("simpoint.sweeps"), 2u);
     EXPECT_GT(reg.counterValue("kmeans.fits"), 0u);
     EXPECT_GT(reg.counterValue("dedup.calls"), 0u);
+}
+
+/**
+ * The PR-2 contract, extended: `simd` — like `accelerate` — is a pure
+ * speed knob.  Sweep simd on/off x accelerate on/off x jobs 1/4 on
+ * real profile data; every combination must produce a study report
+ * (labels, BIC scores, phases) bit-identical to the scalar serial
+ * naive reference.
+ */
+TEST(ClusteringEquiv, SimdSweepBitIdentical)
+{
+    const ir::Program program = workloads::makeWorkload("gzip", 1.0);
+    const bin::Binary binary =
+        compile::compileProgram(program, bin::target32o);
+    const prof::ProfilePass pass = prof::runProfilePass(binary, 10000);
+    ASSERT_GT(pass.fliIntervals.size(), 100u);
+
+    SimPointOptions opts;
+    opts.maxK = 10;
+
+    // Reference: scalar kernels, serial, naive E-step.
+    ASSERT_TRUE(simd::select("scalar"));
+    setGlobalJobs(1);
+    opts.accelerate = false;
+    const SimPointResult reference =
+        pickSimulationPoints(pass.fliIntervals, opts);
+
+    for (const char* mode : {"scalar", "auto"}) {
+        ASSERT_TRUE(simd::select(mode));
+        for (const bool accel : {false, true}) {
+            for (const u64 jobs : {u64{1}, u64{4}}) {
+                opts.accelerate = accel;
+                setGlobalJobs(jobs);
+                const SimPointResult got =
+                    pickSimulationPoints(pass.fliIntervals, opts);
+                expectIdenticalResults(
+                    reference, got,
+                    std::string("simd=") + mode +
+                        " accel=" + (accel ? "on" : "off") +
+                        " jobs=" + std::to_string(jobs));
+            }
+        }
+    }
+    setGlobalJobs(0);
+    ASSERT_TRUE(simd::select("auto"));
 }
 
 TEST(ClusteringEquiv, DedupCollapsesDuplicateHeavyInput)

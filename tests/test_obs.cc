@@ -16,6 +16,7 @@
 #include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "simpoint/projection.hh"
 #include "util/json.hh"
 #include "util/threadpool.hh"
 
@@ -162,6 +163,42 @@ TEST(StatRegistry, CountersMergeExactlyAtAnyWorkerCount)
     // included — must be byte-identical across worker counts.
     EXPECT_EQ(serial, parallel);
     EXPECT_TRUE(validJson(serial));
+}
+
+TEST(StatRegistry, ProjectionDotOpsEqualAcrossWorkerCounts)
+{
+    // The projection counter symmetric to kmeans.estep.distances:
+    // one count per (sparse entry x output dim) multiply-add, which
+    // is a function of the input only — never of layout, padding,
+    // kernel arch or worker count.
+    sp::FrequencyVectorSet fvs;
+    fvs.dimension = 64;
+    const std::size_t intervals = 200;
+    const std::size_t nnz = 3;
+    for (std::size_t i = 0; i < intervals; ++i) {
+        sp::SparseVec vec;
+        const u32 base = static_cast<u32>(i % 40);
+        vec.emplace_back(base, 1.0);
+        vec.emplace_back(base + 5, 2.0);
+        vec.emplace_back(base + 9, 0.5);
+        fvs.addInterval(std::move(vec), 1000);
+    }
+    const u32 dims = 15;
+
+    StatRegistry& reg = StatRegistry::global();
+    setGlobalJobs(1);
+    reg.reset();
+    sp::project(fvs, dims, 99);
+    const u64 serialOps = reg.counterValue("projection.dotOps");
+
+    setGlobalJobs(4);
+    reg.reset();
+    sp::project(fvs, dims, 99);
+    const u64 parallelOps = reg.counterValue("projection.dotOps");
+    setGlobalJobs(0);
+
+    EXPECT_EQ(serialOps, intervals * nnz * dims);
+    EXPECT_EQ(serialOps, parallelOps);
 }
 
 TEST(StatRegistry, DistributionBucketMath)

@@ -157,6 +157,29 @@ TEST(Serial, Hash128PinnedTypedDigest)
     EXPECT_EQ(digest.hex(), "39a662f02b02f5ff5586c2095ee7723b");
 }
 
+TEST(Serial, WordFastPathMatchesByteFold)
+{
+    // u64w must produce the digest u64v would, from any alignment.
+    const u64 words[] = {0ull, 1ull, 0xdeadbeefcafef00dull,
+                         ~0ull, 0x8000000000000000ull};
+    serial::Hasher viaBytes, viaWords;
+    for (u64 w : words) {
+        viaBytes.u64v(w);
+        viaWords.u64w(w);
+    }
+    EXPECT_EQ(viaWords.finish(), viaBytes.finish());
+
+    // Unaligned stream (3 pending bytes): u64w falls back.
+    serial::Hasher oddBytes, oddWords;
+    oddBytes.bytes("odd", 3);
+    oddWords.bytes("odd", 3);
+    for (u64 w : words) {
+        oddBytes.u64v(w);
+        oddWords.u64w(w);
+    }
+    EXPECT_EQ(oddWords.finish(), oddBytes.finish());
+}
+
 TEST(Serial, HasherIsChunkingInvariant)
 {
     const std::string data =

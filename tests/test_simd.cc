@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Bit-identity guard for the vector-kernel layer: whatever
+ * implementation the runtime dispatch picks (AVX2, NEON or scalar),
+ * every kernel must return the *same bits* as the scalar reference on
+ * every input — odd lengths exercising the tail path, ±0.0,
+ * denormals, empty and single-element inputs — and padding rows with
+ * +0.0 must be exactly transparent.  This is the foundation the
+ * end-to-end equivalence suite (test_clustering_equiv) builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "obs/stats.hh"
+#include "util/rng.hh"
+#include "util/simd/simd.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+u64
+bits(double v)
+{
+    u64 out;
+    std::memcpy(&out, &v, sizeof(out));
+    return out;
+}
+
+/** Lengths hitting every tail residue plus a few large sizes. */
+const std::size_t kLengths[] = {0,  1,  2,  3,  4,   5,   7,  8,
+                                9,  11, 13, 16, 31,  33,  64, 100,
+                                255, 1023};
+
+simd::AlignedVec
+randomVec(std::size_t n, u64 seed)
+{
+    Rng rng(seed);
+    simd::AlignedVec v(n);
+    for (double& x : v)
+        x = rng.nextDouble(-3.0, 3.0);
+    return v;
+}
+
+} // namespace
+
+TEST(Simd, ScalarReferenceAlwaysAvailable)
+{
+    EXPECT_TRUE(simd::supported(simd::Arch::Scalar));
+    EXPECT_EQ(simd::scalarKernels().arch, simd::Arch::Scalar);
+    EXPECT_GE(static_cast<int>(simd::bestSupported()),
+              static_cast<int>(simd::Arch::Scalar));
+    EXPECT_STREQ(simd::archName(simd::Arch::Scalar), "scalar");
+    EXPECT_STREQ(simd::archName(simd::Arch::Avx2), "avx2");
+    EXPECT_STREQ(simd::archName(simd::Arch::Neon), "neon");
+}
+
+TEST(Simd, SqDistBitIdenticalAcrossLengths)
+{
+    const simd::Kernels& vec = simd::active();
+    const simd::Kernels& ref = simd::scalarKernels();
+    for (const std::size_t n : kLengths) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        const simd::AlignedVec a = randomVec(n, 1000 + n);
+        const simd::AlignedVec b = randomVec(n, 2000 + n);
+        EXPECT_EQ(bits(vec.sqDist(a.data(), b.data(), n)),
+                  bits(ref.sqDist(a.data(), b.data(), n)));
+    }
+}
+
+TEST(Simd, SumAndAxpyBitIdenticalAcrossLengths)
+{
+    const simd::Kernels& vec = simd::active();
+    const simd::Kernels& ref = simd::scalarKernels();
+    for (const std::size_t n : kLengths) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        const simd::AlignedVec a = randomVec(n, 3000 + n);
+        EXPECT_EQ(bits(vec.sum(a.data(), n)),
+                  bits(ref.sum(a.data(), n)));
+
+        const simd::AlignedVec src = randomVec(n, 4000 + n);
+        simd::AlignedVec dstVec = randomVec(n, 5000 + n);
+        simd::AlignedVec dstRef = dstVec;
+        vec.axpy(dstVec.data(), src.data(), 1.7, n);
+        ref.axpy(dstRef.data(), src.data(), 1.7, n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(bits(dstVec[i]), bits(dstRef[i])) << "i=" << i;
+    }
+}
+
+TEST(Simd, BatchMatchesSingleRowKernel)
+{
+    const simd::Kernels& vec = simd::active();
+    const simd::Kernels& ref = simd::scalarKernels();
+    for (const std::size_t dims : {1ul, 3ul, 8ul, 15ul}) {
+        const std::size_t stride = simd::padded(dims);
+        const std::size_t k = 7;
+        const simd::AlignedVec point = randomVec(stride, 42 + dims);
+        simd::AlignedVec rows(k * stride, 0.0);
+        for (std::size_t c = 0; c < k; ++c) {
+            const simd::AlignedVec row = randomVec(dims, 77 * c + dims);
+            std::copy(row.begin(), row.end(),
+                      rows.begin() + c * stride);
+        }
+        std::vector<double> out(k, -1.0);
+        vec.sqDistBatch(point.data(), rows.data(), k, stride, stride,
+                        out.data());
+        for (std::size_t c = 0; c < k; ++c) {
+            SCOPED_TRACE("dims=" + std::to_string(dims) +
+                         " c=" + std::to_string(c));
+            EXPECT_EQ(bits(out[c]),
+                      bits(ref.sqDist(point.data(),
+                                      rows.data() + c * stride,
+                                      stride)));
+        }
+    }
+}
+
+TEST(Simd, SpecialValuesMatchScalar)
+{
+    const simd::Kernels& vec = simd::active();
+    const simd::Kernels& ref = simd::scalarKernels();
+    const double denorm = std::numeric_limits<double>::denorm_min();
+    const simd::AlignedVec a{+0.0, -0.0, denorm,  -denorm, 1e-308,
+                             -0.0, +0.0, -denorm, denorm};
+    const simd::AlignedVec b{-0.0, +0.0, -denorm, denorm,  -1e-308,
+                             +0.0, -0.0, denorm,  -denorm};
+    for (std::size_t n = 0; n <= a.size(); ++n) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        EXPECT_EQ(bits(vec.sqDist(a.data(), b.data(), n)),
+                  bits(ref.sqDist(a.data(), b.data(), n)));
+        EXPECT_EQ(bits(vec.sum(a.data(), n)),
+                  bits(ref.sum(a.data(), n)));
+    }
+}
+
+TEST(Simd, EmptyAndSingleElementInputs)
+{
+    const simd::Kernels& vec = simd::active();
+    // n == 0: exactly +0.0, never -0.0 or garbage.
+    EXPECT_EQ(bits(vec.sqDist(nullptr, nullptr, 0)), bits(+0.0));
+    EXPECT_EQ(bits(vec.sum(nullptr, 0)), bits(+0.0));
+    vec.axpy(nullptr, nullptr, 2.0, 0); // must not touch memory
+
+    const double a = 1.5, b = -0.25;
+    EXPECT_EQ(bits(vec.sqDist(&a, &b, 1)), bits((a - b) * (a - b)));
+    EXPECT_EQ(bits(vec.sum(&a, 1)), bits(a));
+}
+
+TEST(Simd, PaddingWithPositiveZeroIsTransparent)
+{
+    const simd::Kernels& vec = simd::active();
+    for (const std::size_t n : {1ul, 3ul, 5ul, 13ul, 15ul}) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        const std::size_t padded = simd::padded(n);
+        simd::AlignedVec a = randomVec(n, 6000 + n);
+        simd::AlignedVec b = randomVec(n, 7000 + n);
+        a.resize(padded, +0.0);
+        b.resize(padded, +0.0);
+        EXPECT_EQ(bits(vec.sqDist(a.data(), b.data(), padded)),
+                  bits(vec.sqDist(a.data(), b.data(), n)));
+        EXPECT_EQ(bits(vec.sum(a.data(), padded)),
+                  bits(vec.sum(a.data(), n)));
+
+        // axpy over the padded length must leave +0.0 padding intact.
+        simd::AlignedVec dst(padded, +0.0);
+        const simd::AlignedVec src = a;
+        vec.axpy(dst.data(), src.data(), -2.5, padded);
+        for (std::size_t i = n; i < padded; ++i)
+            EXPECT_EQ(bits(dst[i]), bits(+0.0)) << "i=" << i;
+    }
+}
+
+TEST(Simd, SelectControlsDispatch)
+{
+    // Force the reference, confirm, then restore the automatic pick.
+    EXPECT_TRUE(simd::select("scalar"));
+    EXPECT_EQ(simd::active().arch, simd::Arch::Scalar);
+    EXPECT_EQ(obs::StatRegistry::global().counterValue(
+                  "simd.dispatch.arch"),
+              static_cast<u64>(simd::Arch::Scalar));
+
+    EXPECT_FALSE(simd::select("bogus-mode"));
+    EXPECT_EQ(simd::active().arch, simd::Arch::Scalar);
+
+    EXPECT_TRUE(simd::select("auto"));
+    EXPECT_EQ(simd::active().arch, simd::bestSupported());
+}

@@ -49,6 +49,7 @@
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
+#include "util/simd/simd.hh"
 #include "util/threadpool.hh"
 #include "workloads/workloads.hh"
 
@@ -324,11 +325,21 @@ main(int argc, char** argv)
                     "recomputation)", true);
     options.addUint("budget-mb", "byte budget for `cache gc`, in MiB",
                     1024);
+    options.addString("simd",
+                      "kernel dispatch: off|scalar|auto|on|avx2|neon "
+                      "(default: XBSP_SIMD, else best available; pure "
+                      "speed knob — results are bit-identical)", "");
     options.addJobs();
     obs::addCliOptions(options);
     if (!options.parse(argc, argv))
         return 0;
     options.applyJobs();
+
+    // Explicit --simd wins over the XBSP_SIMD environment variable
+    // (which the lazy first dispatch otherwise consults).
+    if (const std::string mode = options.getString("simd");
+        !mode.empty())
+        simd::select(mode);
 
     // Resolve the artifact store before any stage can run: an
     // explicit --cache-dir wins over XBSP_CACHE_DIR (which global()
