@@ -19,6 +19,7 @@
 
 #include "bench_clustering_common.hh"
 #include "bench_common.hh"
+#include "bench_engine_common.hh"
 #include "bench_kernels_common.hh"
 #include "obs/stats.hh"
 #include "store/store.hh"
@@ -112,6 +113,20 @@ main(int argc, char** argv)
         return bench::kernelsTable(kernels);
     });
 
+    // Engine fast-path microbench (structural interpreter vs the
+    // compiled engine on the detailed-simulation loop) on the first
+    // couple of suite workloads; the dedicated bench_micro_engine
+    // binary measures more workloads with more reps.
+    std::vector<bench::EngineBenchResult> engineResults;
+    timed("engine", [&] {
+        const double scale = std::min(config.workScale, 0.2);
+        for (std::size_t w = 0; w < names.size() && w < 2; ++w) {
+            engineResults.push_back(
+                bench::benchEngineWorkload(names[w], scale, 2));
+        }
+        return bench::engineTable(engineResults);
+    });
+
     const double totalSeconds =
         std::chrono::duration<double>(clock::now() - suiteStart)
             .count();
@@ -143,6 +158,8 @@ main(int argc, char** argv)
         bench::writeClusteringCases(w, clustering);
         w.key("kernels");
         bench::writeKernelsJson(w, kernels, dedup);
+        w.key("engine");
+        bench::writeEngineJson(w, engineResults);
         w.key("figures").beginArray();
         for (const FigureTiming& t : timings) {
             w.beginObject();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/compiled.hh"
 #include "harness/experiments.hh"
 #include "util/format.hh"
 #include "util/options.hh"
@@ -45,6 +46,10 @@ makeOptions(const std::string& description)
                       "kernel dispatch: off|scalar|auto|on|avx2|neon "
                       "(default: XBSP_SIMD, else best available; pure "
                       "speed knob — results are bit-identical)", "");
+    options.addString("engine",
+                      "execution engine: interp|compiled (default: "
+                      "XBSP_ENGINE, else compiled; pure speed knob — "
+                      "results are bit-identical)", "");
     options.addJobs();
     options.addString("json",
                       "write a machine-readable timing summary to "
@@ -76,6 +81,9 @@ makeConfig(const Options& options)
     if (const std::string mode = options.getString("simd");
         !mode.empty())
         simd::select(mode);
+    if (const std::string mode = options.getString("engine");
+        !mode.empty())
+        exec::selectEngineMode(mode);
     config.workloads = splitList(options.getString("workloads"));
     config.workScale = options.getDouble("scale");
     config.study = harness::defaultStudyConfig();

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Shared core of the engine microbench: time the detailed-simulation
+ * loop (engine + cache hierarchy + in-order core) as the pre-fast-
+ * path architecture against the full fast path.  The baseline is the
+ * structural interpreter delivering each memory reference through
+ * per-reference virtual dispatch (the base-class onMemRefs fan-out)
+ * into the standalone reference memory model (cache/reference.hh,
+ * the pre-optimization implementation kept verbatim) — exactly the
+ * hot loop before this optimisation pass.  The fast path is the
+ * compiled engine driving a devirtualized core sink into the batched
+ * packed-tag hierarchy walk.  Verifies observational identity as a
+ * side effect:
+ * the serialized event streams are compared byte-for-byte and the
+ * timed runs' core totals (instructions, cycles, memory references)
+ * must match exactly — which also exercises the reference-vs-fast
+ * hierarchy equivalence end to end.  Used by bench_micro_engine
+ * (standalone, writes BENCH_engine.json) and by bench_all (folds an
+ * "engine" section into BENCH_pipeline.json).
+ */
+
+#ifndef XBSP_BENCH_ENGINE_COMMON_HH
+#define XBSP_BENCH_ENGINE_COMMON_HH
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cache/reference.hh"
+#include "cpu/core.hh"
+#include "exec/compiled.hh"
+#include "exec/engine.hh"
+#include "exec/trace.hh"
+#include "util/json.hh"
+#include "util/table.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::bench
+{
+
+/** One workload's interpreter-vs-compiled measurement. */
+struct EngineBenchResult
+{
+    std::string workload;
+    u64 instructions = 0;       ///< per detailed run
+    double interpSeconds = 0.0; ///< best-of-reps, interpreter path
+    double compiledSeconds = 0.0; ///< best-of-reps, fast path
+    double interpIps = 0.0;
+    double compiledIps = 0.0;
+    double speedup = 0.0;
+    bool identical = false; ///< streams + core totals match exactly
+};
+
+namespace detail
+{
+
+/** Best-of-`reps` wall-clock seconds of `body()` (one warmup). */
+template <typename F>
+double
+bestOfRuns(int reps, F&& body)
+{
+    using clock = std::chrono::steady_clock;
+    body();
+    double best = std::numeric_limits<double>::max();
+    for (int rep = 0; rep < reps; ++rep) {
+        const auto start = clock::now();
+        body();
+        best = std::min(
+            best,
+            std::chrono::duration<double>(clock::now() - start)
+                .count());
+    }
+    return best;
+}
+
+/**
+ * The pre-fast-path timing observer: each reference arrives through
+ * the base-class onMemRefs fan-out (one virtual call per reference)
+ * and walks the reference memory model's per-level access loop with
+ * the latency switch — the detailed-simulation hot loop as it looked
+ * before the fast path.  Cycle accounting matches InOrderCore
+ * exactly.
+ */
+struct ReferenceCore final : exec::Observer
+{
+    cache::ReferenceHierarchy& hier;
+    cpu::CoreStats stats;
+
+    explicit ReferenceCore(cache::ReferenceHierarchy& hierarchy)
+        : hier(hierarchy)
+    {
+    }
+
+    void
+    onBlock(u32, u32 instrs) override
+    {
+        stats.instructions += instrs;
+        stats.cycles += instrs;
+    }
+
+    void
+    onMemRef(Addr addr, bool isWrite) override
+    {
+        stats.cycles += hier.latency(hier.access(addr, isWrite));
+        ++stats.memRefs;
+    }
+};
+
+/** Devirtualized detailed-core sink (the dominant configuration). */
+struct CoreOnlySink
+{
+    cpu::InOrderCore& core;
+
+    bool wantsBlocks() const { return true; }
+    bool wantsMems() const { return true; }
+    bool wantsMarkers() const { return false; }
+
+    void
+    onBlock(u32 blockId, u32 instrs)
+    {
+        core.onBlock(blockId, instrs);
+    }
+
+    void
+    onMemRefs(std::span<const mem::MemRef> refs)
+    {
+        core.onMemRefs(refs);
+    }
+
+    void onMarker(u32) {}
+    void onRunEnd() {}
+};
+
+/** Serialize one full run under a pinned engine mode. */
+inline std::string
+captureStream(const bin::Binary& binary, exec::EngineMode mode)
+{
+    std::stringstream out;
+    exec::TraceOptions options;
+    options.memRefs = true;
+    exec::TraceWriter writer(out, options);
+    exec::Engine engine(binary, 0x5EEDull, mode);
+    engine.addObserver(&writer, writer.hooks());
+    engine.run();
+    return out.str();
+}
+
+} // namespace detail
+
+/**
+ * Measure one workload's detailed simulation under both engines.
+ * The byte-identity of the event streams is checked on a capped
+ * scale (streams grow linearly with work, and the check only needs
+ * coverage of every op shape); the timed runs themselves must agree
+ * on every core counter at the full bench scale.
+ */
+inline EngineBenchResult
+benchEngineWorkload(const std::string& name, double scale, int reps)
+{
+    constexpr u64 kSeed = 0x5EEDull;
+    const bin::Binary binary = compile::compileProgram(
+        workloads::makeWorkload(name, scale), bin::target32o);
+
+    EngineBenchResult result;
+    result.workload = name;
+
+    cpu::CoreStats interpStats, compiledStats;
+    auto interpRun = [&] {
+        exec::Engine engine(binary, kSeed,
+                            exec::EngineMode::Interp);
+        cache::ReferenceHierarchy hierarchy;
+        detail::ReferenceCore core(hierarchy);
+        engine.addObserver(&core, {true, true, false});
+        engine.run();
+        interpStats = core.stats;
+        result.instructions = engine.instructionsExecuted();
+    };
+    auto compiledRun = [&] {
+        exec::Engine engine(binary, kSeed,
+                            exec::EngineMode::Compiled);
+        cache::Hierarchy hierarchy;
+        cpu::InOrderCore core(hierarchy);
+        detail::CoreOnlySink sink{core};
+        engine.runWith(sink);
+        compiledStats = core.totals();
+    };
+    result.interpSeconds = detail::bestOfRuns(reps, interpRun);
+    result.compiledSeconds = detail::bestOfRuns(reps, compiledRun);
+
+    const double instrs = static_cast<double>(result.instructions);
+    result.interpIps = instrs / result.interpSeconds;
+    result.compiledIps = instrs / result.compiledSeconds;
+    result.speedup = result.interpSeconds / result.compiledSeconds;
+
+    // Observational identity.  Same seed, same binary: every counter
+    // the timing model produced must agree bit for bit...
+    result.identical =
+        interpStats.instructions == compiledStats.instructions &&
+        interpStats.cycles == compiledStats.cycles &&
+        interpStats.memRefs == compiledStats.memRefs;
+    // ...and the serialized event streams (captured on a capped
+    // scale) must be byte-identical.
+    const bin::Binary check = compile::compileProgram(
+        workloads::makeWorkload(name, std::min(scale, 0.05)),
+        bin::target32o);
+    result.identical =
+        result.identical &&
+        detail::captureStream(check, exec::EngineMode::Interp) ==
+            detail::captureStream(check, exec::EngineMode::Compiled);
+    return result;
+}
+
+/** Render the engine measurements as a standard bench table. */
+inline Table
+engineTable(const std::vector<EngineBenchResult>& results)
+{
+    Table table("Engine fast path: interpreter (virtual observers) "
+                "vs compiled (devirtualized sink)",
+                {"workload", "instrs", "interp_s", "compiled_s",
+                 "interp_ips", "compiled_ips", "speedup",
+                 "identical"});
+    for (const EngineBenchResult& r : results) {
+        table.startRow();
+        table.addCell(r.workload);
+        table.addInteger(static_cast<long long>(r.instructions));
+        table.addNumber(r.interpSeconds, 3);
+        table.addNumber(r.compiledSeconds, 3);
+        table.addNumber(r.interpIps, 0);
+        table.addNumber(r.compiledIps, 0);
+        table.addNumber(r.speedup, 2);
+        table.addCell(r.identical ? "yes" : "NO");
+    }
+    return table;
+}
+
+/**
+ * Emit the engine measurements as one JSON object value on `w` (the
+ * caller has already placed the key).
+ */
+inline void
+writeEngineJson(JsonWriter& w,
+                const std::vector<EngineBenchResult>& results)
+{
+    w.beginObject();
+    w.key("workloads").beginArray();
+    for (const EngineBenchResult& r : results) {
+        w.beginObject();
+        w.member("workload", r.workload);
+        w.member("instructions", r.instructions);
+        w.member("interp_seconds", r.interpSeconds, 4);
+        w.member("compiled_seconds", r.compiledSeconds, 4);
+        w.member("interp_ips", r.interpIps, 0);
+        w.member("compiled_ips", r.compiledIps, 0);
+        w.member("speedup", r.speedup, 2);
+        w.member("identical", r.identical);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace xbsp::bench
+
+#endif // XBSP_BENCH_ENGINE_COMMON_HH

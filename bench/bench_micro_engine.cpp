@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Engine microbench: times the detailed-simulation loop as the
+ * pre-fast-path architecture (structural interpreter, per-reference
+ * virtual dispatch, reference hierarchy loop) against the full fast
+ * path (compiled engine, devirtualized core sink, batched hierarchy
+ * walk), per workload, and writes BENCH_engine.json.
+ * Single-threaded: this is the per-engine hot loop, orthogonal to
+ * study-level parallelism.
+ *
+ * Every measured workload is also cross-checked for observational
+ * identity — serialized event streams byte-for-byte and exact core
+ * counter agreement — and any divergence is a hard failure.  A
+ * speedup floor can be enforced with --min-speedup (default 0, so
+ * divergence is the only hard failure in CI; the measured speedups
+ * land in the JSON for offline tracking).
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "bench_engine_common.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+
+using namespace xbsp;
+
+int
+main(int argc, char** argv)
+{
+    Options options(
+        "bench_micro_engine: interpreter vs compiled engine fast "
+        "path on the detailed-simulation loop");
+    options.addString("workloads",
+                      "comma-separated workload subset",
+                      "gzip,mcf,equake");
+    options.addDouble("scale", "work scale factor", 0.3);
+    options.addUint("reps", "repetitions per mode (best-of)", 3);
+    options.addDouble("min-speedup",
+                      "fail unless every workload's compiled/interp "
+                      "speedup reaches this (0 disables; divergence "
+                      "always fails)",
+                      0.0);
+    options.addBool("csv", "also emit CSV after the table", false);
+    options.addString("json",
+                      "output path (default BENCH_engine.json)", "");
+    if (!options.parse(argc, argv))
+        return 0;
+    setGlobalJobs(1);
+
+    const double scale = options.getDouble("scale");
+    const int reps = static_cast<int>(options.getUint("reps"));
+    const double minSpeedup = options.getDouble("min-speedup");
+
+    std::vector<bench::EngineBenchResult> results;
+    for (const std::string& name :
+         bench::splitList(options.getString("workloads"))) {
+        inform("engine bench: {} (scale {}, {} reps per mode)", name,
+               scale, reps);
+        results.push_back(
+            bench::benchEngineWorkload(name, scale, reps));
+    }
+    if (results.empty())
+        fatal("no workloads selected");
+
+    const Table table = bench::engineTable(results);
+    table.print(std::cout);
+    if (options.getBool("csv")) {
+        std::cout << "\n";
+        table.printCsv(std::cout);
+    }
+    std::cout << "\n";
+
+    std::string jsonPath = options.getString("json");
+    if (jsonPath.empty())
+        jsonPath = "BENCH_engine.json";
+    std::ofstream json(jsonPath);
+    if (!json)
+        fatal("cannot write '{}'", jsonPath);
+    {
+        JsonWriter w(json);
+        w.beginObject();
+        w.member("scale", scale, 3);
+        w.member("reps", reps);
+        w.key("engine");
+        bench::writeEngineJson(w, results);
+        w.endObject();
+        json << '\n';
+    }
+    inform("wrote engine summary to {}", jsonPath);
+
+    for (const bench::EngineBenchResult& r : results) {
+        if (!r.identical) {
+            fatal("engine modes diverged on '{}': the compiled "
+                  "engine must be observationally identical to the "
+                  "interpreter",
+                  r.workload);
+        }
+        if (minSpeedup > 0.0 && r.speedup < minSpeedup) {
+            fatal("'{}' speedup {:.2f}x is below the --min-speedup "
+                  "floor {:.2f}x",
+                  r.workload, r.speedup, minSpeedup);
+        }
+    }
+    return 0;
+}

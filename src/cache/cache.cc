@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace xbsp::cache
@@ -28,8 +30,8 @@ log2u(u64 v)
 SetAssociativeCache::SetAssociativeCache(const LevelConfig& config)
     : cfg(config)
 {
-    if (cfg.lineSize == 0 || !isPow2(cfg.lineSize))
-        fatal("cache {}: line size {} is not a power of two",
+    if (cfg.lineSize < 2 || !isPow2(cfg.lineSize))
+        fatal("cache {}: line size {} is not a power of two >= 2",
               cfg.name, cfg.lineSize);
     if (cfg.associativity == 0)
         fatal("cache {}: associativity must be > 0", cfg.name);
@@ -37,95 +39,80 @@ SetAssociativeCache::SetAssociativeCache(const LevelConfig& config)
     if (numLines == 0 || numLines % cfg.associativity != 0)
         fatal("cache {}: capacity {} not divisible into {}-way sets",
               cfg.name, cfg.capacityBytes, cfg.associativity);
+    ways = cfg.associativity;
     numSets = static_cast<u32>(numLines / cfg.associativity);
     if (!isPow2(numSets))
         fatal("cache {}: set count {} is not a power of two",
               cfg.name, numSets);
     setShift = log2u(cfg.lineSize);
     setMask = numSets - 1;
-    lines.resize(numLines);
-}
-
-SetAssociativeCache::Line*
-SetAssociativeCache::findLine(Addr addr)
-{
-    const Addr lineAddr = addr >> setShift;
-    const u64 set = lineAddr & setMask;
-    Line* base = &lines[set * cfg.associativity];
-    for (u32 w = 0; w < cfg.associativity; ++w) {
-        if (base[w].valid && base[w].tag == lineAddr)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const SetAssociativeCache::Line*
-SetAssociativeCache::findLine(Addr addr) const
-{
-    return const_cast<SetAssociativeCache*>(this)->findLine(addr);
-}
-
-SetAssociativeCache::Line*
-SetAssociativeCache::victimLine(Addr addr)
-{
-    const Addr lineAddr = addr >> setShift;
-    const u64 set = lineAddr & setMask;
-    Line* base = &lines[set * cfg.associativity];
-    Line* victim = &base[0];
-    for (u32 w = 0; w < cfg.associativity; ++w) {
-        if (!base[w].valid)
-            return &base[w];
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
-    }
-    return victim;
-}
-
-bool
-SetAssociativeCache::lookup(Addr addr, bool isWrite)
-{
-    ++accessCount;
-    ++tick;
-    if (Line* line = findLine(addr)) {
-        line->lastUse = tick;
-        if (isWrite)
-            line->dirty = true;
-        return true;
-    }
-    ++missCount;
-    return false;
+    // setShift >= 1 keeps every line address inside 63 bits, so the
+    // packed `(lineAddr << 1) | 1` tag key can never collide or wrap.
+    state.assign(static_cast<std::size_t>(numLines) * 2, 0);
+    mruWay.assign(numSets, 0);
+    const simd::Kernels& kernels = simd::active();
+    findWayFn = kernels.findWay;
+    victimWayFn = kernels.victimWay;
 }
 
 Eviction
 SetAssociativeCache::fill(Addr addr, bool dirty)
 {
-    Line* victim = victimLine(addr);
+    const Addr lineAddr = addr >> setShift;
+    const u64 set = lineAddr & setMask;
+    u64* tag = &state[set * ways * 2];
+    u64* meta = tag + ways;
+    // Victim in one fused scan: the first free way, else the
+    // true-LRU way.  Ticks are unique, so the smallest packed meta
+    // word is the smallest LRU tick (the dirty bit only breaks exact
+    // ties, which cannot occur); ties in way order go low, as always.
+    // Wide sets use the dispatched kernel, same split as scanFor().
+    u32 way;
+    if (ways >= 8) {
+        way = victimWayFn(tag, meta, ways);
+    } else {
+        way = 0;
+        u64 best = ~0ull;
+        for (u32 w = 0; w < ways; ++w) {
+            if ((tag[w] & 1) == 0) {
+                way = w;
+                break;
+            }
+            if (meta[w] < best) {
+                best = meta[w];
+                way = w;
+            }
+        }
+    }
     Eviction ev;
-    if (victim->valid) {
+    if ((tag[way] & 1) != 0) {
         ev.valid = true;
-        ev.dirty = victim->dirty;
-        ev.lineAddr = victim->tag << setShift;
-        if (victim->dirty)
+        ev.dirty = (meta[way] & 1) != 0;
+        ev.lineAddr = (tag[way] >> 1) << setShift;
+        if (ev.dirty)
             ++writebackCount;
     }
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->tag = addr >> setShift;
-    victim->lastUse = ++tick;
+    tag[way] = (lineAddr << 1) | 1;
+    meta[way] = (++tick << 1) | static_cast<u64>(dirty);
+    mruWay[set] = way;
     return ev;
 }
 
 void
 SetAssociativeCache::flush()
 {
-    for (Line& line : lines)
-        line = Line{};
+    std::fill(state.begin(), state.end(), 0);
+    std::fill(mruWay.begin(), mruWay.end(), 0);
 }
 
 bool
 SetAssociativeCache::probe(Addr addr) const
 {
-    return findLine(addr) != nullptr;
+    const Addr lineAddr = addr >> setShift;
+    const u64 set = lineAddr & setMask;
+    const u64 key = (lineAddr << 1) | 1;
+    const u64* tag = &state[set * ways * 2];
+    return scanFor(tag, key) != simd::kWayNotFound;
 }
 
 double

@@ -2,6 +2,36 @@
  * @file
  * Set-associative cache with true-LRU replacement and write-back
  * dirty tracking — one level of the CMP$im-style hierarchy.
+ *
+ * The line state is stored set-blocked: each set owns one contiguous
+ * block of `2 * ways` u64 words — first the packed tags (one word
+ * per way: `(lineAddr << 1) | 1`, 0 = invalid), then the packed
+ * replacement metadata (`(tick << 1) | dirty`).  A tag walk
+ * therefore compares one word per way against a single precomputed
+ * key and touches one cache line per 8 ways — which is what makes
+ * the L2/L3 set scans on the miss path cheap — while the metadata a
+ * fill needs sits in the lines directly after the tags it just
+ * walked.  Because the per-cache tick is unique, the smallest packed
+ * meta word still selects the true LRU victim without unpacking.
+ *
+ * Wide sets (8 ways and up — the L2/L3 geometries, where misses
+ * spend their time) scan through the runtime-dispatched set-scan
+ * kernels of util/simd/simd.hh, which compare four tag words per
+ * AVX2 instruction; narrow sets keep the inline walk, which beats an
+ * indirect call at 2 ways.  The kernels return way indices with
+ * pinned semantics (lowest match; first free way, else minimum
+ * metadata with ties low), so which implementation runs is invisible
+ * to the simulation — the same speed-knob contract as the rest of
+ * the simd layer.
+ *
+ * lookup() is defined inline (and first probes the set's MRU way)
+ * because it is the innermost operation of the simulation hot loop:
+ * the hierarchy's batched access path inlines straight through it.
+ * The MRU hint is purely an access-order accelerator — tags are
+ * unique within a set, so probing the hinted way first finds the same
+ * line a full scan would, and the LRU timestamp (`lastUse`) is bumped
+ * exactly as before.  ReferenceCache (cache/reference.hh) keeps the
+ * pre-fast-path implementation for equivalence tests and benchmarks.
  */
 
 #ifndef XBSP_CACHE_CACHE_HH
@@ -10,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "util/simd/simd.hh"
 #include "util/types.hh"
 
 namespace xbsp::cache
@@ -47,7 +78,61 @@ class SetAssociativeCache
      * and, for writes, the line is marked dirty.
      * @return true on hit.
      */
-    bool lookup(Addr addr, bool isWrite);
+    bool
+    lookup(Addr addr, bool isWrite)
+    {
+        ++accessCount;
+        ++tick;
+        const Addr lineAddr = addr >> setShift;
+        const u64 set = lineAddr & setMask;
+        const u64 key = (lineAddr << 1) | 1;
+        u64* tag = &state[set * ways * 2];
+        u64* meta = tag + ways;
+        const u32 mru = mruWay[set];
+        if (tag[mru] == key) {
+            meta[mru] = (tick << 1) |
+                        ((meta[mru] | static_cast<u64>(isWrite)) & 1);
+            return true;
+        }
+        // The hinted way already failed, so it cannot match again;
+        // rescanning it keeps the scan oblivious to the hint.
+        const u32 w = scanFor(tag, key);
+        if (w != simd::kWayNotFound) {
+            meta[w] = (tick << 1) |
+                      ((meta[w] | static_cast<u64>(isWrite)) & 1);
+            mruWay[set] = w;
+            return true;
+        }
+        ++missCount;
+        return false;
+    }
+
+    /**
+     * Touch the line containing `addr` if it is present: bump its LRU
+     * state and mark it dirty, counting one access — exactly what the
+     * old probe()-then-lookup(addr, true) pair did for a writeback
+     * landing on a resident line, but with a single set scan.  A miss
+     * changes nothing (the probe half of the old pair was stateless).
+     * @return true when the line was present (and is now dirty).
+     */
+    bool
+    touchIfPresent(Addr addr)
+    {
+        const Addr lineAddr = addr >> setShift;
+        const u64 set = lineAddr & setMask;
+        const u64 key = (lineAddr << 1) | 1;
+        u64* tag = &state[set * ways * 2];
+        u64* meta = tag + ways;
+        const u32 w = scanFor(tag, key);
+        if (w != simd::kWayNotFound) {
+            ++accessCount;
+            ++tick;
+            meta[w] = (tick << 1) | 1;
+            mruWay[set] = w;
+            return true;
+        }
+        return false;
+    }
 
     /**
      * Install the line containing `addr` (allocate-on-miss), evicting
@@ -63,6 +148,23 @@ class SetAssociativeCache
     /** True if the line containing `addr` is present (no LRU touch). */
     bool probe(Addr addr) const;
 
+    /**
+     * Hint the hardware to pull the set block of `addr` into the
+     * real cache.  Purely a performance hint — no simulated state or
+     * statistics change; the batched hierarchy walk issues these for
+     * a whole reference batch before walking it, overlapping the
+     * metadata fetches that dominate miss-heavy streams.
+     */
+    void
+    prefetchSet(Addr addr) const
+    {
+        const u64 set = (addr >> setShift) & setMask;
+        const u64* block = &state[set * ways * 2];
+        __builtin_prefetch(block);
+        if (ways > 8)
+            __builtin_prefetch(block + 8);
+    }
+
     const LevelConfig& config() const { return cfg; }
     u64 accesses() const { return accessCount; }
     u64 misses() const { return missCount; }
@@ -71,27 +173,44 @@ class SetAssociativeCache
     void resetStats();
 
   private:
-    struct Line
+    /**
+     * Way of `key` within one set's tag block, else kWayNotFound.
+     * Wide sets go through the dispatched vector kernel; narrow sets
+     * (the 2-way L1) inline the walk, which is cheaper than any
+     * call.  `ways` is fixed per cache, so the branch is free.
+     */
+    u32
+    scanFor(const u64* tag, u64 key) const
     {
-        Addr tag = 0;
-        u64 lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+        if (ways >= 8)
+            return findWayFn(tag, ways, key);
+        for (u32 w = 0; w < ways; ++w) {
+            if (tag[w] == key)
+                return w;
+        }
+        return simd::kWayNotFound;
+    }
 
     LevelConfig cfg;
+    u32 ways = 0;       ///< cfg.associativity, hot copy
     u32 numSets = 0;
     u32 setShift = 0;   ///< log2(lineSize)
     u64 setMask = 0;    ///< numSets - 1
-    std::vector<Line> lines;  ///< numSets x associativity
+    /**
+     * Per-set block of 2*ways words: packed tags
+     * (`(lineAddr << 1) | valid`, 0 = free) then packed metadata
+     * (`(LRU tick << 1) | dirty`).
+     */
+    std::vector<u64> state;
+    std::vector<u32> mruWay;  ///< per-set most-recently-hit way hint
+    // Set-scan kernels, resolved from the simd dispatch once at
+    // construction (caches are built after --simd is applied).
+    u32 (*findWayFn)(const u64*, u32, u64) = nullptr;
+    u32 (*victimWayFn)(const u64*, const u64*, u32) = nullptr;
     u64 tick = 0;
     u64 accessCount = 0;
     u64 missCount = 0;
     u64 writebackCount = 0;
-
-    Line* findLine(Addr addr);
-    const Line* findLine(Addr addr) const;
-    Line* victimLine(Addr addr);
 };
 
 } // namespace xbsp::cache

@@ -1,6 +1,5 @@
 #include "cache/hierarchy.hh"
 
-#include "mem/pattern.hh"
 #include "util/logging.hh"
 
 namespace xbsp::cache
@@ -33,6 +32,8 @@ Hierarchy::Hierarchy(const HierarchyConfig& config)
         fatal("hierarchy requires a uniform line size, got {}/{}/{}",
               cfg.l1.lineSize, cfg.l2.lineSize, cfg.l3.lineSize);
     }
+    latencyTable = {cfg.l1.hitLatency, cfg.l2.hitLatency,
+                    cfg.l3.hitLatency, cfg.dramLatency};
 }
 
 void
@@ -42,26 +43,24 @@ Hierarchy::writebackInto(std::size_t level, Addr lineAddr)
         ++dramWbCount;
         return;
     }
-    // Non-inclusive write-back: the dirty line is installed in the
-    // next level down (allocating there), possibly cascading.
-    if (levels[level].probe(lineAddr)) {
-        // Already present: just mark it dirty via a write lookup.
-        // This is not counted as a demand access.
-        levels[level].lookup(lineAddr, true);
+    // Non-inclusive write-back: a line already resident in the next
+    // level down is just re-touched and dirtied (one set scan; not a
+    // demand access in the hit/miss statistics); otherwise the dirty
+    // line is installed there (allocating), possibly cascading.
+    if (levels[level].touchIfPresent(lineAddr))
         return;
-    }
     const Eviction ev = levels[level].fill(lineAddr, true);
     if (ev.valid && ev.dirty)
         writebackInto(level + 1, ev.lineAddr);
 }
 
 HitLevel
-Hierarchy::access(Addr addr, bool isWrite)
+Hierarchy::accessMissFrom(Addr addr, bool isWrite)
 {
     HitLevel result = HitLevel::Memory;
     std::size_t hitAt = levels.size();
-    for (std::size_t i = 0; i < levels.size(); ++i) {
-        if (levels[i].lookup(addr, isWrite && i == 0)) {
+    for (std::size_t i = 1; i < levels.size(); ++i) {
+        if (levels[i].lookup(addr, false)) {
             result = static_cast<HitLevel>(i);
             hitAt = i;
             break;
@@ -75,31 +74,6 @@ Hierarchy::access(Addr addr, bool isWrite)
     }
     ++serviced[static_cast<std::size_t>(result)];
     return result;
-}
-
-Cycles
-Hierarchy::accessBatch(std::span<const mem::MemRef> refs)
-{
-    Cycles total = 0;
-    for (const mem::MemRef& ref : refs)
-        total += latency(access(ref.addr, ref.isWrite));
-    return total;
-}
-
-Cycles
-Hierarchy::latency(HitLevel level) const
-{
-    switch (level) {
-      case HitLevel::L1:
-        return cfg.l1.hitLatency;
-      case HitLevel::L2:
-        return cfg.l2.hitLatency;
-      case HitLevel::L3:
-        return cfg.l3.hitLatency;
-      case HitLevel::Memory:
-        return cfg.dramLatency;
-    }
-    panic("unknown HitLevel {}", static_cast<int>(level));
 }
 
 void

@@ -4,6 +4,13 @@
  * paper's Table 1 configuration as default: L1D 32KB/2-way,
  * L2 512KB/8-way, L3 1MB/16-way, all 64-byte lines and LRU, with
  * 3/14/35-cycle hit latencies and 250-cycle DRAM.
+ *
+ * The access path is split into an inline L1-hit fast path (one
+ * inlined lookup, one latency-table read) and an out-of-line miss
+ * slow path (L2/L3 walk, fills, writeback cascade).  accessBatch()
+ * therefore keeps the dominant case — an L1 hit — inside one
+ * branch-light inner loop; statistics and LRU state are updated
+ * exactly as if access() had been called per reference.
  */
 
 #ifndef XBSP_CACHE_HIERARCHY_HH
@@ -13,12 +20,8 @@
 #include <span>
 
 #include "cache/cache.hh"
+#include "mem/pattern.hh"
 #include "util/types.hh"
-
-namespace xbsp::mem
-{
-struct MemRef;
-}
 
 namespace xbsp::cache
 {
@@ -55,7 +58,15 @@ class Hierarchy
         const HierarchyConfig& config = HierarchyConfig::paperTable1());
 
     /** Service one reference; returns the level that hit. */
-    HitLevel access(Addr addr, bool isWrite);
+    HitLevel
+    access(Addr addr, bool isWrite)
+    {
+        if (levels[0].lookup(addr, isWrite)) {
+            ++serviced[0];
+            return HitLevel::L1;
+        }
+        return accessMissFrom(addr, isWrite);
+    }
 
     /**
      * Service a whole block's reference batch in issue order and
@@ -64,10 +75,36 @@ class Hierarchy
      * exists so batch-aware timing observers pay one call per block
      * instead of two virtual dispatches per reference.
      */
-    Cycles accessBatch(std::span<const mem::MemRef> refs);
+    Cycles
+    accessBatch(std::span<const mem::MemRef> refs)
+    {
+        // Knowing the whole batch up front is what lets the walk
+        // overlap its metadata fetches: hint every referenced L2/L3
+        // set block before the first (serially dependent) set scan.
+        // The simulated L1's state is small enough to stay resident.
+        for (const mem::MemRef& ref : refs) {
+            levels[1].prefetchSet(ref.addr);
+            levels[2].prefetchSet(ref.addr);
+        }
+        Cycles total = 0;
+        for (const mem::MemRef& ref : refs) {
+            if (levels[0].lookup(ref.addr, ref.isWrite)) {
+                ++serviced[0];
+                total += latencyTable[0];
+            } else {
+                total += latencyTable[static_cast<std::size_t>(
+                    accessMissFrom(ref.addr, ref.isWrite))];
+            }
+        }
+        return total;
+    }
 
     /** Total latency of a reference serviced at `level`. */
-    Cycles latency(HitLevel level) const;
+    Cycles
+    latency(HitLevel level) const
+    {
+        return latencyTable[static_cast<std::size_t>(level)];
+    }
 
     /** Invalidate all levels (cold-start sampling ablation). */
     void flushAll();
@@ -88,9 +125,12 @@ class Hierarchy
   private:
     HierarchyConfig cfg;
     std::array<SetAssociativeCache, 3> levels;
-    std::array<u64, 4> serviced{};  ///< per HitLevel
+    std::array<Cycles, 4> latencyTable{};  ///< per HitLevel
+    std::array<u64, 4> serviced{};         ///< per HitLevel
     u64 dramWbCount = 0;
 
+    /** Slow path: L1 already looked up and missed. */
+    HitLevel accessMissFrom(Addr addr, bool isWrite);
     void writebackInto(std::size_t level, Addr lineAddr);
 };
 

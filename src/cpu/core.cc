@@ -7,27 +7,4 @@ InOrderCore::InOrderCore(cache::Hierarchy& hierarchy) : hier(hierarchy)
 {
 }
 
-void
-InOrderCore::onBlock(u32 blockId, u32 instrs)
-{
-    (void)blockId;
-    stats.instructions += instrs;
-    stats.cycles += instrs;
-}
-
-void
-InOrderCore::onMemRef(Addr addr, bool isWrite)
-{
-    const cache::HitLevel level = hier.access(addr, isWrite);
-    stats.cycles += hier.latency(level);
-    ++stats.memRefs;
-}
-
-void
-InOrderCore::onMemRefs(std::span<const mem::MemRef> refs)
-{
-    stats.cycles += hier.accessBatch(refs);
-    stats.memRefs += refs.size();
-}
-
 } // namespace xbsp::cpu

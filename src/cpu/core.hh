@@ -35,15 +35,40 @@ struct CoreStats
 };
 
 /** The timing model; subscribe with blocks + memRefs hooks. */
-class InOrderCore : public exec::Observer
+class InOrderCore final : public exec::Observer
 {
   public:
     /** The hierarchy is shared and not owned. */
     explicit InOrderCore(cache::Hierarchy& hierarchy);
 
-    void onBlock(u32 blockId, u32 instrs) override;
-    void onMemRef(Addr addr, bool isWrite) override;
-    void onMemRefs(std::span<const mem::MemRef> refs) override;
+    exec::ObserverHooks
+    hooks() const override
+    {
+        return {true, true, false};
+    }
+
+    void
+    onBlock(u32 blockId, u32 instrs) override
+    {
+        (void)blockId;
+        stats.instructions += instrs;
+        stats.cycles += instrs;
+    }
+
+    void
+    onMemRef(Addr addr, bool isWrite) override
+    {
+        const cache::HitLevel level = hier.access(addr, isWrite);
+        stats.cycles += hier.latency(level);
+        ++stats.memRefs;
+    }
+
+    void
+    onMemRefs(std::span<const mem::MemRef> refs) override
+    {
+        stats.cycles += hier.accessBatch(refs);
+        stats.memRefs += refs.size();
+    }
 
     /** Running counters (monotonic over the whole run). */
     Cycles cycles() const { return stats.cycles; }

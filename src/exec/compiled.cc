@@ -1,0 +1,233 @@
+#include "exec/compiled.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "binary/serial.hh"
+#include "obs/stats.hh"
+#include "util/logging.hh"
+#include "util/serial.hh"
+
+namespace xbsp::exec
+{
+
+std::string_view
+engineModeName(EngineMode mode)
+{
+    return mode == EngineMode::Interp ? "interp" : "compiled";
+}
+
+namespace
+{
+
+EngineMode
+resolveFromEnv()
+{
+    if (const char* env = std::getenv("XBSP_ENGINE")) {
+        const std::string_view mode(env);
+        if (!mode.empty()) {
+            if (mode == "interp" || mode == "interpreter" ||
+                mode == "off") {
+                return EngineMode::Interp;
+            }
+            if (mode != "compiled" && mode != "auto" && mode != "on") {
+                warn("XBSP_ENGINE='{}' unknown (want interp|compiled); "
+                     "using compiled",
+                     mode);
+            }
+        }
+    }
+    return EngineMode::Compiled;
+}
+
+std::atomic<EngineMode>&
+modeSlot()
+{
+    static std::atomic<EngineMode> mode{resolveFromEnv()};
+    return mode;
+}
+
+} // namespace
+
+EngineMode
+activeEngineMode()
+{
+    return modeSlot().load(std::memory_order_relaxed);
+}
+
+bool
+selectEngineMode(std::string_view mode)
+{
+    if (mode == "interp" || mode == "interpreter" || mode == "off") {
+        modeSlot().store(EngineMode::Interp, std::memory_order_relaxed);
+        return true;
+    }
+    if (mode == "compiled" || mode == "auto" || mode == "on") {
+        modeSlot().store(EngineMode::Compiled,
+                         std::memory_order_relaxed);
+        return true;
+    }
+    warn("engine mode '{}' unknown (want interp|compiled); keeping {}",
+         mode, engineModeName(activeEngineMode()));
+    return false;
+}
+
+namespace
+{
+
+/** Builder holding the trace under construction. */
+class TraceCompiler
+{
+  public:
+    explicit TraceCompiler(const bin::Binary& binary) : bin(binary) {}
+
+    CompiledTrace
+    compile()
+    {
+        trace.procStart.resize(bin.procs.size(), 0);
+        for (u32 p = 0; p < bin.procs.size(); ++p) {
+            trace.procStart[p] = pc();
+            emitMarker(bin.procs[p].entryMarkerId);
+            emitStmts(bin.procs[p].body);
+            trace.ops.push_back({CompiledOp::Kind::Ret, 0, 0});
+        }
+        // Call targets could not be resolved while forward-called
+        // procedures were still unemitted; patch them now.
+        for (const auto& [opIndex, procId] : callFixups)
+            trace.ops[opIndex].a = trace.procStart[procId];
+        return std::move(trace);
+    }
+
+  private:
+    const bin::Binary& bin;
+    CompiledTrace trace;
+    std::vector<std::pair<u32, u32>> callFixups;  ///< (op, procId)
+
+    u32 pc() const { return static_cast<u32>(trace.ops.size()); }
+
+    void
+    emitMarker(u32 markerId)
+    {
+        trace.ops.push_back({CompiledOp::Kind::Marker, markerId, 0});
+    }
+
+    void
+    emitBlock(u32 blockId)
+    {
+        // Run-length merge: extend the previous BlockRun when its
+        // pool slice is still the tail of blockIds.  Marker/Call/
+        // Backedge ops in between fence the merge automatically.
+        if (!trace.ops.empty()) {
+            CompiledOp& prev = trace.ops.back();
+            if (prev.kind == CompiledOp::Kind::BlockRun &&
+                prev.a + prev.b == trace.blockIds.size()) {
+                trace.blockIds.push_back(blockId);
+                ++prev.b;
+                return;
+            }
+        }
+        trace.ops.push_back(
+            {CompiledOp::Kind::BlockRun,
+             static_cast<u32>(trace.blockIds.size()), 1});
+        trace.blockIds.push_back(blockId);
+    }
+
+    void
+    emitStmts(const std::vector<bin::MachineStmt>& stmts)
+    {
+        for (const bin::MachineStmt& stmt : stmts) {
+            if (const auto* ref = std::get_if<bin::BlockRef>(&stmt)) {
+                emitBlock(ref->blockId);
+            } else if (const auto* loop =
+                           std::get_if<bin::MachineLoop>(&stmt)) {
+                emitLoop(*loop);
+            } else if (const auto* call =
+                           std::get_if<bin::MachineCall>(&stmt)) {
+                callFixups.emplace_back(pc(), call->procId);
+                trace.ops.push_back({CompiledOp::Kind::Call, 0, 0});
+            }
+        }
+    }
+
+    void
+    emitLoop(const bin::MachineLoop& loop)
+    {
+        emitMarker(loop.entryMarkerId);
+        if (loop.tripCount == 0)
+            return;
+        const u32 top = pc();
+        emitStmts(loop.body);
+        emitBlock(loop.branchBlockId);
+        emitMarker(loop.branchMarkerId);
+        if (loop.tripCount > 1) {
+            const u32 slot =
+                static_cast<u32>(trace.loopTrips.size());
+            trace.loopTrips.push_back(loop.tripCount);
+            trace.ops.push_back(
+                {CompiledOp::Kind::Backedge, top, slot});
+        }
+    }
+};
+
+struct KeyHash
+{
+    std::size_t
+    operator()(const serial::Hash128& h) const
+    {
+        return static_cast<std::size_t>(h.lo);
+    }
+};
+
+} // namespace
+
+CompiledTrace
+compileTrace(const bin::Binary& binary)
+{
+    return TraceCompiler(binary).compile();
+}
+
+std::shared_ptr<const CompiledTrace>
+compiledTraceFor(const bin::Binary& binary)
+{
+    // Per-object memo first: re-running the same Binary (every
+    // engine construction after the first) must not even hash it.
+    if (auto memo = std::static_pointer_cast<const CompiledTrace>(
+            binary.derived.load())) {
+        obs::StatRegistry::global()
+            .counter("engine.compile.hits")
+            .add();
+        return memo;
+    }
+
+    serial::Hasher h;
+    bin::hashBinary(h, binary);
+    const serial::Hash128 key = h.finish();
+
+    static std::mutex cacheMutex;
+    static std::unordered_map<serial::Hash128,
+                              std::shared_ptr<const CompiledTrace>,
+                              KeyHash>
+        cache;
+
+    // Compiling under the lock keeps the hit/miss counters exact at
+    // any worker count; compilation is a cheap linear pass, so the
+    // serialization is immaterial.
+    std::lock_guard<std::mutex> guard(cacheMutex);
+    auto& reg = obs::StatRegistry::global();
+    if (auto it = cache.find(key); it != cache.end()) {
+        reg.counter("engine.compile.hits").add();
+        binary.derived.store(it->second);
+        return it->second;
+    }
+    reg.counter("engine.compile.misses").add();
+    auto trace =
+        std::make_shared<const CompiledTrace>(compileTrace(binary));
+    cache.emplace(key, trace);
+    binary.derived.store(trace);
+    return trace;
+}
+
+} // namespace xbsp::exec

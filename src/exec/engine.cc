@@ -3,14 +3,13 @@
 #include <algorithm>
 
 #include "obs/stats.hh"
-#include "obs/trace.hh"
-#include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace xbsp::exec
 {
 
-Engine::Engine(const bin::Binary& binary, u64 seed) : bin(binary)
+Engine::Engine(const bin::Binary& binary, u64 seed, EngineMode mode)
+    : bin(binary), engineMode(mode)
 {
     states.resize(bin.blocks.size());
     u32 maxRefs = 0;
@@ -22,7 +21,10 @@ Engine::Engine(const bin::Binary& binary, u64 seed) : bin(binary)
         }
         maxRefs = std::max(maxRefs, blk.memOps + blk.stackOps);
     }
-    refBuf.reserve(maxRefs);
+    if (maxRefs > 0)
+        refBuf = std::make_unique<mem::MemRef[]>(maxRefs);
+    if (engineMode == EngineMode::Compiled)
+        trace = compiledTraceFor(bin);
 }
 
 void
@@ -37,129 +39,63 @@ Engine::addObserver(Observer* observer, const ObserverHooks& hooks)
     if (hooks.markers)
         markerObservers.push_back(observer);
     allObservers.push_back(observer);
-    dispatchBlocks = !blockObservers.empty();
-    dispatchMems = !memObservers.empty();
-    dispatchMarkers = !markerObservers.empty();
 }
 
-void
-Engine::fireMarker(u32 markerId)
+/**
+ * The legacy dispatch path as a sink: fan every event out to the
+ * registered observer vectors, in registration order.
+ */
+struct Engine::VirtualSink
 {
-    if (!dispatchMarkers)
-        return;
-    ++markersFired;
-    for (Observer* obs : markerObservers)
-        obs->onMarker(markerId);
-}
+    Engine& engine;
 
-void
-Engine::execBlock(u32 blockId)
-{
-    const bin::MachineBlock& blk = bin.blocks[blockId];
-    instrCount += blk.instrs;
-    ++blocksExecuted;
-
-    // Memory references are dispatched before the block-completion
-    // event so that when onBlock fires, timing observers have already
-    // charged the whole block — snapshot collectors that cut at block
-    // boundaries then see consistent (instruction, cycle) pairs.  The
-    // block's whole reference stream is materialized once and handed
-    // to each observer as a single batch.
-    if (dispatchMems) {
-        refBuf.clear();
-        BlockState& st = states[blockId];
-        if (blk.memOps > 0) {
-            st.gen->beginBlock();
-            for (u32 i = 0; i < blk.memOps; ++i)
-                refBuf.push_back(st.gen->next());
-        }
-        // Spill traffic cycles through a small per-procedure stack
-        // window: 64 slots of 8 bytes, alternating load/store.  It is
-        // L1-resident after warm-up, as real spill code is.
-        for (u32 i = 0; i < blk.stackOps; ++i) {
-            const Addr addr = mem::stackBase(blk.procId) +
-                              ((st.stackCursor & 63u) << 3);
-            const bool isWrite = (st.stackCursor & 1u) != 0;
-            ++st.stackCursor;
-            refBuf.push_back({addr, isWrite});
-        }
-        refsIssued += refBuf.size();
-        if (!refBuf.empty()) {
-            const std::span<const mem::MemRef> refs(refBuf);
-            for (Observer* obs : memObservers)
-                obs->onMemRefs(refs);
-        }
+    bool wantsBlocks() const { return !engine.blockObservers.empty(); }
+    bool wantsMems() const { return !engine.memObservers.empty(); }
+    bool
+    wantsMarkers() const
+    {
+        return !engine.markerObservers.empty();
     }
 
-    if (dispatchBlocks) {
-        for (Observer* obs : blockObservers)
-            obs->onBlock(blockId, blk.instrs);
+    void
+    onBlock(u32 blockId, u32 instrs)
+    {
+        for (Observer* obs : engine.blockObservers)
+            obs->onBlock(blockId, instrs);
     }
-}
 
-void
-Engine::execProc(u32 procId)
-{
-    // Iterative statement walk with an explicit frame stack; the
-    // recursive formulation recursed once per call site and loop
-    // nesting level, which dominated the interpreter's own time on
-    // deeply nested workloads.  Event order is identical: a
-    // procedure's entry marker fires before its body, a loop's entry
-    // marker before its first iteration, and each iteration runs
-    // body, branch block, branch marker.
-    const bin::MachineProc& entry = bin.procs[procId];
-    fireMarker(entry.entryMarkerId);
-    frames.clear();
-    frames.push_back({&entry.body, 0, nullptr, 0});
-
-    while (!frames.empty()) {
-        Frame& frame = frames.back();
-        if (frame.next == frame.stmts->size()) {
-            if (frame.loop != nullptr) {
-                // One trip of the loop body finished: branch block,
-                // branch marker, then loop or fall through.
-                execBlock(frame.loop->branchBlockId);
-                fireMarker(frame.loop->branchMarkerId);
-                if (++frame.iter < frame.loop->tripCount) {
-                    frame.next = 0;
-                    continue;
-                }
-            }
-            frames.pop_back();
-            continue;
-        }
-
-        const bin::MachineStmt& stmt = (*frame.stmts)[frame.next];
-        ++frame.next;
-        if (const auto* ref = std::get_if<bin::BlockRef>(&stmt)) {
-            execBlock(ref->blockId);
-        } else if (const auto* loop =
-                       std::get_if<bin::MachineLoop>(&stmt)) {
-            fireMarker(loop->entryMarkerId);
-            if (loop->tripCount > 0)
-                frames.push_back({&loop->body, 0, loop, 0});
-        } else if (const auto* call =
-                       std::get_if<bin::MachineCall>(&stmt)) {
-            const bin::MachineProc& proc = bin.procs[call->procId];
-            fireMarker(proc.entryMarkerId);
-            frames.push_back({&proc.body, 0, nullptr, 0});
-        }
+    void
+    onMemRefs(std::span<const mem::MemRef> refs)
+    {
+        for (Observer* obs : engine.memObservers)
+            obs->onMemRefs(refs);
     }
-}
+
+    void
+    onMarker(u32 markerId)
+    {
+        for (Observer* obs : engine.markerObservers)
+            obs->onMarker(markerId);
+    }
+
+    void
+    onRunEnd()
+    {
+        for (Observer* obs : engine.allObservers)
+            obs->onRunEnd();
+    }
+};
 
 void
 Engine::run()
 {
-    if (ran)
-        panic("Engine::run called twice; construct a fresh Engine");
-    ran = true;
-    {
-        obs::TraceSpan span("engine.run", "exec");
-        execProc(bin.entryProcId);
-    }
-    for (Observer* obs : allObservers)
-        obs->onRunEnd();
+    VirtualSink sink{*this};
+    runWith(sink);
+}
 
+void
+Engine::flushStats()
+{
     auto& reg = obs::StatRegistry::global();
     reg.counter("engine.runs").add();
     reg.counter("engine.blocks").add(blocksExecuted);
@@ -174,9 +110,8 @@ runOnce(const bin::Binary& binary,
         const std::vector<Observer*>& observers, u64 seed)
 {
     Engine engine(binary, seed);
-    ObserverHooks all{true, true, true};
     for (Observer* obs : observers)
-        engine.addObserver(obs, all);
+        engine.addObserver(obs, obs->hooks());
     engine.run();
     return engine.instructionsExecuted();
 }

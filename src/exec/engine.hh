@@ -2,12 +2,40 @@
  * @file
  * Deterministic execution engine with a Pin-like observer interface.
  *
- * The engine interprets a bin::Binary structurally (no materialized
- * trace): procedure entries, loop entries and loop back-branches fire
- * marker events; basic blocks fire block events and generate their
- * memory reference streams.  Observers subscribe to the event kinds
- * they need; profilers, the timing model and the sampling gates are
- * all observers.
+ * The engine executes a bin::Binary: procedure entries, loop entries
+ * and loop back-branches fire marker events; basic blocks fire block
+ * events and generate their memory reference streams.  Observers
+ * subscribe to the event kinds they need; profilers, the timing model
+ * and the sampling gates are all observers.
+ *
+ * Two run loops produce the identical event stream (see DESIGN.md,
+ * "Engine fast path"):
+ *  - **Interp** walks the statement tree with an explicit frame
+ *    stack (the original engine);
+ *  - **Compiled** replays the binary's linear op program (see
+ *    exec/compiled.hh), built once per binary content and cached.
+ * The mode is a pure speed knob (`--engine` / `XBSP_ENGINE`): event
+ * order, statistics and every downstream artifact are bit-identical,
+ * so it is never part of an artifact-store key.
+ *
+ * Both loops are templates over a *Sink* — the compile-time analogue
+ * of the observer vectors:
+ *
+ *     struct MySink {
+ *         bool wantsBlocks() const;
+ *         bool wantsMems() const;
+ *         bool wantsMarkers() const;
+ *         void onBlock(u32 blockId, u32 instrs);
+ *         void onMemRefs(std::span<const mem::MemRef> refs);
+ *         void onMarker(u32 markerId);
+ *         void onRunEnd();
+ *     };
+ *
+ * Engine::run() drives a sink that fans out to the registered
+ * observers (the legacy path, byte-for-byte unchanged behaviour);
+ * Engine::runWith(sink) lets the dominant configurations (the BBV
+ * profile pass, the detailed core) supply a concrete sink so the
+ * whole hot path devirtualizes into one translation unit.
  *
  * Event ordering contract (relied upon by the snapshot collectors):
  *  - the engine's instruction counter is updated *before* the block
@@ -33,17 +61,37 @@
 #include <vector>
 
 #include "binary/binary.hh"
+#include "exec/compiled.hh"
 #include "mem/pattern.hh"
+#include "obs/trace.hh"
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace xbsp::exec
 {
+
+/** Which event streams an observer wants to receive. */
+struct ObserverHooks
+{
+    bool blocks = false;
+    bool memRefs = false;
+    bool markers = false;
+};
 
 /** Base class for execution observers; override what you need. */
 class Observer
 {
   public:
     virtual ~Observer() = default;
+
+    /**
+     * The event kinds this observer needs.  The default subscribes
+     * to everything — correct but wasteful; observers that only
+     * consume a subset override this so convenience drivers
+     * (runOnce) don't force the engine to materialize streams
+     * nobody reads.
+     */
+    virtual ObserverHooks hooks() const { return {true, true, true}; }
 
     /** A basic block finished executing `instrs` instructions. */
     virtual void onBlock(u32 blockId, u32 instrs)
@@ -81,20 +129,21 @@ class Observer
     virtual void onRunEnd() {}
 };
 
-/** Which event streams an observer wants to receive. */
-struct ObserverHooks
-{
-    bool blocks = false;
-    bool memRefs = false;
-    bool markers = false;
-};
-
-/** Interprets one binary once; construct a fresh engine per run. */
+/** Executes one binary once; construct a fresh engine per run. */
 class Engine
 {
   public:
-    /** `seed` feeds the per-block address generators. */
-    explicit Engine(const bin::Binary& binary, u64 seed = 0x5EEDull);
+    /**
+     * `seed` feeds the per-block address generators; the run loop is
+     * chosen by activeEngineMode().
+     */
+    explicit Engine(const bin::Binary& binary, u64 seed = 0x5EEDull)
+        : Engine(binary, seed, activeEngineMode())
+    {
+    }
+
+    /** Same, with the run loop pinned (tests, equivalence drivers). */
+    Engine(const bin::Binary& binary, u64 seed, EngineMode mode);
 
     /** Subscribe an observer (not owned) to selected event kinds. */
     void addObserver(Observer* observer, const ObserverHooks& hooks);
@@ -102,11 +151,37 @@ class Engine
     /** Execute the program to completion.  May be called once. */
     void run();
 
+    /**
+     * Execute the program to completion into `sink` (see the Sink
+     * concept in the file comment) instead of the observer vectors.
+     * May be called once, and not combined with addObserver().
+     */
+    template <typename Sink>
+    void
+    runWith(Sink& sink)
+    {
+        if (ran)
+            panic("Engine::run called twice; construct a fresh Engine");
+        ran = true;
+        {
+            obs::TraceSpan span("engine.run", "exec");
+            if (engineMode == EngineMode::Compiled)
+                runCompiledT(sink);
+            else
+                runInterpT(sink);
+        }
+        sink.onRunEnd();
+        flushStats();
+    }
+
     /** Instructions executed so far (valid during and after run()). */
     InstrCount instructionsExecuted() const { return instrCount; }
 
     /** The binary being executed. */
     const bin::Binary& binary() const { return bin; }
+
+    /** The run loop this engine uses. */
+    EngineMode mode() const { return engineMode; }
 
   private:
     struct BlockState
@@ -124,14 +199,19 @@ class Engine
         u64 iter = 0;                             ///< completed trips
     };
 
+    /** Sink fanning out to the registered observer vectors. */
+    struct VirtualSink;
+
     const bin::Binary& bin;
+    EngineMode engineMode;
+    std::shared_ptr<const CompiledTrace> trace;  ///< Compiled mode
     std::vector<BlockState> states;
     std::vector<Observer*> blockObservers;
     std::vector<Observer*> memObservers;
     std::vector<Observer*> markerObservers;
     std::vector<Observer*> allObservers;
-    std::vector<mem::MemRef> refBuf;  ///< per-block batch scratch
-    std::vector<Frame> frames;        ///< explicit walk stack
+    std::unique_ptr<mem::MemRef[]> refBuf;  ///< per-block scratch
+    std::vector<Frame> frames;              ///< interp walk stack
     InstrCount instrCount = 0;
     // Event tallies kept as plain integers in the hot path and
     // flushed to the stats registry once per run() (one atomic add
@@ -139,21 +219,172 @@ class Engine
     u64 blocksExecuted = 0;
     u64 refsIssued = 0;
     u64 markersFired = 0;
-    // Dispatch flags hoisted out of the per-block hot path; kept in
-    // sync by addObserver().
-    bool dispatchBlocks = false;
-    bool dispatchMems = false;
-    bool dispatchMarkers = false;
     bool ran = false;
 
-    void execBlock(u32 blockId);
-    void execProc(u32 procId);
-    void fireMarker(u32 markerId);
+    /**
+     * Execute one basic block into `sink`: bump the instruction
+     * counter, materialize the reference batch (pattern refs via
+     * AddressGenerator::nextBatch, then spill traffic cycling through
+     * a 64-slot per-procedure stack window, alternating load/store),
+     * dispatch it, then the block event.
+     */
+    template <typename Sink>
+    void
+    execBlockT(Sink& sink, u32 blockId)
+    {
+        const bin::MachineBlock& blk = bin.blocks[blockId];
+        instrCount += blk.instrs;
+        ++blocksExecuted;
+
+        if (sink.wantsMems()) {
+            BlockState& st = states[blockId];
+            if (blk.memOps > 0) {
+                st.gen->beginBlock();
+                st.gen->nextBatch(blk.memOps, refBuf.get());
+            }
+            u32 cursor = st.stackCursor;
+            const u32 total = blk.memOps + blk.stackOps;
+            if (blk.stackOps > 0) {
+                const Addr base = mem::stackBase(blk.procId);
+                for (u32 i = blk.memOps; i < total; ++i) {
+                    refBuf[i] = {base + ((cursor & 63u) << 3),
+                                 (cursor & 1u) != 0};
+                    ++cursor;
+                }
+                st.stackCursor = cursor;
+            }
+            refsIssued += total;
+            if (total > 0) {
+                sink.onMemRefs(
+                    std::span<const mem::MemRef>(refBuf.get(), total));
+            }
+        }
+
+        if (sink.wantsBlocks())
+            sink.onBlock(blockId, blk.instrs);
+    }
+
+    template <typename Sink>
+    void
+    fireMarkerT(Sink& sink, u32 markerId)
+    {
+        if (!sink.wantsMarkers())
+            return;
+        ++markersFired;
+        sink.onMarker(markerId);
+    }
+
+    /**
+     * The structural interpreter: iterative statement walk with an
+     * explicit frame stack.  Event order: a procedure's entry marker
+     * fires before its body, a loop's entry marker before its first
+     * iteration, and each iteration runs body, branch block, branch
+     * marker.
+     */
+    template <typename Sink>
+    void
+    runInterpT(Sink& sink)
+    {
+        const bin::MachineProc& entry = bin.procs[bin.entryProcId];
+        fireMarkerT(sink, entry.entryMarkerId);
+        frames.clear();
+        frames.push_back({&entry.body, 0, nullptr, 0});
+
+        while (!frames.empty()) {
+            Frame& frame = frames.back();
+            if (frame.next == frame.stmts->size()) {
+                if (frame.loop != nullptr) {
+                    // One trip of the loop body finished: branch
+                    // block, branch marker, then loop or fall through.
+                    execBlockT(sink, frame.loop->branchBlockId);
+                    fireMarkerT(sink, frame.loop->branchMarkerId);
+                    if (++frame.iter < frame.loop->tripCount) {
+                        frame.next = 0;
+                        continue;
+                    }
+                }
+                frames.pop_back();
+                continue;
+            }
+
+            const bin::MachineStmt& stmt = (*frame.stmts)[frame.next];
+            ++frame.next;
+            if (const auto* ref = std::get_if<bin::BlockRef>(&stmt)) {
+                execBlockT(sink, ref->blockId);
+            } else if (const auto* loop =
+                           std::get_if<bin::MachineLoop>(&stmt)) {
+                fireMarkerT(sink, loop->entryMarkerId);
+                if (loop->tripCount > 0)
+                    frames.push_back({&loop->body, 0, loop, 0});
+            } else if (const auto* call =
+                           std::get_if<bin::MachineCall>(&stmt)) {
+                const bin::MachineProc& proc = bin.procs[call->procId];
+                fireMarkerT(sink, proc.entryMarkerId);
+                frames.push_back({&proc.body, 0, nullptr, 0});
+            }
+        }
+    }
+
+    /**
+     * The compiled run loop: replay the binary's linear op program
+     * (exec/compiled.hh documents the op semantics).  Produces the
+     * identical event stream to runInterpT by construction.
+     */
+    template <typename Sink>
+    void
+    runCompiledT(Sink& sink)
+    {
+        const CompiledTrace& t = *trace;
+        loopCounts.assign(t.loopTrips.size(), 0);
+        callStack.clear();
+        const CompiledOp* const ops = t.ops.data();
+        const u32* const blockIds = t.blockIds.data();
+        u32 pc = t.procStart[bin.entryProcId];
+        for (;;) {
+            const CompiledOp op = ops[pc];
+            switch (op.kind) {
+              case CompiledOp::Kind::BlockRun: {
+                const u32* ids = blockIds + op.a;
+                for (u32 i = 0; i < op.b; ++i)
+                    execBlockT(sink, ids[i]);
+                ++pc;
+                break;
+              }
+              case CompiledOp::Kind::Marker:
+                fireMarkerT(sink, op.a);
+                ++pc;
+                break;
+              case CompiledOp::Kind::Call:
+                callStack.push_back(pc + 1);
+                pc = op.a;
+                break;
+              case CompiledOp::Kind::Ret:
+                if (callStack.empty())
+                    return;
+                pc = callStack.back();
+                callStack.pop_back();
+                break;
+              case CompiledOp::Kind::Backedge:
+                if (++loopCounts[op.b] < t.loopTrips[op.b]) {
+                    pc = op.a;
+                } else {
+                    loopCounts[op.b] = 0;
+                    ++pc;
+                }
+                break;
+            }
+        }
+    }
+
+    std::vector<u64> loopCounts;  ///< compiled: per-slot trips done
+    std::vector<u32> callStack;   ///< compiled: return pcs
+
+    void flushStats();
 };
 
 /**
- * Convenience: run `binary` once with the given observers (all
- * subscribed to every event kind) and return instructions executed.
+ * Convenience: run `binary` once with the given observers, each
+ * subscribed per its own hooks(), and return instructions executed.
  */
 InstrCount runOnce(const bin::Binary& binary,
                    const std::vector<Observer*>& observers,

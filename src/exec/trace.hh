@@ -49,7 +49,7 @@ class TraceWriter : public Observer
     void onRunEnd() override;
 
     /** Hooks matching the configured record kinds. */
-    ObserverHooks hooks() const;
+    ObserverHooks hooks() const override;
 
     /** Events written so far. */
     u64 eventCount() const { return events; }

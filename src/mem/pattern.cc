@@ -58,6 +58,14 @@ AddressGenerator::AddressGenerator(const ir::MemPattern& pattern,
     effHotSlots = hotSlots;
     effChaseMask = chaseMask;
     effHotFraction = hotFraction;
+    rebuildDraws();
+}
+
+void
+AddressGenerator::rebuildDraws()
+{
+    slotDraw = BoundedBelow(effSlots);
+    hotDraw = BoundedBelow(effHotSlots);
 }
 
 void
@@ -82,6 +90,7 @@ AddressGenerator::applyDriftLevel()
     effChaseMask = factor < 1.0 ? (chaseMask >> 1) : chaseMask;
     if (effChaseMask == 0)
         effChaseMask = chaseMask;
+    rebuildDraws();
 }
 
 void
@@ -122,7 +131,7 @@ AddressGenerator::next()
         cursor = cursor + 1 >= effSlots ? 0 : cursor + 1;
         break;
       case ir::MemPatternKind::RandomInSet:
-        ref.addr = base + rng.nextBelow(effSlots) * lineBytes;
+        ref.addr = base + slotDraw.draw(rng) * lineBytes;
         break;
       case ir::MemPatternKind::PointerChase:
         // Full-period LCG walk over a power-of-two line set: the
@@ -133,12 +142,66 @@ AddressGenerator::next()
         break;
       case ir::MemPatternKind::Gather:
         if (rng.nextDouble() < effHotFraction)
-            ref.addr = base + rng.nextBelow(effHotSlots) * lineBytes;
+            ref.addr = base + hotDraw.draw(rng) * lineBytes;
         else
-            ref.addr = base + rng.nextBelow(effSlots) * lineBytes;
+            ref.addr = base + slotDraw.draw(rng) * lineBytes;
         break;
     }
     return ref;
+}
+
+void
+AddressGenerator::nextBatch(u32 n, MemRef* out)
+{
+    // Each case replicates next()'s per-reference body exactly (the
+    // write-fraction accumulator update, then the pattern draws, in
+    // the same order), so the emitted stream is bit-identical to n
+    // successive next() calls; only the kind dispatch is hoisted.
+    switch (kind) {
+      case ir::MemPatternKind::None:
+        if (n > 0)
+            panic("AddressGenerator::nextBatch on a block without "
+                  "memory ops");
+        return;
+      case ir::MemPatternKind::Stride: {
+        u64 c = cursor;
+        const u64 wrap = effSlots;
+        for (u32 i = 0; i < n; ++i) {
+            out[i].isWrite = drawWrite();
+            out[i].addr = base + c * stride;
+            c = c + 1 >= wrap ? 0 : c + 1;
+        }
+        cursor = c;
+        break;
+      }
+      case ir::MemPatternKind::RandomInSet:
+        for (u32 i = 0; i < n; ++i) {
+            out[i].isWrite = drawWrite();
+            out[i].addr = base + slotDraw.draw(rng) * lineBytes;
+        }
+        break;
+      case ir::MemPatternKind::PointerChase: {
+        u64 c = cursor;
+        const u64 mask = effChaseMask;
+        for (u32 i = 0; i < n; ++i) {
+            out[i].isWrite = drawWrite();
+            c = (c * 1664525 + 1013904223) & mask;
+            out[i].addr = base + c * lineBytes;
+        }
+        cursor = c;
+        break;
+      }
+      case ir::MemPatternKind::Gather:
+        for (u32 i = 0; i < n; ++i) {
+            out[i].isWrite = drawWrite();
+            if (rng.nextDouble() < effHotFraction) {
+                out[i].addr = base + hotDraw.draw(rng) * lineBytes;
+            } else {
+                out[i].addr = base + slotDraw.draw(rng) * lineBytes;
+            }
+        }
+        break;
+    }
 }
 
 u64

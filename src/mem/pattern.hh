@@ -55,6 +55,15 @@ class AddressGenerator
     /** Produce the next reference. */
     MemRef next();
 
+    /**
+     * Produce the next `n` references into `out`, bit-identical to
+     * `n` successive next() calls (same RNG draws, same write-
+     * fraction accumulation, in the same order) but with the pattern
+     * switch hoisted out of the loop — the engine fills a block's
+     * whole reference stream in one call.
+     */
+    void nextBatch(u32 n, MemRef* out);
+
     /** Number of distinct cache lines this generator can touch. */
     u64 footprintLines() const;
 
@@ -80,9 +89,15 @@ class AddressGenerator
     u64 effHotSlots = 1;
     u64 effChaseMask = 0;
     double effHotFraction = 1.0;
+    // Prepared draws against the effective bounds (bit-identical to
+    // rng.nextBelow but divider-free); rebuilt only when drift
+    // changes the bounds, so the per-reference loops never divide.
+    BoundedBelow slotDraw{1};
+    BoundedBelow hotDraw{1};
 
     bool drawWrite();
     void applyDriftLevel();
+    void rebuildDraws();
 };
 
 /** Round up to the next power of two (minimum 1). */

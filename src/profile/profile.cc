@@ -118,6 +118,32 @@ runProfilePass(const bin::Binary& binary, InstrCount fliTarget,
 namespace
 {
 
+/**
+ * Concrete sink for the profile pass — blocks into the BBV
+ * collector, markers into the marker profiler, no memory stream.
+ * Both observer classes are final, so every call devirtualizes and
+ * the whole pass compiles into one tight loop.  Event routing and
+ * run-end order match the legacy registration (markers, then bbv)
+ * exactly.
+ */
+struct ProfileSink
+{
+    MarkerProfiler& markers;
+    FliBbvCollector& bbv;
+
+    bool wantsBlocks() const { return true; }
+    bool wantsMems() const { return false; }
+    bool wantsMarkers() const { return true; }
+
+    void onBlock(u32 blockId, u32 instrs)
+    {
+        bbv.onBlock(blockId, instrs);
+    }
+    void onMemRefs(std::span<const mem::MemRef>) {}
+    void onMarker(u32 markerId) { markers.onMarker(markerId); }
+    void onRunEnd() { bbv.onRunEnd(); }
+};
+
 ProfilePass
 runProfilePassUncached(const bin::Binary& binary, InstrCount fliTarget,
                        u64 seed)
@@ -127,9 +153,8 @@ runProfilePassUncached(const bin::Binary& binary, InstrCount fliTarget,
     exec::Engine engine(binary, seed);
     MarkerProfiler markers(binary);
     FliBbvCollector bbv(engine, fliTarget);
-    engine.addObserver(&markers, {false, false, true});
-    engine.addObserver(&bbv, {true, false, false});
-    engine.run();
+    ProfileSink sink{markers, bbv};
+    engine.runWith(sink);
     markers.finish(engine.instructionsExecuted());
 
     ProfilePass pass;

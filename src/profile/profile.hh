@@ -27,10 +27,16 @@ struct MarkerProfile
 };
 
 /** Observer that fills a MarkerProfile (subscribe: markers). */
-class MarkerProfiler : public exec::Observer
+class MarkerProfiler final : public exec::Observer
 {
   public:
     explicit MarkerProfiler(const bin::Binary& binary);
+
+    exec::ObserverHooks
+    hooks() const override
+    {
+        return {false, false, true};
+    }
 
     void onMarker(u32 markerId) override { ++profile.counts[markerId]; }
 
@@ -74,10 +80,16 @@ class BbvAccumulator
  * agrees on the boundaries.  The trailing partial interval is kept
  * (with its true, shorter length).
  */
-class FliBbvCollector : public exec::Observer
+class FliBbvCollector final : public exec::Observer
 {
   public:
     FliBbvCollector(const exec::Engine& engine, InstrCount targetSize);
+
+    exec::ObserverHooks
+    hooks() const override
+    {
+        return {true, false, false};
+    }
 
     void onBlock(u32 blockId, u32 instrs) override;
     void onRunEnd() override;

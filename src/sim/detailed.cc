@@ -55,6 +55,69 @@ runDetailed(const bin::Binary& binary, const DetailedRunRequest& req)
 namespace
 {
 
+/**
+ * Concrete sink for the detailed run, specialized over which
+ * snapshot collectors are attached.  Memory references and block
+ * events hit the core first, then the FLI snapshotter (the "core is
+ * registered first" contract: snapshotters read fully updated
+ * counters); markers only exist for the VLI tracker; run-end order
+ * matches the legacy registration (core has no run-end hook, then
+ * fli, then vli).  All three observer classes are final, so the
+ * whole hot path devirtualizes.
+ */
+template <bool HasFli, bool HasVli>
+struct DetailedSink
+{
+    cpu::InOrderCore& core;
+    FliSnapshotter* fli;
+    VliSnapshotter* vli;
+
+    bool wantsBlocks() const { return true; }
+    bool wantsMems() const { return true; }
+    bool wantsMarkers() const { return HasVli; }
+
+    void
+    onBlock(u32 blockId, u32 instrs)
+    {
+        core.onBlock(blockId, instrs);
+        if constexpr (HasFli)
+            fli->onBlock(blockId, instrs);
+    }
+
+    void
+    onMemRefs(std::span<const mem::MemRef> refs)
+    {
+        core.onMemRefs(refs);
+    }
+
+    void
+    onMarker(u32 markerId)
+    {
+        if constexpr (HasVli)
+            vli->onMarker(markerId);
+        else
+            (void)markerId;
+    }
+
+    void
+    onRunEnd()
+    {
+        if constexpr (HasFli)
+            fli->onRunEnd();
+        if constexpr (HasVli)
+            vli->onRunEnd();
+    }
+};
+
+template <bool HasFli, bool HasVli>
+void
+runDetailedWith(exec::Engine& engine, cpu::InOrderCore& core,
+                FliSnapshotter* fli, VliSnapshotter* vli)
+{
+    DetailedSink<HasFli, HasVli> sink{core, fli, vli};
+    engine.runWith(sink);
+}
+
 DetailedRunResult
 runDetailedUncached(const bin::Binary& binary,
                     const DetailedRunRequest& req)
@@ -66,15 +129,10 @@ runDetailedUncached(const bin::Binary& binary,
     cache::Hierarchy hierarchy(req.memory);
     cpu::InOrderCore core(hierarchy);
 
-    // The core is registered first so snapshot observers read fully
-    // updated counters (see the engine's ordering contract).
-    engine.addObserver(&core, {true, true, false});
-
     std::unique_ptr<FliSnapshotter> fli;
     if (!req.fliBoundaries.empty()) {
         fli = std::make_unique<FliSnapshotter>(engine, core,
                                                req.fliBoundaries);
-        engine.addObserver(fli.get(), {true, false, false});
     }
 
     std::unique_ptr<VliSnapshotter> vli;
@@ -82,10 +140,16 @@ runDetailedUncached(const bin::Binary& binary,
         vli = std::make_unique<VliSnapshotter>(
             engine, core, *req.mappable, req.binaryIdx,
             *req.partition);
-        engine.addObserver(vli.get(), {false, false, true});
     }
 
-    engine.run();
+    if (fli && vli)
+        runDetailedWith<true, true>(engine, core, fli.get(), vli.get());
+    else if (fli)
+        runDetailedWith<true, false>(engine, core, fli.get(), nullptr);
+    else if (vli)
+        runDetailedWith<false, true>(engine, core, nullptr, vli.get());
+    else
+        runDetailedWith<false, false>(engine, core, nullptr, nullptr);
 
     DetailedRunResult result;
     result.totals = core.totals();

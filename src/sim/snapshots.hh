@@ -63,7 +63,7 @@ class SnapshotSeries
 };
 
 /** Cuts at recorded cumulative instruction counts (FLI). */
-class FliSnapshotter : public exec::Observer
+class FliSnapshotter final : public exec::Observer
 {
   public:
     /**
@@ -74,6 +74,12 @@ class FliSnapshotter : public exec::Observer
     FliSnapshotter(const exec::Engine& engine,
                    const cpu::InOrderCore& core,
                    std::vector<InstrCount> boundaries);
+
+    exec::ObserverHooks
+    hooks() const override
+    {
+        return {true, false, false};
+    }
 
     void onBlock(u32 blockId, u32 instrs) override;
     void onRunEnd() override;
@@ -89,7 +95,7 @@ class FliSnapshotter : public exec::Observer
 };
 
 /** Cuts at mapped VLI boundary events in any binary of the set. */
-class VliSnapshotter : public exec::Observer
+class VliSnapshotter final : public exec::Observer
 {
   public:
     VliSnapshotter(const exec::Engine& engine,
@@ -97,6 +103,12 @@ class VliSnapshotter : public exec::Observer
                    const core::MappableSet& mappable,
                    std::size_t binaryIdx,
                    const core::VliPartition& partition);
+
+    exec::ObserverHooks
+    hooks() const override
+    {
+        return {false, false, true};
+    }
 
     void onMarker(u32 markerId) override;
     void onRunEnd() override;

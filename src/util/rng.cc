@@ -125,4 +125,19 @@ Rng::fork(u64 label) const
     return Rng(hashMix(seed ^ hashMix(label)));
 }
 
+BoundedBelow::BoundedBelow(u64 bound)
+{
+    if (bound == 0)
+        panic("BoundedBelow constructed with bound 0");
+    boundValue = bound;
+    // Same unbiased-rejection threshold nextBelow() derives per call.
+    threshold = (0 - bound) % bound;
+    // ceil(2^128 / bound) == floor((2^128 - 1) / bound) + 1 for any
+    // bound > 1 (2^128 is never a multiple of a non-power-of-two,
+    // and for powers of two the floor differs from the exact
+    // quotient, so the +1 lands on the ceiling either way).
+    if (bound > 1)
+        reciprocal = ~static_cast<unsigned __int128>(0) / bound + 1;
+}
+
 } // namespace xbsp

@@ -78,6 +78,60 @@ class Rng
     double spare = 0.0;
 };
 
+/**
+ * Repeated nextBelow() draws against one fixed bound, bit-identical
+ * to Rng::nextBelow(bound) (same raw draws consumed, same rejection
+ * decisions, same results) but with the per-call divisions hoisted:
+ * the rejection threshold is computed once, and the remainder uses a
+ * precomputed 128-bit reciprocal (Lemire & Kaser's direct-remainder
+ * construction, exact for every 64-bit bound) instead of the
+ * hardware divider.  The address-pattern batch loops draw millions
+ * of times against a loop-invariant bound, which is exactly the case
+ * this class exists for.
+ */
+class BoundedBelow
+{
+  public:
+    explicit BoundedBelow(u64 bound);
+
+    /** Exactly rng.nextBelow(bound), divider-free. */
+    u64
+    draw(Rng& rng) const
+    {
+        for (;;) {
+            const u64 r = rng.next();
+            if (r >= threshold)
+                return mod(r);
+        }
+    }
+
+    /** Exactly `value % bound`, divider-free. */
+    u64
+    mod(u64 value) const
+    {
+        if (boundValue == 1)
+            return 0;
+        // frac = the lower 128 bits of reciprocal * value, i.e. the
+        // fractional part of value / bound in 0.128 fixed point; the
+        // remainder is then the high half of frac * bound.
+        const unsigned __int128 frac = reciprocal * value;
+        const u64 fracHi = static_cast<u64>(frac >> 64);
+        const u64 fracLo = static_cast<u64>(frac);
+        const unsigned __int128 scaled =
+            static_cast<unsigned __int128>(fracHi) * boundValue +
+            ((static_cast<unsigned __int128>(fracLo) * boundValue) >>
+             64);
+        return static_cast<u64>(scaled >> 64);
+    }
+
+    u64 bound() const { return boundValue; }
+
+  private:
+    u64 boundValue = 1;
+    u64 threshold = 0;  ///< smallest unbiased raw draw
+    unsigned __int128 reciprocal = 0;  ///< ceil(2^128 / bound)
+};
+
 } // namespace xbsp
 
 #endif // XBSP_UTIL_RNG_HH

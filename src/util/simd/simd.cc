@@ -71,12 +71,42 @@ sumScalar(const double* a, std::size_t n)
     return (acc[0] + acc[1]) + (acc[2] + acc[3]);
 }
 
+u32
+findWayScalar(const u64* tags, u32 ways, u64 key)
+{
+    for (u32 w = 0; w < ways; ++w) {
+        if (tags[w] == key)
+            return w;
+    }
+    return kWayNotFound;
+}
+
+u32
+victimWayScalar(const u64* tags, const u64* metas, u32 ways)
+{
+    // First free way wins outright; otherwise strict < keeps the
+    // lowest way among equal-minimum metadata words.
+    u32 way = 0;
+    u64 best = ~0ull;
+    for (u32 w = 0; w < ways; ++w) {
+        if ((tags[w] & 1) == 0)
+            return w;
+        if (metas[w] < best) {
+            best = metas[w];
+            way = w;
+        }
+    }
+    return way;
+}
+
 constexpr Kernels scalarTable{
     Arch::Scalar,
     &sqDistScalar,
     &sqDistBatchScalar,
     &axpyScalar,
     &sumScalar,
+    &findWayScalar,
+    &victimWayScalar,
 };
 
 /** The dispatched table; null until the first active()/select(). */

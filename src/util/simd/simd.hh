@@ -1,9 +1,11 @@
 /**
  * @file
- * Vector-kernel layer for the clustering hot path: squared-distance,
- * batched point-vs-centroids distance, axpy and pinned sums over
- * dense double rows, with one-time runtime dispatch between a scalar
- * reference, AVX2 (x86-64) and NEON (aarch64) implementations.
+ * Vector-kernel layer for the clustering and cache-simulation hot
+ * paths: squared-distance, batched point-vs-centroids distance, axpy
+ * and pinned sums over dense double rows, plus the integer set-scan
+ * kernels the cache hierarchy's tag walks run on, with one-time
+ * runtime dispatch between a scalar reference, AVX2 (x86-64) and
+ * NEON (aarch64) implementations.
  *
  * **Determinism contract.**  Every kernel is defined by the *pinned
  * 4-lane reduction order* the scalar reference implements: element i
@@ -22,6 +24,15 @@
  * `simd` is therefore a pure speed knob, exactly like `accelerate`:
  * labels, SSE, BIC, phases, reports and artifact-store keys do not
  * depend on it.
+ *
+ * **Set-scan kernels.**  findWay/victimWay operate on the cache's
+ * set-blocked u64 words (cache/cache.hh) and return way indices, so
+ * exactness is structural rather than numeric: every implementation
+ * must return the lowest matching way (findWay) and the first free
+ * way, else the unsigned-minimum metadata word with ties going to
+ * the lowest way (victimWay).  tests/test_simd.cc asserts the
+ * dispatched implementations against the scalar reference across
+ * every geometry and tie shape.
  *
  * **Padding.**  Rows padded with +0.0 to a multiple of the lane
  * count are transparent: a zero element contributes `(0-0)^2 = +0.0`
@@ -57,6 +68,9 @@ inline constexpr std::size_t kLanes = 4;
 
 /** Row alignment (bytes) of padded matrices — one AVX2 vector. */
 inline constexpr std::size_t kAlign = 32;
+
+/** findWay result when no way of the set holds the key. */
+inline constexpr u32 kWayNotFound = ~0u;
 
 /** `n` rounded up to a multiple of the lane count. */
 constexpr std::size_t
@@ -151,6 +165,21 @@ struct Kernels
 
     /** Sum of n doubles under the pinned reduction order. */
     double (*sum)(const double* a, std::size_t n);
+
+    /**
+     * Lowest way w in [0, ways) with tags[w] == key, else
+     * kWayNotFound.  `tags` are the packed tag words of one cache
+     * set (cache/cache.hh); a valid tag has its low bit set, so a
+     * key (always odd) never matches a free way.
+     */
+    u32 (*findWay)(const u64* tags, u32 ways, u64 key);
+
+    /**
+     * Replacement victim of one set: the lowest way whose tag word
+     * has the valid bit clear, else the way with the unsigned-
+     * smallest packed metadata word (ties to the lowest way).
+     */
+    u32 (*victimWay)(const u64* tags, const u64* metas, u32 ways);
 };
 
 /**

@@ -161,12 +161,114 @@ sumAvx2(const double* a, std::size_t n)
     return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
 }
 
+/**
+ * The set-scan kernels return way indices, so equivalence with the
+ * scalar reference is structural: cmpeq + movemask turns each
+ * 4-way group into a bitmask whose lowest set bit (ctz) is the
+ * lowest matching way, and groups are visited low to high.  Caches
+ * with an associativity that is not a multiple of four fall back to
+ * the reference walk — the production geometries the dispatch is for
+ * (8- and 16-way L2/L3) are multiples, and the small 2-way L1 never
+ * reaches these kernels at all (cache.hh scans it inline).
+ */
+u32
+findWayAvx2(const u64* tags, u32 ways, u64 key)
+{
+    if ((ways & 3u) != 0) {
+        for (u32 w = 0; w < ways; ++w) {
+            if (tags[w] == key)
+                return w;
+        }
+        return kWayNotFound;
+    }
+    const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+    for (u32 w = 0; w < ways; w += 4) {
+        const __m256i t = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(tags + w));
+        const int hit = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(t, vkey)));
+        if (hit)
+            return w + static_cast<u32>(__builtin_ctz(hit));
+    }
+    return kWayNotFound;
+}
+
+u32
+victimWayAvx2(const u64* tags, const u64* metas, u32 ways)
+{
+    if ((ways & 3u) != 0) {
+        u32 way = 0;
+        u64 best = ~0ull;
+        for (u32 w = 0; w < ways; ++w) {
+            if ((tags[w] & 1) == 0)
+                return w;
+            if (metas[w] < best) {
+                best = metas[w];
+                way = w;
+            }
+        }
+        return way;
+    }
+    // Pass 1: lowest way with the valid bit clear.
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i zero = _mm256_setzero_si256();
+    for (u32 w = 0; w < ways; w += 4) {
+        const __m256i t = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(tags + w));
+        const int freeMask = _mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(_mm256_and_si256(t, one), zero)));
+        if (freeMask)
+            return w + static_cast<u32>(__builtin_ctz(freeMask));
+    }
+    // Pass 2: unsigned minimum of the packed metadata words.  AVX2
+    // only compares epi64 signed, so flip the sign bit (the classic
+    // order-preserving map from unsigned to signed) before taking
+    // the running lanewise minimum.
+    const __m256i flip =
+        _mm256_set1_epi64x(static_cast<long long>(1ull << 63));
+    __m256i best = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(metas)),
+        flip);
+    for (u32 w = 4; w < ways; w += 4) {
+        const __m256i v = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(metas + w)),
+            flip);
+        best = _mm256_blendv_epi8(best, v,
+                                  _mm256_cmpgt_epi64(best, v));
+    }
+    // Undo the flip per lane before the horizontal reduction — the
+    // flipped values only order correctly under *signed* compares,
+    // and here we want a plain unsigned min of the originals.
+    alignas(kAlign) u64 lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+    u64 minMeta = lanes[0] ^ (1ull << 63);
+    for (int l = 1; l < 4; ++l) {
+        const u64 v = lanes[l] ^ (1ull << 63);
+        minMeta = v < minMeta ? v : minMeta;
+    }
+    // The lowest way holding the minimum.
+    const __m256i vmin =
+        _mm256_set1_epi64x(static_cast<long long>(minMeta));
+    for (u32 w = 0; w < ways; w += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(metas + w));
+        const int eq = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, vmin)));
+        if (eq)
+            return w + static_cast<u32>(__builtin_ctz(eq));
+    }
+    return 0; // unreachable: the minimum exists in some group
+}
+
 constexpr Kernels avx2Table{
     Arch::Avx2,
     &sqDistAvx2,
     &sqDistBatchAvx2,
     &axpyAvx2,
     &sumAvx2,
+    &findWayAvx2,
+    &victimWayAvx2,
 };
 
 } // namespace

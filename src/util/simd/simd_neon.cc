@@ -132,12 +132,46 @@ sumNeon(const double* a, std::size_t n)
     return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
 }
 
+/**
+ * Set scans stay scalar on NEON: two 64-bit lanes per register and
+ * no movemask instruction mean a vectorized 8/16-way walk saves
+ * nothing over the reference loop, so the NEON table reuses the
+ * reference semantics verbatim.
+ */
+u32
+findWayNeon(const u64* tags, u32 ways, u64 key)
+{
+    for (u32 w = 0; w < ways; ++w) {
+        if (tags[w] == key)
+            return w;
+    }
+    return kWayNotFound;
+}
+
+u32
+victimWayNeon(const u64* tags, const u64* metas, u32 ways)
+{
+    u32 way = 0;
+    u64 best = ~0ull;
+    for (u32 w = 0; w < ways; ++w) {
+        if ((tags[w] & 1) == 0)
+            return w;
+        if (metas[w] < best) {
+            best = metas[w];
+            way = w;
+        }
+    }
+    return way;
+}
+
 constexpr Kernels neonTable{
     Arch::Neon,
     &sqDistNeon,
     &sqDistBatchNeon,
     &axpyNeon,
     &sumNeon,
+    &findWayNeon,
+    &victimWayNeon,
 };
 
 } // namespace

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Engine fast-path equivalence: the compiled engine is a pure speed
+ * knob, so it must be *observationally identical* to the structural
+ * interpreter — the serialized event stream (blocks, markers, memory
+ * references, in order) is byte-identical, and every study-level
+ * report field matches exactly at any worker count.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exec/compiled.hh"
+#include "exec/trace.hh"
+#include "sim/study.hh"
+#include "store/store.hh"
+#include "test_support.hh"
+#include "util/threadpool.hh"
+#include "workloads/workloads.hh"
+
+using namespace xbsp;
+
+namespace
+{
+
+/** Serialize one full run under a pinned engine mode. */
+std::string
+captureWith(const bin::Binary& binary, exec::EngineMode mode)
+{
+    std::stringstream out;
+    exec::TraceOptions options;
+    options.memRefs = true;
+    exec::TraceWriter writer(out, options);
+    exec::Engine engine(binary, 0x5EEDull, mode);
+    engine.addObserver(&writer, writer.hooks());
+    engine.run();
+    return out.str();
+}
+
+/** Restore the globally selected engine mode on scope exit. */
+struct ScopedEngineMode
+{
+    exec::EngineMode saved = exec::activeEngineMode();
+    ~ScopedEngineMode()
+    {
+        exec::selectEngineMode(exec::engineModeName(saved));
+    }
+};
+
+struct Totals : exec::Observer
+{
+    u64 blocks = 0;
+    InstrCount instrs = 0;
+    u64 markers = 0;
+    u64 refs = 0;
+    u64 writes = 0;
+
+    void
+    onBlock(u32, u32 n) override
+    {
+        ++blocks;
+        instrs += n;
+    }
+
+    void onMarker(u32) override { ++markers; }
+
+    void
+    onMemRef(Addr, bool w) override
+    {
+        ++refs;
+        writes += w ? 1 : 0;
+    }
+};
+
+} // namespace
+
+TEST(EngineEquiv, TraceByteIdenticalAcrossModesAndReplay)
+{
+    // Three real workloads, two targets each: the interpreter, the
+    // compiled engine, and a replay of the captured stream must all
+    // serialize to the same bytes.
+    for (const char* name : {"gzip", "mcf", "equake"}) {
+        const ir::Program program =
+            workloads::makeWorkload(name, 0.05);
+        for (const bin::Target target :
+             {bin::target32u, bin::target64o}) {
+            const bin::Binary binary =
+                compile::compileProgram(program, target);
+
+            const std::string interp =
+                captureWith(binary, exec::EngineMode::Interp);
+            const std::string compiled =
+                captureWith(binary, exec::EngineMode::Compiled);
+            ASSERT_EQ(interp, compiled)
+                << name << "/" << bin::targetName(target);
+
+            // Round-trip: replaying the stream through a fresh
+            // writer reproduces it byte for byte.
+            std::stringstream in(interp), out;
+            exec::TraceOptions options;
+            options.memRefs = true;
+            exec::TraceWriter writer(out, options);
+            exec::replayTrace(in, {&writer});
+            ASSERT_EQ(out.str(), interp)
+                << name << "/" << bin::targetName(target);
+        }
+    }
+}
+
+TEST(EngineEquiv, ObserverTotalsIdenticalAcrossModes)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::trickyProgram(), bin::target32o);
+
+    Totals ti, tc;
+    exec::Engine interp(binary, 0x5EEDull, exec::EngineMode::Interp);
+    interp.addObserver(&ti, {true, true, true});
+    interp.run();
+    exec::Engine compiled(binary, 0x5EEDull,
+                          exec::EngineMode::Compiled);
+    compiled.addObserver(&tc, {true, true, true});
+    compiled.run();
+
+    EXPECT_EQ(tc.blocks, ti.blocks);
+    EXPECT_EQ(tc.instrs, ti.instrs);
+    EXPECT_EQ(tc.markers, ti.markers);
+    EXPECT_EQ(tc.refs, ti.refs);
+    EXPECT_EQ(tc.writes, ti.writes);
+    EXPECT_EQ(compiled.instructionsExecuted(),
+              interp.instructionsExecuted());
+    EXPECT_EQ(interp.instructionsExecuted(),
+              bin::staticDynamicInstrCount(binary));
+}
+
+TEST(EngineEquiv, CompiledTraceStructure)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::trickyProgram(), bin::target32u);
+    const exec::CompiledTrace trace = exec::compileTrace(binary);
+
+    // One start per procedure, opening with its entry marker.
+    ASSERT_EQ(trace.procStart.size(), binary.procs.size());
+    u64 rets = 0;
+    for (u32 p = 0; p < binary.procs.size(); ++p) {
+        const exec::CompiledOp& first = trace.ops[trace.procStart[p]];
+        EXPECT_EQ(first.kind, exec::CompiledOp::Kind::Marker);
+        EXPECT_EQ(first.a, binary.procs[p].entryMarkerId);
+    }
+    for (const exec::CompiledOp& op : trace.ops) {
+        switch (op.kind) {
+          case exec::CompiledOp::Kind::BlockRun:
+            ASSERT_LE(static_cast<u64>(op.a) + op.b,
+                      trace.blockIds.size());
+            EXPECT_GT(op.b, 0u);
+            break;
+          case exec::CompiledOp::Kind::Ret:
+            ++rets;
+            break;
+          case exec::CompiledOp::Kind::Backedge:
+            // The backedge target is the first op of the loop body;
+            // its predecessor is always the loop-entry marker, which
+            // is what fences the block-run merge at the loop top.
+            ASSERT_GT(op.a, 0u);
+            EXPECT_EQ(trace.ops[op.a - 1].kind,
+                      exec::CompiledOp::Kind::Marker);
+            ASSERT_LT(op.b, trace.loopTrips.size());
+            EXPECT_GT(trace.loopTrips[op.b], 1u);
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_EQ(rets, binary.procs.size());
+}
+
+TEST(EngineEquiv, CompiledTraceCacheSharedByContent)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    const bin::Binary copy = binary;  // same content, new object
+    const auto a = exec::compiledTraceFor(binary);
+    const auto b = exec::compiledTraceFor(copy);
+    EXPECT_EQ(a.get(), b.get());
+
+    const bin::Binary other =
+        compile::compileProgram(test::tinyProgram(), bin::target64o);
+    EXPECT_NE(exec::compiledTraceFor(other).get(), a.get());
+}
+
+TEST(EngineEquiv, StudyFieldsIdenticalAcrossModesAndJobs)
+{
+    // The full pipeline (the fig-3 report inputs) must produce
+    // exactly the same numbers under either engine at 1 and 4
+    // workers.  The artifact store is disabled so every run really
+    // recomputes.
+    store::ArtifactStore::configureGlobal({});
+    ScopedEngineMode restore;
+
+    const ir::Program program = workloads::makeWorkload("gzip", 0.1);
+    sim::StudyConfig config;
+    config.intervalTarget = 100000;
+
+    struct Case
+    {
+        const char* mode;
+        u64 jobs;
+    };
+    std::vector<sim::CrossBinaryStudy> studies;
+    for (const Case c : {Case{"interp", 1}, Case{"interp", 4},
+                         Case{"compiled", 1}, Case{"compiled", 4}}) {
+        ASSERT_TRUE(exec::selectEngineMode(c.mode));
+        setGlobalJobs(c.jobs);
+        studies.push_back(sim::CrossBinaryStudy::run(program, config));
+    }
+    setGlobalJobs(0);
+
+    const sim::CrossBinaryStudy& ref = studies.front();
+    for (std::size_t s = 1; s < studies.size(); ++s) {
+        const sim::CrossBinaryStudy& got = studies[s];
+        // Exact equality throughout: the engine mode and the worker
+        // count are both pure speed knobs.
+        EXPECT_EQ(got.avgCpiError(sim::Method::PerBinaryFli),
+                  ref.avgCpiError(sim::Method::PerBinaryFli));
+        EXPECT_EQ(got.avgCpiError(sim::Method::MappableVli),
+                  ref.avgCpiError(sim::Method::MappableVli));
+        EXPECT_EQ(got.avgSimPointCount(sim::Method::MappableVli),
+                  ref.avgSimPointCount(sim::Method::MappableVli));
+        EXPECT_EQ(got.avgIntervalSize(sim::Method::MappableVli),
+                  ref.avgIntervalSize(sim::Method::MappableVli));
+        EXPECT_EQ(got.trueSpeedup(0, 1), ref.trueSpeedup(0, 1));
+        EXPECT_EQ(got.speedupError(sim::Method::MappableVli, 2, 3),
+                  ref.speedupError(sim::Method::MappableVli, 2, 3));
+        ASSERT_EQ(got.perBinary().size(), ref.perBinary().size());
+        for (std::size_t b = 0; b < ref.perBinary().size(); ++b) {
+            const sim::BinaryStudy& rb = ref.perBinary()[b];
+            const sim::BinaryStudy& gb = got.perBinary()[b];
+            EXPECT_EQ(gb.totalInstrs, rb.totalInstrs);
+            EXPECT_EQ(gb.detailedRun.totals.cycles,
+                      rb.detailedRun.totals.cycles);
+            EXPECT_EQ(gb.detailedRun.memory.l1Hits,
+                      rb.detailedRun.memory.l1Hits);
+            EXPECT_EQ(gb.detailedRun.memory.dramAccesses,
+                      rb.detailedRun.memory.dramAccesses);
+            EXPECT_EQ(gb.detailedRun.memory.dramWritebacks,
+                      rb.detailedRun.memory.dramWritebacks);
+            EXPECT_EQ(gb.fliEstimate.estCpi, rb.fliEstimate.estCpi);
+            EXPECT_EQ(gb.vliEstimate.estCpi, rb.vliEstimate.estCpi);
+            EXPECT_EQ(gb.markers.counts, rb.markers.counts);
+        }
+    }
+}
+
+TEST(EngineEquiv, SelectEngineModeValidation)
+{
+    ScopedEngineMode restore;
+    EXPECT_TRUE(exec::selectEngineMode("interp"));
+    EXPECT_EQ(exec::activeEngineMode(), exec::EngineMode::Interp);
+    EXPECT_TRUE(exec::selectEngineMode("compiled"));
+    EXPECT_EQ(exec::activeEngineMode(), exec::EngineMode::Compiled);
+    EXPECT_FALSE(exec::selectEngineMode("jit"));
+    EXPECT_EQ(exec::activeEngineMode(), exec::EngineMode::Compiled);
+    EXPECT_EQ(exec::engineModeName(exec::EngineMode::Interp),
+              "interp");
+    EXPECT_EQ(exec::engineModeName(exec::EngineMode::Compiled),
+              "compiled");
+}

@@ -189,6 +189,38 @@ TEST(Engine, MarkerEventsMatchProfileSemantics)
                                      "tail", 0), 10u);
 }
 
+TEST(Engine, RunOnceSubscribesPerObserverHooks)
+{
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+
+    // An observer that declares a blocks-only subscription must not
+    // receive memory references or markers through runOnce.
+    struct BlocksOnly : CountingObserver
+    {
+        exec::ObserverHooks
+        hooks() const override
+        {
+            return {true, false, false};
+        }
+    } blocksOnly;
+    // The default hooks() is all-on, so undeclared observers keep
+    // the old runOnce behaviour.
+    CountingObserver everything;
+
+    const InstrCount ran =
+        exec::runOnce(binary, {&blocksOnly, &everything});
+    EXPECT_EQ(ran, bin::staticDynamicInstrCount(binary));
+    EXPECT_GT(blocksOnly.blocks, 0u);
+    EXPECT_EQ(blocksOnly.memRefs, 0u);
+    EXPECT_EQ(blocksOnly.markers, 0u);
+    EXPECT_TRUE(blocksOnly.ended);
+    EXPECT_GT(everything.blocks, 0u);
+    EXPECT_GT(everything.memRefs, 0u);
+    EXPECT_GT(everything.markers, 0u);
+    EXPECT_TRUE(everything.ended);
+}
+
 TEST(Engine, RunTwicePanics)
 {
     const bin::Binary binary =

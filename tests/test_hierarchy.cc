@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/hierarchy.hh"
+#include "cache/reference.hh"
 #include "cpu/core.hh"
 
 using namespace xbsp;
@@ -118,6 +119,46 @@ TEST(Hierarchy, MismatchedLineSizesFatal)
     config.l2.lineSize = 128;
     EXPECT_EXIT(Hierarchy{config}, ::testing::ExitedWithCode(1),
                 "uniform line size");
+}
+
+TEST(Hierarchy, ReferenceModelMatchesFastPathExactly)
+{
+    // Drive twin hierarchies with the same pseudo-random mixed
+    // stream — one through the optimized classes (packed-tag SoA,
+    // MRU hint, latency table), one through the standalone
+    // pre-fast-path reference model — and require identical hit
+    // levels, latencies, statistics and final contents.
+    Hierarchy fast;
+    cache::ReferenceHierarchy reference;
+    u64 state = 0x9E3779B97F4A7C15ull;
+    Cycles fastCycles = 0, refCycles = 0;
+    for (int i = 0; i < 200000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        // ~1.5MB footprint so every level (and DRAM) participates.
+        const Addr addr = (state >> 17) % (3u << 19);
+        const bool isWrite = (state & 1) != 0;
+        const HitLevel f = fast.access(addr, isWrite);
+        const HitLevel r = reference.access(addr, isWrite);
+        ASSERT_EQ(f, r) << "ref " << i;
+        fastCycles += fast.latency(f);
+        refCycles += reference.latency(r);
+    }
+    EXPECT_EQ(fastCycles, refCycles);
+    for (const HitLevel level :
+         {HitLevel::L1, HitLevel::L2, HitLevel::L3,
+          HitLevel::Memory}) {
+        EXPECT_EQ(fast.servicedAt(level),
+                  reference.servicedAt(level));
+    }
+    EXPECT_EQ(fast.dramWritebacks(), reference.dramWritebacks());
+    EXPECT_EQ(fast.l1().accesses(), reference.l1().accesses());
+    EXPECT_EQ(fast.l1().misses(), reference.l1().misses());
+    EXPECT_EQ(fast.l2().misses(), reference.l2().misses());
+    EXPECT_EQ(fast.l3().writebacksOut(),
+              reference.l3().writebacksOut());
+    // Final contents agree too: probe a sample of lines.
+    for (Addr addr = 0; addr < (3u << 19); addr += 4096)
+        EXPECT_EQ(fast.l1().probe(addr), reference.l1().probe(addr));
 }
 
 TEST(InOrderCore, CyclesAreInstrsPlusMemoryLatency)

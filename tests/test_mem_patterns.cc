@@ -174,4 +174,51 @@ TEST(MemPattern, NextOnNonePatternPanics)
 {
     mem::AddressGenerator gen(ir::MemPattern{}, 1);
     EXPECT_DEATH((void)gen.next(), "without memory ops");
+    mem::MemRef ref;
+    EXPECT_DEATH(gen.nextBatch(1, &ref), "without memory ops");
+}
+
+TEST(MemPattern, NextBatchBitIdenticalToNext)
+{
+    // nextBatch must reproduce n successive next() calls exactly —
+    // same RNG draws, same write-fraction accumulation, in the same
+    // order — for every pattern kind, including through drift level
+    // changes and uneven batch sizes.
+    const std::vector<ir::MemPattern> patterns = {
+        ir::stridePattern(1, 64_KiB, 8, 0.3, 0.0),
+        ir::randomPattern(2, 128_KiB, 0.25, 0.0),
+        ir::chasePattern(3, 64 * 64),
+        ir::gatherPattern(4, 512_KiB, 0.9, 0.2, 0.0),
+        ir::withDrift(ir::randomPattern(5, 64_KiB), 7, 0.5),
+        ir::withDrift(ir::chasePattern(6, 256 * 64), 5, 0.4),
+    };
+    for (const ir::MemPattern& p : patterns) {
+        mem::AddressGenerator one(p, 99), batch(p, 99);
+        const u32 sizes[] = {1, 3, 8, 2, 13, 5, 1, 21};
+        std::vector<mem::MemRef> buf(32);
+        for (int round = 0; round < 50; ++round) {
+            for (const u32 n : sizes) {
+                one.beginBlock();
+                batch.beginBlock();
+                batch.nextBatch(n, buf.data());
+                for (u32 i = 0; i < n; ++i) {
+                    const mem::MemRef expect = one.next();
+                    ASSERT_EQ(buf[i].addr, expect.addr);
+                    ASSERT_EQ(buf[i].isWrite, expect.isWrite);
+                }
+            }
+        }
+    }
+}
+
+TEST(MemPattern, NextBatchZeroIsNoOp)
+{
+    ir::MemPattern p = ir::randomPattern(7, 64_KiB, 0.5, 0.0);
+    mem::AddressGenerator a(p, 5), b(p, 5);
+    a.nextBatch(0, nullptr);
+    EXPECT_EQ(a.next().addr, b.next().addr);
+    // Zero refs on a None-pattern block is legal (blocks with only
+    // stack traffic never draw from the generator).
+    mem::AddressGenerator none(ir::MemPattern{}, 1);
+    none.nextBatch(0, nullptr);
 }

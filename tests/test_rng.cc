@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -131,4 +132,45 @@ TEST(Rng, HashMixAvalanche)
     const double avg = totalFlips / 64.0;
     EXPECT_GT(avg, 24.0);
     EXPECT_LT(avg, 40.0);
+}
+
+TEST(BoundedBelow, ModMatchesHardwareRemainderExactly)
+{
+    // Adversarial bounds (tiny, powers of two, odd giants near every
+    // power-of-two boundary) crossed with adversarial values.
+    std::vector<u64> bounds = {1, 2, 3, 5, 7, 63, 64, 65, 1536};
+    for (int p = 4; p < 64; p += 7) {
+        bounds.push_back((1ull << p) - 1);
+        bounds.push_back(1ull << p);
+        bounds.push_back((1ull << p) + 1);
+    }
+    bounds.push_back(~0ull);
+    bounds.push_back(~0ull - 1);
+    Rng rng(99);
+    for (const u64 bound : bounds) {
+        BoundedBelow draw(bound);
+        std::vector<u64> values = {0,         1,         bound - 1,
+                                   bound,     bound + 1, ~0ull,
+                                   ~0ull - 1, bound * 2, bound * 3 - 1};
+        for (int i = 0; i < 2000; ++i)
+            values.push_back(rng.next());
+        for (const u64 v : values)
+            ASSERT_EQ(draw.mod(v), v % bound)
+                << "value " << v << " bound " << bound;
+    }
+}
+
+TEST(BoundedBelow, DrawSequenceIdenticalToNextBelow)
+{
+    // Twin generators: prepared draws must consume the same raw
+    // stream and produce the same values as per-call nextBelow.
+    for (const u64 bound :
+         {u64(1), u64(3), u64(1536), u64(12289),
+          (u64(1) << 33) + 7, (u64(1) << 62) + 11}) {
+        Rng a(1234), b(1234);
+        BoundedBelow draw(bound);
+        for (int i = 0; i < 20000; ++i)
+            ASSERT_EQ(draw.draw(a), b.nextBelow(bound)) << bound;
+        EXPECT_EQ(a.next(), b.next()) << "raw streams diverged";
+    }
 }

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "obs/stats.hh"
 #include "util/rng.hh"
@@ -190,4 +191,120 @@ TEST(Simd, SelectControlsDispatch)
 
     EXPECT_TRUE(simd::select("auto"));
     EXPECT_EQ(simd::active().arch, simd::bestSupported());
+}
+
+namespace
+{
+
+/** Every arch table this build + CPU can run. */
+std::vector<const simd::Kernels*>
+runnableTables()
+{
+    std::vector<const simd::Kernels*> tables{&simd::scalarKernels()};
+    for (const char* mode : {"avx2", "neon"}) {
+        if (simd::select(mode))
+            tables.push_back(&simd::active());
+    }
+    simd::select("auto");
+    return tables;
+}
+
+/** Associativities covering the vector groups, tails and fallbacks. */
+const u32 kWays[] = {1, 2, 3, 4, 5, 7, 8, 11, 12, 15, 16, 20, 24};
+
+/** A unique valid (odd) tag word for way w. */
+u64
+tagFor(u32 w, u64 salt)
+{
+    return ((salt + w + 1) << 1) | 1;
+}
+
+} // namespace
+
+TEST(Simd, FindWayMatchesReferenceAtEveryPosition)
+{
+    for (const simd::Kernels* k : runnableTables()) {
+        for (u32 ways : kWays) {
+            std::vector<u64> tags(ways);
+            for (u32 w = 0; w < ways; ++w)
+                tags[w] = tagFor(w, 0x1000);
+            // Present at each way, including tag values with the
+            // high bit set (addresses near the top of the space).
+            for (u32 target = 0; target < ways; ++target) {
+                EXPECT_EQ(k->findWay(tags.data(), ways, tags[target]),
+                          target)
+                    << simd::archName(k->arch) << " ways=" << ways;
+                tags[target] |= 1ull << 63;
+                EXPECT_EQ(k->findWay(tags.data(), ways, tags[target]),
+                          target);
+                tags[target] = tagFor(target, 0x1000);
+            }
+            // Absent key, and a free way (0) never matching.
+            tags[ways / 2] = 0;
+            EXPECT_EQ(k->findWay(tags.data(), ways, tagFor(77, 0x9999)),
+                      simd::kWayNotFound)
+                << simd::archName(k->arch) << " ways=" << ways;
+        }
+    }
+}
+
+TEST(Simd, VictimWayPrefersLowestFreeWay)
+{
+    for (const simd::Kernels* k : runnableTables()) {
+        for (u32 ways : kWays) {
+            std::vector<u64> tags(ways);
+            std::vector<u64> metas(ways);
+            for (u32 w = 0; w < ways; ++w) {
+                tags[w] = tagFor(w, 0x2000);
+                metas[w] = (static_cast<u64>(w + 10) << 1) | (w & 1);
+            }
+            for (u32 freeAt = 0; freeAt < ways; ++freeAt) {
+                tags[freeAt] = 0;
+                // A second free way above must lose to the lower one.
+                if (freeAt + 2 < ways)
+                    tags[freeAt + 2] = 0;
+                EXPECT_EQ(
+                    k->victimWay(tags.data(), metas.data(), ways),
+                    freeAt)
+                    << simd::archName(k->arch) << " ways=" << ways;
+                for (u32 w = 0; w < ways; ++w)
+                    tags[w] = tagFor(w, 0x2000);
+            }
+        }
+    }
+}
+
+TEST(Simd, VictimWayPicksUnsignedMinimumMetaTiesLow)
+{
+    Rng rng(20260808);
+    for (const simd::Kernels* k : runnableTables()) {
+        for (u32 ways : kWays) {
+            std::vector<u64> tags(ways);
+            for (u32 w = 0; w < ways; ++w)
+                tags[w] = tagFor(w, 0x3000);
+            std::vector<u64> metas(ways);
+            for (int round = 0; round < 200; ++round) {
+                // High-bit-heavy values specifically exercise the
+                // unsigned ordering (a signed vector compare would
+                // invert them); small ranges force ties.
+                const u64 mask =
+                    (round % 3 == 0) ? 0xfull
+                    : (round % 3 == 1)
+                        ? ~0ull
+                        : (0xfull | (1ull << 63));
+                for (u32 w = 0; w < ways; ++w)
+                    metas[w] = rng.next() & mask;
+                u32 expect = 0;
+                for (u32 w = 1; w < ways; ++w) {
+                    if (metas[w] < metas[expect])
+                        expect = w;
+                }
+                EXPECT_EQ(
+                    k->victimWay(tags.data(), metas.data(), ways),
+                    expect)
+                    << simd::archName(k->arch) << " ways=" << ways
+                    << " round=" << round;
+            }
+        }
+    }
 }

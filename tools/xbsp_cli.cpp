@@ -38,6 +38,7 @@
 
 #include "binary/binary.hh"
 #include "core/regionspec.hh"
+#include "exec/compiled.hh"
 #include "harness/experiments.hh"
 #include "obs/setup.hh"
 #include "pipeline/taskgraph.hh"
@@ -329,6 +330,10 @@ main(int argc, char** argv)
                       "kernel dispatch: off|scalar|auto|on|avx2|neon "
                       "(default: XBSP_SIMD, else best available; pure "
                       "speed knob — results are bit-identical)", "");
+    options.addString("engine",
+                      "execution engine: interp|compiled (default: "
+                      "XBSP_ENGINE, else compiled; pure speed knob — "
+                      "results are bit-identical)", "");
     options.addJobs();
     obs::addCliOptions(options);
     if (!options.parse(argc, argv))
@@ -336,10 +341,14 @@ main(int argc, char** argv)
     options.applyJobs();
 
     // Explicit --simd wins over the XBSP_SIMD environment variable
-    // (which the lazy first dispatch otherwise consults).
+    // (which the lazy first dispatch otherwise consults); likewise
+    // --engine over XBSP_ENGINE.
     if (const std::string mode = options.getString("simd");
         !mode.empty())
         simd::select(mode);
+    if (const std::string mode = options.getString("engine");
+        !mode.empty())
+        exec::selectEngineMode(mode);
 
     // Resolve the artifact store before any stage can run: an
     // explicit --cache-dir wins over XBSP_CACHE_DIR (which global()
