@@ -21,6 +21,8 @@
 #include "bench_common.hh"
 #include "bench_engine_common.hh"
 #include "bench_kernels_common.hh"
+#include "obs/manifest/manifest.hh"
+#include "obs/setup.hh"
 #include "obs/stats.hh"
 #include "store/store.hh"
 #include "util/logging.hh"
@@ -47,6 +49,10 @@ main(int argc, char** argv)
         "bench_all: reproduce every table and figure of the paper");
     if (!options.parse(argc, argv))
         return 0;
+    // Env-only observability: XBSP_METRICS serves live metrics while
+    // the suite runs, XBSP_STATS/XBSP_MANIFEST dump stats and the
+    // provenance manifest at exit (see obs/setup.hh).
+    obs::ObsSession obsSession;
     harness::ExperimentConfig config = bench::makeConfig(options);
     harness::ExperimentSuite suite(config);
 
@@ -173,6 +179,11 @@ main(int argc, char** argv)
         // comparison; exact at any job count.
         w.key("stats");
         obs::StatRegistry::global().writeJson(w, false);
+        // Provenance: which nodes each pipeline run computed versus
+        // replayed from the store, so a regression in a benchmark
+        // number can be traced to a cold cache or a config change.
+        w.key("manifest");
+        obs::RunManifest::global().writeJson(w);
         w.endObject();
         json << '\n';
     }

@@ -6,6 +6,7 @@
  */
 
 #include "bench_common.hh"
+#include "obs/setup.hh"
 
 using namespace xbsp;
 
@@ -16,6 +17,9 @@ main(int argc, char** argv)
         "bench_fig3: reproduce paper Figure 3");
     if (!options.parse(argc, argv))
         return 0;
+    // Env-only observability (XBSP_STATS / XBSP_METRICS / ...): CI
+    // scrapes this bench live and diffs its output sampler-on vs off.
+    obs::ObsSession obsSession;
     harness::ExperimentSuite suite(bench::makeConfig(options));
     bench::emit(suite.figure3(), options);
     return 0;

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (format 0.0.4) document.
+
+Stdlib-only checker for CI: reads the scrape body from a file (or
+stdin) and verifies the subset of the format the xbsp metrics endpoint
+emits -- # TYPE comments, bare `name value` samples, no labels:
+
+  * every line is a comment, blank, or `name value`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * every sample is preceded by a # TYPE comment for its series;
+  * # TYPE kinds are valid (counter|gauge|histogram|summary|untyped);
+  * no series name is typed twice or sampled twice;
+  * values parse as floats (inf/nan allowed);
+  * series ending in _total/_sum/_count are typed counter, and
+    counters are never negative.
+
+Exits 0 and prints a one-line summary on success; exits 1 with the
+offending line on the first violation.  Optional --require NAME flags
+assert that specific series are present (CI uses this to prove the
+scrape actually hit a live run).
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(lineno: int, line: str, why: str) -> None:
+    sys.stderr.write(
+        f"check_exposition: line {lineno}: {why}\n  {line}\n")
+    sys.exit(1)
+
+
+def check(text: str, required: list[str]) -> int:
+    typed: dict[str, str] = {}
+    sampled: set[str] = set()
+
+    for lineno, line in enumerate(text.split("\n"), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1] not in ("TYPE", "HELP"):
+                fail(lineno, line, "comment is neither TYPE nor HELP")
+            if len(fields) >= 2 and fields[1] == "TYPE":
+                if len(fields) != 4:
+                    fail(lineno, line, "TYPE needs a name and a kind")
+                name, kind = fields[2], fields[3]
+                if not NAME_RE.match(name):
+                    fail(lineno, line, f"bad metric name {name!r}")
+                if kind not in TYPE_KINDS:
+                    fail(lineno, line, f"bad TYPE kind {kind!r}")
+                if name in typed:
+                    fail(lineno, line, f"{name} typed twice")
+                typed[name] = kind
+            continue
+
+        parts = line.split(" ")
+        if len(parts) != 2:
+            fail(lineno, line, "expected 'name value'")
+        name, value = parts
+        if not NAME_RE.match(name):
+            fail(lineno, line, f"bad metric name {name!r}")
+        if name in sampled:
+            fail(lineno, line, f"{name} sampled twice")
+        sampled.add(name)
+        if name not in typed:
+            fail(lineno, line, f"{name} has no preceding # TYPE")
+        try:
+            parsed = float(value)
+        except ValueError:
+            fail(lineno, line, f"bad sample value {value!r}")
+        cumulative = name.endswith(("_total", "_sum", "_count"))
+        if cumulative and typed[name] != "counter":
+            fail(lineno, line,
+                 f"{name} looks cumulative but is typed {typed[name]}")
+        if typed[name] == "counter" and (
+                math.isnan(parsed) or parsed < 0):
+            fail(lineno, line, f"counter {name} has value {value}")
+
+    untouched = sorted(set(typed) - sampled)
+    if untouched:
+        fail(0, ", ".join(untouched), "typed series never sampled")
+    missing = sorted(set(required) - sampled)
+    if missing:
+        sys.stderr.write(
+            f"check_exposition: required series missing: "
+            f"{', '.join(missing)}\n")
+        sys.exit(1)
+    print(f"check_exposition: OK ({len(sampled)} series, "
+          f"{sum(1 for k in typed.values() if k == 'counter')} "
+          f"counters)")
+    return len(sampled)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Prometheus text-exposition 0.0.4 checker")
+    parser.add_argument("path", nargs="?", default="-",
+                        help="exposition file ('-' = stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this series is present "
+                             "(repeatable)")
+    args = parser.parse_args()
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, encoding="utf-8") as f:
+            text = f.read()
+    if not text.strip():
+        sys.stderr.write("check_exposition: empty document\n")
+        sys.exit(1)
+    check(text, args.require)
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,9 @@
 #include "obs/stats.hh"
 #include "sim/stages.hh"
 #include "store/store.hh"
+#include "util/format.hh"
 #include "util/logging.hh"
+#include "util/serial.hh"
 #include "util/stats.hh"
 #include "util/threadpool.hh"
 #include "workloads/workloads.hh"
@@ -70,6 +72,7 @@ void
 buildSuiteGraph(SuiteGraph& out, const ExperimentConfig& config,
                 const std::vector<std::string>& workloads)
 {
+    serial::Hasher digest;
     for (const std::string& name : workloads) {
         if (!workloads::findWorkload(name))
             fatal("unknown workload '{}'", name);
@@ -79,7 +82,10 @@ buildSuiteGraph(SuiteGraph& out, const ExperimentConfig& config,
             config.study));
         out.finishNodes.push_back(
             sim::appendStudyGraph(out.graph, *out.builds.back()));
+        digest.str(sim::studyConfigDigest(name, config.study));
     }
+    out.graph.setManifestInfo(format("suite[{}]", workloads.size()),
+                              digest.finish().hex());
 }
 
 void

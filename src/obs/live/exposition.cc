@@ -1,0 +1,179 @@
+#include "obs/live/exposition.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/format.hh"
+
+namespace xbsp::obs
+{
+
+std::string
+promSeriesName(std::string_view path)
+{
+    std::string out = "xbsp_";
+    for (const char c : path) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    // A digit straight after the prefix would still be legal, but a
+    // path can't start a series with one anyway (xbsp_ leads).
+    return out;
+}
+
+namespace
+{
+
+/** Render a double the way Prometheus likes it (no exponent caps). */
+std::string
+promNumber(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+class ExpositionBuilder
+{
+  public:
+    void
+    counter(const std::string& name, u64 value)
+    {
+        type(name, "counter");
+        out += name;
+        out += ' ';
+        out += std::to_string(value);
+        out += '\n';
+    }
+
+    void
+    gauge(const std::string& name, double value)
+    {
+        type(name, "gauge");
+        out += name;
+        out += ' ';
+        out += promNumber(value);
+        out += '\n';
+    }
+
+    std::string take() { return std::move(out); }
+
+  private:
+    std::string out;
+
+    void
+    type(const std::string& name, const char* kind)
+    {
+        out += "# TYPE ";
+        out += name;
+        out += ' ';
+        out += kind;
+        out += '\n';
+    }
+};
+
+/** Per-second rate over the sample's delta window (0 if no window). */
+double
+rateOf(u64 delta, u64 deltaNanos)
+{
+    if (deltaNanos == 0)
+        return 0.0;
+    return static_cast<double>(delta) * 1e9 /
+           static_cast<double>(deltaNanos);
+}
+
+} // namespace
+
+std::string
+renderExposition(const MetricSample& sample)
+{
+    ExpositionBuilder b;
+
+    for (const SamplePoint& point : sample.stats) {
+        const std::string base = promSeriesName(point.path);
+        switch (point.kind) {
+          case StatKind::Counter:
+            b.counter(base + "_total", point.value);
+            if (sample.deltaNanos) {
+                b.gauge(base + "_rate",
+                        rateOf(point.deltaValue, sample.deltaNanos));
+            }
+            break;
+          case StatKind::Distribution:
+            b.counter(base + "_sum", point.value);
+            b.counter(base + "_count", point.count);
+            break;
+          case StatKind::Timer:
+            b.counter(base + "_nanos_total", point.value);
+            b.counter(base + "_count", point.count);
+            if (sample.deltaNanos) {
+                // Busy fraction: timer-nanos accumulated per elapsed
+                // nanosecond (can exceed 1 with several workers).
+                b.gauge(base + "_busy_ratio",
+                        static_cast<double>(point.deltaValue) /
+                            static_cast<double>(sample.deltaNanos));
+            }
+            break;
+        }
+    }
+
+    // Synthetic state living outside the registry (see sampler.hh:
+    // the sampler must not register stats of its own).
+    b.counter("xbsp_sampler_samples_total", sample.seq);
+    b.gauge("xbsp_sample_wall_milliseconds",
+            static_cast<double>(sample.wallMillis));
+    b.gauge("xbsp_sample_monotonic_seconds",
+            static_cast<double>(sample.monotonicNanos) / 1e9);
+    b.gauge("xbsp_sample_delta_seconds",
+            static_cast<double>(sample.deltaNanos) / 1e9);
+    b.gauge("xbsp_pool_workers",
+            static_cast<double>(sample.poolWorkers));
+    b.gauge("xbsp_progress_done",
+            static_cast<double>(sample.progressDone));
+    // "steps", not "total": the _total suffix is reserved for
+    // counters by the exposition format, and this is a gauge.
+    b.gauge("xbsp_progress_steps",
+            static_cast<double>(sample.progressTotal));
+    b.gauge("xbsp_progress_zero_cost",
+            static_cast<double>(sample.progressZeroCost));
+    b.gauge("xbsp_progress_elapsed_seconds",
+            sample.progressElapsedSeconds);
+    b.gauge("xbsp_progress_eta_seconds", sample.progressEtaSeconds);
+    return b.take();
+}
+
+std::map<std::string, double>
+parseExposition(std::string_view text)
+{
+    std::map<std::string, double> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        const std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t space = line.find(' ');
+        if (space == std::string_view::npos)
+            throw std::runtime_error(
+                format("bad exposition line '{}'",
+                       std::string(line)));
+        const std::string name(line.substr(0, space));
+        const std::string value(line.substr(space + 1));
+        char* end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &end);
+        if (end != value.c_str() + value.size())
+            throw std::runtime_error(
+                format("bad exposition value '{}' for '{}'", value,
+                       name));
+        out[name] = parsed;
+    }
+    return out;
+}
+
+} // namespace xbsp::obs

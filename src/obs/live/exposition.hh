@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Prometheus text-exposition encoding of one MetricSample (format
+ * version 0.0.4 — the `text/plain; version=0.0.4` format every
+ * Prometheus scraper and `promtool check metrics` accepts).
+ *
+ * Series naming: the registry's dotted path is sanitized (every
+ * character outside [a-zA-Z0-9_] becomes '_') and prefixed "xbsp_".
+ * Per stat kind:
+ *
+ *   counter p       -> xbsp_<p>_total              (TYPE counter)
+ *   distribution p  -> xbsp_<p>_sum, xbsp_<p>_count  (TYPE counter)
+ *   timer p         -> xbsp_<p>_nanos_total,
+ *                      xbsp_<p>_count              (TYPE counter)
+ *
+ * plus, for every cumulative series, a companion `..._rate` gauge:
+ * the per-second rate over the sample's delta window (the ring
+ * stores deltas exactly so consumers get rates without diffing two
+ * scrapes).  Synthetic gauges (progress, pool size, sampler ticks)
+ * carry the state that lives outside the StatRegistry.
+ *
+ * parseExposition() is the matching reader used by `xbsp top` and
+ * the tests: it understands exactly the subset this encoder emits
+ * (comments, `name value` lines, no labels).
+ */
+
+#ifndef XBSP_OBS_LIVE_EXPOSITION_HH
+#define XBSP_OBS_LIVE_EXPOSITION_HH
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/live/ring.hh"
+
+namespace xbsp::obs
+{
+
+/** "kmeans.estep.distances" -> "xbsp_kmeans_estep_distances". */
+std::string promSeriesName(std::string_view path);
+
+/** Render `sample` as one exposition document. */
+std::string renderExposition(const MetricSample& sample);
+
+/**
+ * Parse an exposition document into name -> value.  Throws
+ * std::runtime_error on lines that are neither comments, blank, nor
+ * `name value` pairs.
+ */
+std::map<std::string, double> parseExposition(std::string_view text);
+
+} // namespace xbsp::obs
+
+#endif // XBSP_OBS_LIVE_EXPOSITION_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Lock-free ring of timestamped metric samples, the hand-off point
+ * between the MetricsSampler thread (single producer) and however
+ * many endpoint / `xbsp top` readers are attached.  Samples are
+ * immutable once published: the producer builds a MetricSample,
+ * wraps it in a shared_ptr<const> and stores it into the next slot
+ * with an atomic shared_ptr exchange, so readers either see the old
+ * complete sample or the new complete sample — never a torn one —
+ * and a reader holding a sample keeps it alive even after the ring
+ * slot has been recycled.  No mutex anywhere on the read or write
+ * path (the shared_ptr control block does the reclamation).
+ *
+ * Each sample carries both cumulative values and the delta since the
+ * previous sample, so consumers get rates without having to diff two
+ * fetches themselves.
+ */
+
+#ifndef XBSP_OBS_LIVE_RING_HH
+#define XBSP_OBS_LIVE_RING_HH
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "util/types.hh"
+
+namespace xbsp::obs
+{
+
+/** One stat series inside a sample: cumulative state plus delta. */
+struct SamplePoint
+{
+    std::string path;
+    StatKind kind = StatKind::Counter;
+    u64 value = 0;       ///< counter value / dist sum / timer nanos
+    u64 count = 0;       ///< dist/timer sample count (0 for counters)
+    u64 deltaValue = 0;  ///< value change since the previous sample
+    u64 deltaCount = 0;  ///< count change since the previous sample
+};
+
+/** One timestamped snapshot of every registered stat. */
+struct MetricSample
+{
+    u64 seq = 0;             ///< monotone sample index (1-based)
+    u64 monotonicNanos = 0;  ///< steady clock since sampler start
+    u64 wallMillis = 0;      ///< system clock, ms since the epoch
+    u64 deltaNanos = 0;      ///< monotonic gap to the previous sample
+
+    std::vector<SamplePoint> stats;  ///< sorted by path
+
+    // Synthetic gauges sampled outside the registry (the sampler is
+    // a pure observer: it must not register stats of its own, or a
+    // sampling run's stats dump would differ from a plain run's).
+    u64 progressDone = 0;
+    u64 progressTotal = 0;
+    u64 progressZeroCost = 0;
+    double progressElapsedSeconds = 0.0;
+    double progressEtaSeconds = -1.0;  ///< negative: no estimate
+    u64 poolWorkers = 0;
+};
+
+/** Fixed-capacity ring of published samples; see the file comment. */
+class SampleRing
+{
+  public:
+    explicit SampleRing(std::size_t capacity)
+        : slots(capacity ? capacity : 1)
+    {
+    }
+
+    SampleRing(const SampleRing&) = delete;
+    SampleRing& operator=(const SampleRing&) = delete;
+
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Samples published so far (monotone; may exceed capacity). */
+    u64
+    published() const
+    {
+        return head.load(std::memory_order_acquire);
+    }
+
+    /** Publish the next sample (single producer). */
+    void
+    push(std::shared_ptr<const MetricSample> sample)
+    {
+        const u64 n = head.load(std::memory_order_relaxed);
+        slots[n % slots.size()].store(std::move(sample),
+                                      std::memory_order_release);
+        head.store(n + 1, std::memory_order_release);
+    }
+
+    /** Most recent sample; nullptr before the first push. */
+    std::shared_ptr<const MetricSample>
+    latest() const
+    {
+        const u64 n = head.load(std::memory_order_acquire);
+        if (n == 0)
+            return nullptr;
+        return slots[(n - 1) % slots.size()].load(
+            std::memory_order_acquire);
+    }
+
+    /**
+     * Up to `n` most recent samples, oldest first.  Samples replaced
+     * while reading are detected by their seq and dropped, so the
+     * returned window is always consistent and strictly increasing.
+     */
+    std::vector<std::shared_ptr<const MetricSample>>
+    window(std::size_t n) const
+    {
+        std::vector<std::shared_ptr<const MetricSample>> out;
+        const u64 end = head.load(std::memory_order_acquire);
+        const u64 want = std::min<u64>({n, end, slots.size()});
+        u64 lastSeq = ~0ull;
+        for (u64 i = 0; i < want; ++i) {
+            const u64 idx = end - 1 - i;
+            auto sample = slots[idx % slots.size()].load(
+                std::memory_order_acquire);
+            // A slot the producer lapped mid-read holds a *newer*
+            // sample than the one before it in our walk; skip it.
+            if (!sample || sample->seq >= lastSeq)
+                continue;
+            lastSeq = sample->seq;
+            out.push_back(std::move(sample));
+        }
+        std::reverse(out.begin(), out.end());
+        return out;
+    }
+
+  private:
+    std::vector<std::atomic<std::shared_ptr<const MetricSample>>> slots;
+    std::atomic<u64> head{0};
+};
+
+} // namespace xbsp::obs
+
+#endif // XBSP_OBS_LIVE_RING_HH

@@ -1,0 +1,158 @@
+#include "obs/live/sampler.hh"
+
+#include <chrono>
+
+#include "obs/progress.hh"
+#include "obs/stats.hh"
+#include "util/threadpool.hh"
+
+namespace xbsp::obs
+{
+
+MetricsSampler::MetricsSampler(StatRegistry& reg, Config config)
+    : registry(reg), cfg(config),
+      samples(config.ringCapacity ? config.ringCapacity : 1),
+      epoch(std::chrono::steady_clock::now())
+{
+    if (cfg.periodMillis == 0)
+        cfg.periodMillis = 1;
+}
+
+MetricsSampler::~MetricsSampler()
+{
+    stop();
+}
+
+void
+MetricsSampler::start()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (threadRunning)
+        return;
+    stopping = false;
+    threadRunning = true;
+    thread = std::thread([this] { loop(); });
+}
+
+void
+MetricsSampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!threadRunning)
+            return;
+        stopping = true;
+    }
+    wake.notify_all();
+    thread.join();
+    std::lock_guard<std::mutex> lock(mutex);
+    threadRunning = false;
+}
+
+bool
+MetricsSampler::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return threadRunning;
+}
+
+void
+MetricsSampler::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!stopping) {
+        lock.unlock();
+        sampleOnce();
+        lock.lock();
+        wake.wait_for(lock,
+                      std::chrono::milliseconds(cfg.periodMillis),
+                      [this] { return stopping; });
+    }
+}
+
+std::shared_ptr<MetricSample>
+MetricsSampler::buildSample()
+{
+    auto sample = std::make_shared<MetricSample>();
+    const auto now = std::chrono::steady_clock::now();
+    sample->monotonicNanos = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             epoch)
+            .count());
+    sample->wallMillis = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+
+    const std::vector<LiveStat> stats = registry.liveStats();
+    sample->stats.reserve(stats.size());
+    for (const LiveStat& stat : stats) {
+        SamplePoint point;
+        point.path = stat.path;
+        point.kind = stat.kind;
+        point.value = stat.value;
+        point.count = stat.count;
+        sample->stats.push_back(std::move(point));
+    }
+
+    const Progress& progress = Progress::global();
+    sample->progressDone = progress.completed();
+    sample->progressTotal = progress.announced();
+    sample->progressZeroCost = progress.zeroCostCompleted();
+    sample->progressElapsedSeconds = progress.elapsedSeconds();
+    sample->progressEtaSeconds = progress.etaSeconds();
+    sample->poolWorkers = configuredJobs();
+    return sample;
+}
+
+void
+MetricsSampler::sampleOnce()
+{
+    // One snapshot at a time: the periodic thread and any manual
+    // sampleOnce() caller serialize here, keeping the seq/delta
+    // chain consistent.  Readers never take this mutex.
+    std::lock_guard<std::mutex> snapshotLock(snapshotMutex);
+    const std::shared_ptr<const MetricSample> previous = prev;
+
+    auto sample = buildSample();
+    sample->seq = (previous ? previous->seq : 0) + 1;
+    if (previous) {
+        sample->deltaNanos =
+            sample->monotonicNanos - previous->monotonicNanos;
+        // Both stat lists are sorted by path (liveStats walks a
+        // sorted map) and paths are only ever added, so a merge walk
+        // matches series in O(n).
+        std::size_t j = 0;
+        for (SamplePoint& point : sample->stats) {
+            while (j < previous->stats.size() &&
+                   previous->stats[j].path < point.path)
+                ++j;
+            if (j < previous->stats.size() &&
+                previous->stats[j].path == point.path) {
+                const SamplePoint& old = previous->stats[j];
+                point.deltaValue = point.value - old.value;
+                point.deltaCount = point.count - old.count;
+            } else {
+                point.deltaValue = point.value;
+                point.deltaCount = point.count;
+            }
+        }
+    } else {
+        for (SamplePoint& point : sample->stats) {
+            point.deltaValue = point.value;
+            point.deltaCount = point.count;
+        }
+    }
+
+    std::shared_ptr<const MetricSample> published = std::move(sample);
+    prev = published;
+    samples.push(std::move(published));
+}
+
+std::shared_ptr<const MetricSample>
+MetricsSampler::latest() const
+{
+    return samples.latest();
+}
+
+} // namespace xbsp::obs

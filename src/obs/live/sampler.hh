@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Background metrics sampler: a thread that periodically snapshots a
+ * StatRegistry (plus the Progress meter and the pool size) into the
+ * lock-free SampleRing, computing per-series deltas against the
+ * previous sample on the way.  The metrics endpoint and `xbsp top`
+ * read the ring; nothing in the pipeline ever waits on the sampler.
+ *
+ * The sampler is a **pure observer**: it reads stats through
+ * StatRegistry::liveStats() and never registers or mutates a stat,
+ * so a run with sampling enabled produces byte-identical stats
+ * dumps, traces and reports to a run without it — at any --jobs
+ * count and any sampling period.  Its own bookkeeping (tick count)
+ * lives in plain members and is exported only through the exposition
+ * endpoint, never through the registry.
+ */
+
+#ifndef XBSP_OBS_LIVE_SAMPLER_HH
+#define XBSP_OBS_LIVE_SAMPLER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/live/ring.hh"
+
+namespace xbsp::obs
+{
+
+class StatRegistry;
+
+/** Periodic StatRegistry -> SampleRing pump; see the file comment. */
+class MetricsSampler
+{
+  public:
+    struct Config
+    {
+        /** Snapshot period; clamped to >= 1 ms. */
+        u64 periodMillis = 100;
+
+        /** Ring capacity, in samples. */
+        std::size_t ringCapacity = 128;
+    };
+
+    /** Sample `registry` (tests pass a private one). */
+    explicit MetricsSampler(StatRegistry& registry, Config config);
+
+    /** Stops the thread if still running. */
+    ~MetricsSampler();
+
+    MetricsSampler(const MetricsSampler&) = delete;
+    MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+    /** Launch the sampling thread (idempotent). */
+    void start();
+
+    /** Stop and join the sampling thread (idempotent). */
+    void stop();
+
+    bool running() const;
+
+    /**
+     * Take one snapshot on the calling thread right now.  start() is
+     * not required: tests and one-shot dumps can drive the sampler
+     * manually; the endpoint uses it so the very first scrape never
+     * has to wait out a period.
+     */
+    void sampleOnce();
+
+    /** Most recent sample; nullptr before the first snapshot. */
+    std::shared_ptr<const MetricSample> latest() const;
+
+    /** The ring itself, for windowed consumers. */
+    const SampleRing& ring() const { return samples; }
+
+    /** Snapshots taken so far. */
+    u64 ticks() const { return samples.published(); }
+
+    u64 periodMillis() const { return cfg.periodMillis; }
+
+  private:
+    StatRegistry& registry;
+    Config cfg;
+    SampleRing samples;
+
+    std::thread thread;
+    mutable std::mutex mutex;       ///< guards the thread lifecycle
+    std::mutex snapshotMutex;       ///< serializes sampleOnce()
+    std::condition_variable wake;
+    bool stopping = false;
+    bool threadRunning = false;
+
+    std::shared_ptr<const MetricSample> prev;  ///< snapshotMutex
+    std::chrono::steady_clock::time_point epoch;
+
+    void loop();
+    std::shared_ptr<MetricSample> buildSample();
+};
+
+} // namespace xbsp::obs
+
+#endif // XBSP_OBS_LIVE_SAMPLER_HH

@@ -1,0 +1,103 @@
+#include "obs/manifest/manifest.hh"
+
+#include <fstream>
+
+#include "util/json.hh"
+
+namespace xbsp::obs
+{
+
+RunManifest&
+RunManifest::global()
+{
+    static RunManifest instance;
+    return instance;
+}
+
+void
+RunManifest::addRun(ManifestRun run)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    collected.push_back(std::move(run));
+}
+
+std::vector<ManifestRun>
+RunManifest::runs() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return collected;
+}
+
+bool
+RunManifest::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return collected.empty();
+}
+
+std::size_t
+RunManifest::runCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return collected.size();
+}
+
+void
+RunManifest::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    collected.clear();
+}
+
+void
+RunManifest::writeJson(JsonWriter& w) const
+{
+    const std::vector<ManifestRun> snapshot = runs();
+    w.beginObject();
+    w.key("runs");
+    w.beginArray();
+    for (const ManifestRun& run : snapshot) {
+        w.beginObject();
+        w.member("label", run.label);
+        w.member("configDigest", run.configDigest);
+        w.member("startWallMillis", run.startWallMillis);
+        w.member("wallNanos", run.wallNanos);
+        w.member("workers", run.workers);
+        w.key("nodes");
+        w.beginArray();
+        for (const ManifestEntry& entry : run.entries) {
+            w.beginObject();
+            w.member("node", entry.node);
+            w.member("label", entry.label);
+            w.member("stage", entry.stage);
+            w.member("status", entry.status);
+            w.member("probe", entry.probe);
+            w.member("wallNanos", entry.wallNanos);
+            w.member("busyNanos", entry.busyNanos);
+            w.member("worker", entry.worker);
+            w.member("storeKey", entry.storeKey);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+bool
+RunManifest::writeJsonFile(const std::string& path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    {
+        JsonWriter w(os);
+        writeJson(w);
+    }
+    os << '\n';
+    os.flush();
+    return os.good();
+}
+
+} // namespace xbsp::obs

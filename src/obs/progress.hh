@@ -7,6 +7,15 @@
  * completion through the serialized log sink.  The ETA is a simple
  * linear extrapolation — steps are heterogeneous, so it is a hint,
  * not a promise.  Disabled (the default) the meter only counts.
+ *
+ * Steps completed inside a ZeroCostScope (the pipeline scheduler
+ * opens one around cache-probe-resolved nodes, which only decode
+ * already-stored artifacts) are counted as **zero-cost**: they still
+ * advance [done/total], but the ETA extrapolates from the average
+ * cost of the *costly* steps only.  Without this, a warm run's
+ * near-instant cache hits would be averaged as if they were real
+ * work — wildly overestimating the remaining time whenever cold and
+ * warm stages mix.
  */
 
 #ifndef XBSP_OBS_PROGRESS_HH
@@ -65,11 +74,43 @@ class Progress
         return total.load(std::memory_order_relaxed);
     }
 
+    /** Steps completed under a ZeroCostScope (cache-resolved). */
+    u64
+    zeroCostCompleted() const
+    {
+        return cheap.load(std::memory_order_relaxed);
+    }
+
+    /** Wall-clock seconds since the meter started (0 before). */
+    double elapsedSeconds() const;
+
+    /**
+     * Linear-extrapolation ETA in seconds over the costly steps
+     * only; negative when no estimate is possible yet (nothing
+     * announced, nothing costly done, or already finished).
+     */
+    double etaSeconds() const;
+
+    /**
+     * RAII marker: completeStep() calls made by the current *thread*
+     * while a scope is open count as zero-cost.  Nests.
+     */
+    class ZeroCostScope
+    {
+      public:
+        ZeroCostScope();
+        ~ZeroCostScope();
+
+        ZeroCostScope(const ZeroCostScope&) = delete;
+        ZeroCostScope& operator=(const ZeroCostScope&) = delete;
+    };
+
   private:
     std::atomic<bool> active{false};
     std::atomic<u64> total{0};
     std::atomic<u64> done{0};
-    std::mutex mutex;
+    std::atomic<u64> cheap{0};
+    mutable std::mutex mutex;
     std::chrono::steady_clock::time_point start;
     bool started = false;
 };

@@ -3,6 +3,10 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/live/endpoint.hh"
+#include "obs/live/exposition.hh"
+#include "obs/live/sampler.hh"
+#include "obs/manifest/manifest.hh"
 #include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
@@ -42,6 +46,32 @@ applyLogLevel(const std::string& fromOpt)
         warn("ignoring unknown log level '{}'", name);
 }
 
+/** Parse a decimal port spec; -1 (disabled) on empty/garbage. */
+int
+parsePort(const std::string& text)
+{
+    if (text.empty())
+        return -1;
+    char* end = nullptr;
+    const long port = std::strtol(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || port < 0 ||
+        port > 65535) {
+        warn("ignoring bad metrics TCP port '{}'", text);
+        return -1;
+    }
+    return static_cast<int>(port);
+}
+
+/** "out/stats.json" -> "out/manifest.json"; bare file -> cwd. */
+std::string
+manifestPathNextTo(const std::string& statsPath)
+{
+    const std::size_t slash = statsPath.find_last_of('/');
+    if (slash == std::string::npos)
+        return "manifest.json";
+    return statsPath.substr(0, slash + 1) + "manifest.json";
+}
+
 } // namespace
 
 void
@@ -55,6 +85,23 @@ addCliOptions(Options& opts)
                    "write a Chrome trace_event JSON timeline to this "
                    "file (env: XBSP_TRACE)",
                    "");
+    opts.addString("manifest-out",
+                   "write the per-run provenance manifest to this "
+                   "file (env: XBSP_MANIFEST; defaults to "
+                   "manifest.json next to --stats-out)",
+                   "");
+    opts.addString("metrics-socket",
+                   "serve live Prometheus metrics on this unix-domain "
+                   "socket (env: XBSP_METRICS)",
+                   "");
+    opts.addString("metrics-tcp",
+                   "also serve live metrics on 127.0.0.1:PORT; 0 "
+                   "picks an ephemeral port (env: XBSP_METRICS_TCP)",
+                   "");
+    opts.addUint("metrics-period-ms",
+                 "live metrics sampling period in milliseconds "
+                 "(env: XBSP_METRICS_PERIOD_MS)",
+                 100);
     opts.addString("log-level",
                    "log verbosity: quiet|warn|inform|debug "
                    "(env: XBSP_LOG_LEVEL)",
@@ -70,6 +117,13 @@ addCliOptions(Options& opts)
 ObsSession::ObsSession(const Options& opts)
     : statsPath(pathFrom(opts.getString("stats-out"), "XBSP_STATS")),
       tracePath(pathFrom(opts.getString("trace-out"), "XBSP_TRACE")),
+      manifestPath(pathFrom(opts.getString("manifest-out"),
+                            "XBSP_MANIFEST")),
+      metricsSocketPath(pathFrom(opts.getString("metrics-socket"),
+                                 "XBSP_METRICS")),
+      metricsTcpPort(parsePort(pathFrom(opts.getString("metrics-tcp"),
+                                        "XBSP_METRICS_TCP"))),
+      metricsPeriodMs(opts.getUint("metrics-period-ms")),
       includeTimers(opts.getBool("stats-timers"))
 {
     applyLogLevel(opts.getString("log-level"));
@@ -80,8 +134,17 @@ ObsSession::ObsSession(const Options& opts)
 
 ObsSession::ObsSession()
     : statsPath(pathFrom({}, "XBSP_STATS")),
-      tracePath(pathFrom({}, "XBSP_TRACE"))
+      tracePath(pathFrom({}, "XBSP_TRACE")),
+      manifestPath(pathFrom({}, "XBSP_MANIFEST")),
+      metricsSocketPath(pathFrom({}, "XBSP_METRICS")),
+      metricsTcpPort(parsePort(pathFrom({}, "XBSP_METRICS_TCP")))
 {
+    if (const char* env = std::getenv("XBSP_METRICS_PERIOD_MS")) {
+        char* end = nullptr;
+        const unsigned long long ms = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0' && ms > 0)
+            metricsPeriodMs = ms;
+    }
     applyLogLevel({});
     applyCommon();
 }
@@ -91,14 +154,65 @@ ObsSession::applyCommon()
 {
     if (!tracePath.empty())
         TraceSession::global().enable();
+    if (manifestPath.empty() && !statsPath.empty())
+        manifestPath = manifestPathNextTo(statsPath);
+    if (!metricsSocketPath.empty() || metricsTcpPort >= 0)
+        startTelemetry();
 }
 
 void
-ObsSession::finish()
+ObsSession::startTelemetry()
 {
-    if (finished)
+    MetricsSampler::Config samplerConfig;
+    samplerConfig.periodMillis = metricsPeriodMs;
+    liveSampler = std::make_unique<MetricsSampler>(
+        StatRegistry::global(), samplerConfig);
+    liveSampler->start();
+
+    MetricsEndpoint::Config endpointConfig;
+    endpointConfig.unixPath = metricsSocketPath;
+    endpointConfig.tcpPort = metricsTcpPort;
+    MetricsSampler* sampler = liveSampler.get();
+    liveEndpoint = std::make_unique<MetricsEndpoint>(
+        endpointConfig, [sampler] {
+            auto sample = sampler->latest();
+            if (!sample) {
+                // First scrape before the first tick: snapshot now
+                // rather than serving an empty document.
+                sampler->sampleOnce();
+                sample = sampler->latest();
+            }
+            return renderExposition(*sample);
+        });
+    try {
+        liveEndpoint->start();
+    } catch (const std::exception& e) {
+        // Telemetry must never kill the run it is watching.
+        warn("live metrics endpoint disabled: {}", e.what());
+        liveEndpoint.reset();
+        liveSampler->stop();
+        liveSampler.reset();
         return;
-    finished = true;
+    }
+    if (!metricsSocketPath.empty())
+        inform("serving live metrics on {}", metricsSocketPath);
+    if (metricsTcpPort >= 0)
+        inform("serving live metrics on 127.0.0.1:{}",
+               liveEndpoint->boundTcpPort());
+}
+
+void
+ObsSession::flush()
+{
+    if (flushed)
+        return;
+    flushed = true;
+
+    // Telemetry down first: no scrape may observe the teardown.
+    if (liveEndpoint)
+        liveEndpoint->stop();
+    if (liveSampler)
+        liveSampler->stop();
 
     if (!statsPath.empty()) {
         std::ofstream os(statsPath);
@@ -106,7 +220,12 @@ ObsSession::finish()
             warn("cannot open stats output file '{}'", statsPath);
         } else {
             StatRegistry::global().writeJsonFile(os, includeTimers);
-            inform("wrote stats to {}", statsPath);
+            os.flush();
+            if (!os.good())
+                warn("failed writing stats output file '{}'",
+                     statsPath);
+            else
+                inform("wrote stats to {}", statsPath);
         }
     }
 
@@ -117,14 +236,26 @@ ObsSession::finish()
             warn("cannot open trace output file '{}'", tracePath);
         } else {
             TraceSession::global().writeJson(os);
-            inform("wrote trace to {}", tracePath);
+            os.flush();
+            if (!os.good())
+                warn("failed writing trace output file '{}'",
+                     tracePath);
+            else
+                inform("wrote trace to {}", tracePath);
         }
+    }
+
+    if (!manifestPath.empty() && !RunManifest::global().empty()) {
+        if (!RunManifest::global().writeJsonFile(manifestPath))
+            warn("cannot write manifest file '{}'", manifestPath);
+        else
+            inform("wrote manifest to {}", manifestPath);
     }
 }
 
 ObsSession::~ObsSession()
 {
-    finish();
+    flush();
 }
 
 } // namespace xbsp::obs

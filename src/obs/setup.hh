@@ -3,14 +3,27 @@
  * Command-line and environment plumbing for the observability
  * subsystem.  Tools declare the shared flags with addCliOptions(),
  * then construct one ObsSession after parsing; the session enables
- * tracing/progress/log level for the run and writes the stats and
- * trace files when it is destroyed (i.e. after the workload ran).
+ * tracing/progress/log level for the run, owns the live-telemetry
+ * machinery (metrics sampler + exposition endpoint), and writes the
+ * stats, trace and manifest files when flushed (or destroyed).
  *
  * Flags (each with an environment fallback so wrapped invocations —
  * CI, benches — can opt in without touching argv):
  *
  *   --stats-out=FILE    / XBSP_STATS=FILE    stats registry JSON
  *   --trace-out=FILE    / XBSP_TRACE=FILE    Chrome trace JSON
+ *   --manifest-out=FILE / XBSP_MANIFEST=FILE provenance manifest JSON
+ *                                            (defaults to
+ *                                            manifest.json next to
+ *                                            --stats-out)
+ *   --metrics-socket=PATH / XBSP_METRICS=PATH  serve Prometheus text
+ *                                            exposition on this
+ *                                            unix-domain socket
+ *   --metrics-tcp=PORT  / XBSP_METRICS_TCP=  also serve on
+ *                                            127.0.0.1:PORT (0 picks
+ *                                            an ephemeral port)
+ *   --metrics-period-ms=N / XBSP_METRICS_PERIOD_MS=N
+ *                                            sampling period (>=1)
  *   --log-level=LEVEL   / XBSP_LOG_LEVEL=    quiet|warn|inform|debug
  *   --progress                               per-step ETA lines
  *   --stats-timers                           include wall-clock
@@ -18,12 +31,19 @@
  *                                            (breaks cross-jobs
  *                                            byte-identity, off by
  *                                            default)
+ *
+ * The sampler/endpoint pair is a pure observer (see obs/live): with
+ * or without it, at any period and any --jobs, every study result,
+ * report, stats dump and trace is byte-identical.
  */
 
 #ifndef XBSP_OBS_SETUP_HH
 #define XBSP_OBS_SETUP_HH
 
+#include <memory>
 #include <string>
+
+#include "util/types.hh"
 
 namespace xbsp
 {
@@ -33,12 +53,15 @@ class Options;
 namespace xbsp::obs
 {
 
+class MetricsEndpoint;
+class MetricsSampler;
+
 /** Declare the shared observability options on `opts`. */
 void addCliOptions(Options& opts);
 
 /**
  * Applies parsed observability options for the lifetime of a tool
- * run; the destructor writes any requested output files.
+ * run; the destructor flushes any requested output files.
  */
 class ObsSession
 {
@@ -49,22 +72,45 @@ class ObsSession
     /** Env-only configuration (benches without the shared flags). */
     ObsSession();
 
-    /** Writes stats/trace files when requested; warns on failure. */
+    /** Flushes output files when requested; warns on failure. */
     ~ObsSession();
 
     ObsSession(const ObsSession&) = delete;
     ObsSession& operator=(const ObsSession&) = delete;
 
-    /** Flush output files now instead of at destruction. */
-    void finish();
+    /**
+     * Stop live telemetry and write the requested output files now
+     * instead of at destruction.  Unwritable paths warn and continue
+     * — a finished run's results must never be lost to a bad output
+     * flag — and every file is error-checked after the write, not
+     * just at open.  Idempotent.
+     */
+    void flush();
+
+    /** The sampler, when --metrics-socket/--metrics-tcp enabled it. */
+    MetricsSampler* sampler() { return liveSampler.get(); }
+
+    /** The endpoint, when live telemetry is enabled. */
+    MetricsEndpoint* endpoint() { return liveEndpoint.get(); }
+
+    /** Resolved manifest output path ("" when none will be written). */
+    const std::string& manifestOutputPath() const { return manifestPath; }
 
   private:
     std::string statsPath;
     std::string tracePath;
+    std::string manifestPath;
+    std::string metricsSocketPath;
+    int metricsTcpPort = -1;  ///< -1 disabled, 0 ephemeral
+    u64 metricsPeriodMs = 100;
     bool includeTimers = false;
-    bool finished = false;
+    bool flushed = false;
+
+    std::unique_ptr<MetricsSampler> liveSampler;
+    std::unique_ptr<MetricsEndpoint> liveEndpoint;
 
     void applyCommon();
+    void startTelemetry();
 };
 
 } // namespace xbsp::obs

@@ -145,6 +145,41 @@ StatRegistry::distributionSnapshot(const std::string& path) const
     return snap;
 }
 
+std::vector<LiveStat>
+StatRegistry::liveStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<LiveStat> out;
+    out.reserve(entries.size());
+    for (const auto& [path, entry] : entries) {
+        LiveStat stat;
+        stat.path = path;
+        switch (entry.kind) {
+          case Kind::Counter:
+            stat.kind = StatKind::Counter;
+            stat.value = counters[entry.index].value.load(
+                std::memory_order_relaxed);
+            break;
+          case Kind::Distribution: {
+            const detail::DistData& d = dists[entry.index];
+            stat.kind = StatKind::Distribution;
+            stat.value = d.sum.load(std::memory_order_relaxed);
+            stat.count = d.count.load(std::memory_order_relaxed);
+            break;
+          }
+          case Kind::Timer: {
+            const detail::TimerData& t = timers[entry.index];
+            stat.kind = StatKind::Timer;
+            stat.value = t.nanos.load(std::memory_order_relaxed);
+            stat.count = t.count.load(std::memory_order_relaxed);
+            break;
+          }
+        }
+        out.push_back(std::move(stat));
+    }
+    return out;
+}
+
 void
 StatRegistry::reset()
 {

@@ -230,6 +230,23 @@ class ShardCounter
     u64 local = 0;
 };
 
+/** Kind discriminator for sampled stats (see liveStats()). */
+enum class StatKind { Counter, Distribution, Timer };
+
+/**
+ * One stat's merged state at a sampling instant, as read by the
+ * MetricsSampler (obs/live): `value` holds the counter value, the
+ * distribution sum or the timer nanoseconds; `count` holds the
+ * sample/activation count (0 for counters).
+ */
+struct LiveStat
+{
+    std::string path;
+    StatKind kind = StatKind::Counter;
+    u64 value = 0;
+    u64 count = 0;
+};
+
 /** Read-only copy of a distribution's merged state (for tests). */
 struct DistributionSnapshot
 {
@@ -272,6 +289,15 @@ class StatRegistry
     /** Snapshot at `path`; zeros when never registered. */
     DistributionSnapshot distributionSnapshot(
         const std::string& path) const;
+
+    /**
+     * One relaxed-atomic read of every registered stat, in sorted
+     * path order.  This is the sampler's view: a pure read that
+     * registers nothing, takes only the registration mutex (to walk
+     * the entry map) and never blocks handle operations — stats
+     * written concurrently are simply picked up by the next sample.
+     */
+    std::vector<LiveStat> liveStats() const;
 
     /**
      * Zero every stat (paths stay registered, handles stay valid).

@@ -1,9 +1,12 @@
 #include "pipeline/taskgraph.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <utility>
 
+#include "obs/manifest/manifest.hh"
+#include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "util/json.hh"
@@ -71,6 +74,46 @@ TaskGraph::setCommit(NodeId id, std::function<void()> commit)
 }
 
 void
+TaskGraph::setProvenance(NodeId id, std::function<std::string()> key)
+{
+    nodes.at(id).provenance = std::move(key);
+}
+
+void
+TaskGraph::setManifestInfo(std::string label, std::string configDigest)
+{
+    manifestLabel = std::move(label);
+    manifestDigest = std::move(configDigest);
+}
+
+namespace
+{
+
+const char*
+probeOutcomeName(int outcome)
+{
+    switch (outcome) {
+      case 1:
+        return "hit";
+      case 2:
+        return "miss";
+      default:
+        return "none";
+    }
+}
+
+u64
+nanosSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+} // namespace
+
+void
 TaskGraph::run(ThreadPool& pool)
 {
     if (ran)
@@ -93,6 +136,20 @@ TaskGraph::run(ThreadPool& pool)
     const obs::Timer busyTimer = reg.timer("scheduler.nodeBusy");
     obs::ScopedTimer wallTimer(reg.timer("scheduler.wall"));
 
+    // Per-stage tallies for the live view: `xbsp top` renders
+    // started - settled as "running".  Final values are a function of
+    // the graph alone, so stats dumps stay deterministic.
+    auto stageTally = [&reg](const std::string& stage,
+                             const char* what) {
+        reg.counter("scheduler.stage." + stage + "." + what).add();
+    };
+
+    const auto runStart = std::chrono::steady_clock::now();
+    const u64 runStartWallMillis = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+
     std::unique_lock lock(mutex);
 
     // Dependency counters and the initial ready set.  std::set keeps
@@ -105,6 +162,8 @@ TaskGraph::run(ThreadPool& pool)
             ready.insert(id);
     }
     std::size_t active = 0;  // nodes in flight on the pool
+    std::vector<std::chrono::steady_clock::time_point> dispatched(
+        nodes.size());
 
     // Settle a node (lock held): record status, release dependents.
     auto settle = [this, &ready](NodeId id, NodeStatus status,
@@ -123,12 +182,15 @@ TaskGraph::run(ThreadPool& pool)
     // Run a node's work (no lock held), then settle it.  Exceptions
     // are captured here — pool futures are discarded, so nothing may
     // escape into them.
-    auto execute = [this, &settle, &active, &busyTimer,
-                    &failCount](NodeId id, bool viaProbe) {
+    auto execute = [this, &settle, &active, &busyTimer, &failCount,
+                    &stageTally, &dispatched](NodeId id,
+                                              bool viaProbe) {
         NodeStatus status =
             viaProbe ? NodeStatus::CacheResolved : NodeStatus::Done;
         std::exception_ptr error;
         std::string errorText;
+        nodes[id].worker = currentWorkerId();
+        const auto busyStart = std::chrono::steady_clock::now();
         {
             obs::TraceSpan span(nodes[id].label, "pipeline");
             obs::ScopedTimer busy(busyTimer);
@@ -145,9 +207,12 @@ TaskGraph::run(ThreadPool& pool)
                 errorText = "unknown exception";
             }
         }
+        nodes[id].busyNanos = nanosSince(busyStart);
         if (status == NodeStatus::Failed)
             failCount.add();
+        stageTally(nodes[id].stage, "settled");
         std::lock_guard guard(mutex);
+        nodes[id].wallNanos = nanosSince(dispatched[id]);
         settle(id, status, std::move(error), std::move(errorText));
         if (!viaProbe)
             --active;
@@ -174,17 +239,25 @@ TaskGraph::run(ThreadPool& pool)
             });
         if (depFailed) {
             skipCount.add();
+            stageTally(node.stage, "skipped");
             settle(id, NodeStatus::Skipped, nullptr, {});
             continue;
         }
 
         node.status = NodeStatus::Running;
+        dispatched[id] = std::chrono::steady_clock::now();
         lock.unlock();
+        stageTally(node.stage, "started");
         const bool cached = node.probe && node.probe();
+        node.probeOutcome = node.probe ? (cached ? 1 : 2) : 0;
         if (cached) {
             // The store will serve every artifact this node needs:
             // decode inline here instead of occupying a worker slot.
+            // The work only replays already-stored artifacts, so any
+            // progress steps it reports are zero-cost for the ETA.
             cacheCount.add();
+            stageTally(node.stage, "cache");
+            obs::Progress::ZeroCostScope zeroCost;
             execute(id, true);
         } else {
             runCount.add();
@@ -215,6 +288,36 @@ TaskGraph::run(ThreadPool& pool)
         if (!first)
             first = node.error;
     }
+
+    // Provenance: one manifest run per graph execution, entries in
+    // node-id order, recorded even when a node failed (a manifest of
+    // a broken run is exactly when you want one).
+    obs::ManifestRun record;
+    record.label = manifestLabel.empty() ? "pipeline" : manifestLabel;
+    record.configDigest = manifestDigest;
+    record.startWallMillis = runStartWallMillis;
+    record.wallNanos = nanosSince(runStart);
+    record.workers = pool.size();
+    record.entries.reserve(nodes.size());
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        const Node& node = nodes[id];
+        obs::ManifestEntry entry;
+        entry.node = id;
+        entry.label = node.label;
+        entry.stage = node.stage;
+        entry.status = nodeStatusName(node.status);
+        entry.probe = probeOutcomeName(node.probeOutcome);
+        entry.wallNanos = node.wallNanos;
+        entry.busyNanos = node.busyNanos;
+        entry.worker = node.worker;
+        if (node.provenance &&
+            (node.status == NodeStatus::Done ||
+             node.status == NodeStatus::CacheResolved))
+            entry.storeKey = node.provenance();
+        record.entries.push_back(std::move(entry));
+    }
+    obs::RunManifest::global().addRun(std::move(record));
+
     if (first)
         std::rethrow_exception(first);
 }

@@ -29,10 +29,13 @@
  *    completion.  Commit hooks of failed/skipped nodes do not run.
  *
  * Scheduling is observable: every node runs under a TraceSpan
- * (category "pipeline"), and run() reports scheduler.* counters plus
- * a scheduler.criticalPath distribution, all independent of the
- * worker count.  writeJson()/writeDot() dump the graph with per-node
- * status for `xbsp graph`.
+ * (category "pipeline"), and run() reports scheduler.* counters —
+ * including per-stage scheduler.stage.<stage>.* tallies — plus a
+ * scheduler.criticalPath distribution, all independent of the worker
+ * count.  writeJson()/writeDot() dump the graph with per-node status
+ * for `xbsp graph`.  Each run() also appends a provenance record (per
+ * node: probe outcome, wall/busy time, worker, store key) to
+ * obs::RunManifest::global(), in node-id order — see obs/manifest.
  */
 
 #ifndef XBSP_PIPELINE_TASKGRAPH_HH
@@ -113,6 +116,21 @@ class TaskGraph
     void setCommit(NodeId id, std::function<void()> commit);
 
     /**
+     * Attach a provenance callback: returns the node's artifact-store
+     * key (hex) for the run manifest.  Called on the scheduling
+     * thread after the run, only for Done/CacheResolved nodes — lazily
+     * on purpose, because some stage keys (a binary's detailed-run
+     * key) only exist once upstream stages have resolved.
+     */
+    void setProvenance(NodeId id, std::function<std::string()> key);
+
+    /**
+     * Label and config digest stamped onto the ManifestRun this graph
+     * appends to RunManifest::global() at the end of run().
+     */
+    void setManifestInfo(std::string label, std::string configDigest);
+
+    /**
      * Execute the graph on `pool` (inline when it has no workers).
      * Blocks until every node settles, runs commit hooks in node-id
      * order, then rethrows the exception of the lowest-id failed
@@ -149,15 +167,24 @@ class TaskGraph
         std::function<void()> work;
         std::function<bool()> probe;
         std::function<void()> commit;
+        std::function<std::string()> provenance;
         NodeStatus status = NodeStatus::Pending;
         std::size_t remaining = 0;  ///< unsettled deps during run()
         std::exception_ptr error;
         std::string errorText;
+
+        // Provenance captured during run() (see obs/manifest).
+        int probeOutcome = 0;  ///< 0 none, 1 hit, 2 miss
+        u64 wallNanos = 0;     ///< dispatch -> settled
+        u64 busyNanos = 0;     ///< work-function execution time
+        u64 worker = 0;        ///< pool worker id (0 = scheduler)
     };
 
     std::vector<Node> nodes;
     std::size_t edges = 0;
     bool ran = false;
+    std::string manifestLabel;
+    std::string manifestDigest;
 
     mutable std::mutex mutex;       ///< guards node status during run
     std::condition_variable wake;   ///< completions -> scheduler loop

@@ -223,6 +223,80 @@ StudyBuild::binaryCached(std::size_t b) const
                           DetailedRunCodec::version);
 }
 
+std::string
+StudyBuild::compileKeyHex() const
+{
+    // One digest covering all four targets' compile keys, so the
+    // manifest entry pins the complete binary set, not just one.
+    serial::Hasher h;
+    for (const bin::Target& target : compile::standardTargets())
+        h.str(compile::compileKey(prog, target,
+                                  study.cfg.compileOptions)
+                  .hex());
+    return h.finish().hex();
+}
+
+std::string
+StudyBuild::profileKeyHex(std::size_t b) const
+{
+    if (b >= study.bins.size())
+        return {};
+    return prof::profilePassKey(study.bins[b],
+                                study.cfg.intervalTarget,
+                                study.cfg.engineSeed)
+        .hex();
+}
+
+std::string
+StudyBuild::vliKeyHex() const
+{
+    if (study.cfg.primaryIdx >= study.bins.size())
+        return {};
+    return core::vliBuildKey(study.bins[study.cfg.primaryIdx],
+                             study.mappableSet, study.cfg.primaryIdx,
+                             study.cfg.intervalTarget,
+                             study.cfg.engineSeed)
+        .hex();
+}
+
+std::string
+StudyBuild::binaryKeyHex(std::size_t b) const
+{
+    // Only the detailed path is memoized (see binaryCached); the
+    // boundaries were moved into the BinaryStudy slot by binary(),
+    // so the key must be rebuilt from there, not from the pass.
+    if (!study.cfg.detailed || b >= study.bins.size() ||
+        b >= study.studies.size())
+        return {};
+    DetailedRunRequest req;
+    req.fliBoundaries = study.studies[b].fliBoundaries;
+    req.mappable = &study.mappableSet;
+    req.binaryIdx = b;
+    req.partition = &study.vliPartition;
+    req.memory = study.cfg.memory;
+    req.seed = study.cfg.engineSeed;
+    return detailedRunKey(study.bins[b], req).hex();
+}
+
+std::string
+studyConfigDigest(std::string_view workload, const StudyConfig& config)
+{
+    serial::Hasher h;
+    h.str(workload);
+    h.u64v(config.intervalTarget);
+    sp::hashSimPointOptions(h, config.simpoint);
+    h.u64v(config.primaryIdx);
+    hashHierarchy(h, config.memory);
+    h.boolean(config.compileOptions.enableInlining);
+    h.boolean(config.compileOptions.enableUnrolling);
+    h.boolean(config.compileOptions.enableLoopSplitting);
+    h.u32v(config.compileOptions.unrollFactor);
+    h.u64v(config.compileOptions.jitterSeed);
+    h.u64v(config.engineSeed);
+    h.boolean(config.detailed);
+    return h.finish().hex();
+}
+
 pipeline::NodeId
 appendStudyGraph(pipeline::TaskGraph& graph, StudyBuild& build)
 {
@@ -234,6 +308,8 @@ appendStudyGraph(pipeline::TaskGraph& graph, StudyBuild& build)
         [&build] { build.compile(); });
     graph.setProbe(compileNode,
                    [&build] { return build.compileCached(); });
+    graph.setProvenance(compileNode,
+                        [&build] { return build.compileKeyHex(); });
 
     std::vector<pipeline::NodeId> profiles;
     for (std::size_t b = 0; b < build.binaryCount(); ++b) {
@@ -243,6 +319,8 @@ appendStudyGraph(pipeline::TaskGraph& graph, StudyBuild& build)
             "profile", {compileNode}, [&build, b] { build.profile(b); });
         graph.setProbe(id,
                        [&build, b] { return build.profileCached(b); });
+        graph.setProvenance(
+            id, [&build, b] { return build.profileKeyHex(b); });
         profiles.push_back(id);
     }
 
@@ -253,6 +331,8 @@ appendStudyGraph(pipeline::TaskGraph& graph, StudyBuild& build)
     const pipeline::NodeId vliNode = graph.add(
         format("study.{}.cluster", name), "vli",
         {compileNode, matchNode}, [&build] { build.vliCluster(); });
+    graph.setProvenance(vliNode,
+                        [&build] { return build.vliKeyHex(); });
 
     std::vector<pipeline::NodeId> binaries;
     for (std::size_t b = 0; b < build.binaryCount(); ++b) {
@@ -263,6 +343,8 @@ appendStudyGraph(pipeline::TaskGraph& graph, StudyBuild& build)
             [&build, b] { build.binary(b); });
         graph.setProbe(id,
                        [&build, b] { return build.binaryCached(b); });
+        graph.setProvenance(
+            id, [&build, b] { return build.binaryKeyHex(b); });
         binaries.push_back(id);
     }
 

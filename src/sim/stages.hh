@@ -71,6 +71,17 @@ class StudyBuild
     bool profileCached(std::size_t b) const;
     bool binaryCached(std::size_t b) const;
 
+    /**
+     * Provenance keys for the run manifest (hex; "" when the stage
+     * has no store key).  Only valid after the corresponding stage
+     * completed — TaskGraph::setProvenance guarantees exactly that
+     * by evaluating lazily, for finished nodes only.
+     */
+    std::string compileKeyHex() const;
+    std::string profileKeyHex(std::size_t b) const;
+    std::string vliKeyHex() const;
+    std::string binaryKeyHex(std::size_t b) const;
+
     /** Wall-clock from compile() start to finish(), milliseconds. */
     long long elapsedMs() const { return elapsed; }
 
@@ -95,6 +106,16 @@ class StudyBuild
  */
 pipeline::NodeId appendStudyGraph(pipeline::TaskGraph& graph,
                                   StudyBuild& build);
+
+/**
+ * Content digest over everything that parameterizes one study —
+ * workload name, interval target, SimPoint knobs, memory hierarchy,
+ * compile options, seeds, detailed flag — stamped into the run
+ * manifest so a recorded result names the exact configuration that
+ * produced it.
+ */
+std::string studyConfigDigest(std::string_view workload,
+                              const StudyConfig& config);
 
 } // namespace xbsp::sim
 

@@ -32,6 +32,8 @@ CrossBinaryStudy::run(const ir::Program& program,
     StudyBuild build(program, config);
     pipeline::TaskGraph graph;
     appendStudyGraph(graph, build);
+    graph.setManifestInfo(format("study.{}", program.name),
+                          studyConfigDigest(program.name, config));
     graph.run(globalPool());
     return build.takeStudy();
 }

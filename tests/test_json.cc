@@ -1,8 +1,10 @@
 /**
  * @file
- * JsonWriter string-escaping tests: every byte sequence — control
+ * JsonWriter string-escaping tests — every byte sequence (control
  * characters, encoded lone surrogates, overlong encodings, stray
- * continuation bytes — must come out as valid UTF-8 *and* valid JSON.
+ * continuation bytes) must come out as valid UTF-8 *and* valid JSON —
+ * plus parseJson() reader tests: documents round-trip through the
+ * writer, malformed input fails with an offset-bearing error.
  */
 
 #include <sstream>
@@ -92,4 +94,112 @@ TEST(JsonEscape, FullDocumentWithHostileKeyStillWellFormed)
     }
     EXPECT_EQ(os.str(),
               "{\n  \"na\\nme\\u0002\": \"\\ud800\\ufffd\"\n}");
+}
+
+TEST(JsonParse, ScalarsAndContainers)
+{
+    const JsonValue doc = parseJson(
+        R"({"n": 42, "f": -2.5, "s": "hi", "t": true, "z": null,)"
+        R"( "a": [1, 2, 3], "o": {"inner": "v"}})");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.size(), 7u);
+    EXPECT_EQ(doc.at("n").asU64(), 42u);
+    EXPECT_DOUBLE_EQ(doc.at("f").asNumber(), -2.5);
+    EXPECT_EQ(doc.at("s").asString(), "hi");
+    EXPECT_TRUE(doc.at("t").asBool());
+    EXPECT_TRUE(doc.at("z").isNull());
+    ASSERT_TRUE(doc.at("a").isArray());
+    ASSERT_EQ(doc.at("a").size(), 3u);
+    EXPECT_EQ(doc.at("a").at(std::size_t{2}).asU64(), 3u);
+    EXPECT_EQ(doc.at("o").at("inner").asString(), "v");
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, ObjectMembersKeepDocumentOrder)
+{
+    const JsonValue doc = parseJson(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_EQ(doc.members().size(), 3u);
+    EXPECT_EQ(doc.members()[0].first, "z");
+    EXPECT_EQ(doc.members()[1].first, "a");
+    EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapesIncludingUnicode)
+{
+    const JsonValue doc = parseJson(
+        R"(["a\"b\\c", "\b\f\n\r\t", "Aé", "€"])");
+    EXPECT_EQ(doc.at(std::size_t{0}).asString(), "a\"b\\c");
+    EXPECT_EQ(doc.at(std::size_t{1}).asString(), "\b\f\n\r\t");
+    EXPECT_EQ(doc.at(std::size_t{2}).asString(), "A\xc3\xa9");
+    EXPECT_EQ(doc.at(std::size_t{3}).asString(), "\xe2\x82\xac");
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8)
+{
+    // A, e-acute, the euro sign (BMP escapes), then U+1F600 as a
+    // surrogate pair.  The escapes are assembled from a lone
+    // backslash so the C++ source holds JSON escapes, not raw UTF-8.
+    const std::string bs(1, '\\');
+    const std::string in = "[\"A" + bs + "u00e9" + bs +
+                           "u20ac\", \"" + bs + "ud83d" + bs +
+                           "ude00\"]";
+    const JsonValue doc = parseJson(in);
+    EXPECT_EQ(doc.at(std::size_t{0}).asString(),
+              "A\xc3\xa9\xe2\x82\xac");
+    EXPECT_EQ(doc.at(std::size_t{1}).asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, WriterOutputRoundTrips)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.member("count", u64{18446744073709551615ull >> 12});
+        w.member("ratio", 0.125);
+        w.member("name", std::string_view("x\ny"));
+        w.key("list");
+        w.beginArray();
+        w.value(u64{1});
+        w.value(u64{2});
+        w.endArray();
+        w.endObject();
+    }
+    const JsonValue doc = parseJson(os.str());
+    EXPECT_EQ(doc.at("count").asU64(),
+              18446744073709551615ull >> 12);
+    EXPECT_DOUBLE_EQ(doc.at("ratio").asNumber(), 0.125);
+    EXPECT_EQ(doc.at("name").asString(), "x\ny");
+    EXPECT_EQ(doc.at("list").size(), 2u);
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset)
+{
+    EXPECT_THROW(parseJson(""), JsonParseError);
+    EXPECT_THROW(parseJson("{"), JsonParseError);
+    EXPECT_THROW(parseJson("[1, 2"), JsonParseError);
+    EXPECT_THROW(parseJson(R"({"a" 1})"), JsonParseError);
+    EXPECT_THROW(parseJson(R"({"a": 1,})"), JsonParseError);
+    EXPECT_THROW(parseJson("\"unterminated"), JsonParseError);
+    EXPECT_THROW(parseJson("nul"), JsonParseError);
+    // Trailing garbage after a complete document.
+    EXPECT_THROW(parseJson("{} x"), JsonParseError);
+    try {
+        parseJson("[true, nope]");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("offset"),
+                  std::string::npos);
+    }
+}
+
+TEST(JsonParse, AccessorKindMismatchesThrow)
+{
+    const JsonValue doc = parseJson(R"({"s": "text", "n": 7})");
+    EXPECT_THROW((void)doc.at("s").asNumber(), JsonParseError);
+    EXPECT_THROW((void)doc.at("n").asString(), JsonParseError);
+    EXPECT_THROW((void)doc.at("n").items(), JsonParseError);
+    EXPECT_THROW((void)doc.at("absent"), JsonParseError);
+    EXPECT_THROW((void)doc.at(std::size_t{0}), JsonParseError);
 }

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Live-telemetry tests: the sample ring, the metrics sampler, the
+ * Prometheus exposition encoder/parser and the scrape endpoint —
+ * including the pure-observer contract (sampling at a 1 ms period
+ * perturbs no study output, trace or stats dump, at any job count)
+ * and concurrent TraceSession + sampler interleaving.
+ */
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.hh"
+#include "obs/live/endpoint.hh"
+#include "obs/live/exposition.hh"
+#include "obs/live/ring.hh"
+#include "obs/live/sampler.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+#include "util/json.hh"
+#include "util/threadpool.hh"
+
+using namespace xbsp;
+using namespace xbsp::obs;
+
+namespace
+{
+
+std::shared_ptr<const MetricSample>
+sampleWithSeq(u64 seq)
+{
+    auto sample = std::make_shared<MetricSample>();
+    sample->seq = seq;
+    return sample;
+}
+
+harness::ExperimentConfig
+quickConfig(std::vector<std::string> workloads)
+{
+    harness::ExperimentConfig config;
+    config.workloads = std::move(workloads);
+    config.workScale = 0.15;
+    config.study = harness::defaultStudyConfig();
+    config.study.intervalTarget = 100000;
+    config.verbose = false;
+    return config;
+}
+
+/** Figure tables of a fresh suite run, rendered to text. */
+std::string
+renderedFigures(const std::vector<std::string>& workloads)
+{
+    harness::ExperimentSuite suite(quickConfig(workloads));
+    std::ostringstream os;
+    suite.figure3().print(os);
+    suite.figure4().print(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(PromSeriesName, SanitizesDottedPaths)
+{
+    EXPECT_EQ(promSeriesName("kmeans.estep.distances"),
+              "xbsp_kmeans_estep_distances");
+    EXPECT_EQ(promSeriesName("store.hits"), "xbsp_store_hits");
+    EXPECT_EQ(promSeriesName("weird-path:x/y"), "xbsp_weird_path_x_y");
+    EXPECT_EQ(promSeriesName(""), "xbsp_");
+}
+
+TEST(SampleRing, LatestAndPublishedTrackPushes)
+{
+    SampleRing ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.published(), 0u);
+    EXPECT_EQ(ring.latest(), nullptr);
+
+    ring.push(sampleWithSeq(1));
+    ring.push(sampleWithSeq(2));
+    EXPECT_EQ(ring.published(), 2u);
+    ASSERT_NE(ring.latest(), nullptr);
+    EXPECT_EQ(ring.latest()->seq, 2u);
+}
+
+TEST(SampleRing, WindowIsOldestFirstAndBoundedByCapacity)
+{
+    SampleRing ring(4);
+    for (u64 seq = 1; seq <= 10; ++seq)
+        ring.push(sampleWithSeq(seq));
+    EXPECT_EQ(ring.published(), 10u);
+
+    const auto window = ring.window(8);
+    ASSERT_EQ(window.size(), 4u);  // capacity-bounded
+    EXPECT_EQ(window.front()->seq, 7u);
+    EXPECT_EQ(window.back()->seq, 10u);
+    for (std::size_t i = 1; i < window.size(); ++i)
+        EXPECT_LT(window[i - 1]->seq, window[i]->seq);
+
+    const auto two = ring.window(2);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two.front()->seq, 9u);
+    EXPECT_EQ(two.back()->seq, 10u);
+}
+
+TEST(MetricsSampler, SnapshotsCountersDistributionsAndTimers)
+{
+    StatRegistry registry;
+    registry.counter("alpha.count").add(7);
+    registry.distribution("beta.dist").sample(3);
+    registry.distribution("beta.dist").sample(5);
+    registry.timer("gamma.time").addNanos(1000);
+
+    MetricsSampler sampler(registry, {});
+    sampler.sampleOnce();
+    const auto sample = sampler.latest();
+    ASSERT_NE(sample, nullptr);
+    EXPECT_EQ(sample->seq, 1u);
+    ASSERT_EQ(sample->stats.size(), 3u);
+
+    // liveStats() walks the sorted path map.
+    EXPECT_EQ(sample->stats[0].path, "alpha.count");
+    EXPECT_EQ(sample->stats[0].kind, StatKind::Counter);
+    EXPECT_EQ(sample->stats[0].value, 7u);
+    EXPECT_EQ(sample->stats[1].path, "beta.dist");
+    EXPECT_EQ(sample->stats[1].kind, StatKind::Distribution);
+    EXPECT_EQ(sample->stats[1].value, 8u);   // sum
+    EXPECT_EQ(sample->stats[1].count, 2u);
+    EXPECT_EQ(sample->stats[2].path, "gamma.time");
+    EXPECT_EQ(sample->stats[2].kind, StatKind::Timer);
+    EXPECT_EQ(sample->stats[2].value, 1000u);
+    EXPECT_EQ(sample->stats[2].count, 1u);
+
+    // First sample: deltas equal the cumulative values.
+    EXPECT_EQ(sample->stats[0].deltaValue, 7u);
+}
+
+TEST(MetricsSampler, DeltasTrackChangesBetweenSamples)
+{
+    StatRegistry registry;
+    registry.counter("work.items").add(10);
+
+    MetricsSampler sampler(registry, {});
+    sampler.sampleOnce();
+    registry.counter("work.items").add(5);
+    registry.counter("late.arrival").add(2);  // registered mid-run
+    sampler.sampleOnce();
+
+    const auto sample = sampler.latest();
+    ASSERT_NE(sample, nullptr);
+    EXPECT_EQ(sample->seq, 2u);
+    ASSERT_EQ(sample->stats.size(), 2u);
+    EXPECT_EQ(sample->stats[0].path, "late.arrival");
+    EXPECT_EQ(sample->stats[0].deltaValue, 2u);  // new series
+    EXPECT_EQ(sample->stats[1].path, "work.items");
+    EXPECT_EQ(sample->stats[1].value, 15u);
+    EXPECT_EQ(sample->stats[1].deltaValue, 5u);
+    EXPECT_GT(sample->deltaNanos, 0u);
+}
+
+TEST(MetricsSampler, IsAPureObserverOfTheRegistry)
+{
+    StatRegistry registry;
+    registry.counter("only.stat").add(1);
+    const std::string before = registry.jsonString(true);
+
+    MetricsSampler sampler(registry, {1, 8});
+    sampler.start();
+    sampler.sampleOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    sampler.stop();
+    EXPECT_GE(sampler.ticks(), 2u);
+
+    // Sampling registered nothing and mutated nothing.
+    EXPECT_EQ(registry.jsonString(true), before);
+}
+
+TEST(MetricsSampler, BackgroundThreadHonoursStartStop)
+{
+    StatRegistry registry;
+    MetricsSampler sampler(registry, {1, 16});
+    EXPECT_FALSE(sampler.running());
+    sampler.start();
+    EXPECT_TRUE(sampler.running());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    const u64 ticks = sampler.ticks();
+    EXPECT_GE(ticks, 1u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(sampler.ticks(), ticks);  // really stopped
+    sampler.start();                    // restartable
+    sampler.stop();
+}
+
+TEST(Exposition, RendersEveryKindWithTypesAndParsesBack)
+{
+    MetricSample sample;
+    sample.seq = 3;
+    sample.deltaNanos = 500'000'000;  // 0.5 s window
+    sample.poolWorkers = 4;
+    sample.progressDone = 10;
+    sample.progressTotal = 40;
+    sample.progressEtaSeconds = 12.5;
+    sample.stats.push_back(
+        {"store.hits", StatKind::Counter, 20, 0, 10, 0});
+    sample.stats.push_back(
+        {"kmeans.iters", StatKind::Distribution, 100, 4, 50, 2});
+    sample.stats.push_back(
+        {"scheduler.nodeBusy", StatKind::Timer, 2'000'000'000, 8,
+         250'000'000, 2});
+
+    const std::string text = renderExposition(sample);
+    EXPECT_NE(text.find("# TYPE xbsp_store_hits_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("xbsp_store_hits_total 20\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE xbsp_store_hits_rate gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("xbsp_kmeans_iters_sum 100\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("xbsp_kmeans_iters_count 4\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("xbsp_scheduler_nodeBusy_nanos_total "
+                        "2000000000\n"),
+              std::string::npos);
+
+    const auto series = parseExposition(text);
+    EXPECT_DOUBLE_EQ(series.at("xbsp_store_hits_total"), 20.0);
+    EXPECT_DOUBLE_EQ(series.at("xbsp_store_hits_rate"), 20.0);
+    EXPECT_DOUBLE_EQ(series.at("xbsp_scheduler_nodeBusy_busy_ratio"),
+                     0.5);
+    EXPECT_DOUBLE_EQ(series.at("xbsp_sampler_samples_total"), 3.0);
+    EXPECT_DOUBLE_EQ(series.at("xbsp_pool_workers"), 4.0);
+    EXPECT_DOUBLE_EQ(series.at("xbsp_progress_done"), 10.0);
+    EXPECT_DOUBLE_EQ(series.at("xbsp_progress_eta_seconds"), 12.5);
+}
+
+TEST(Exposition, EverySeriesHasATypeCommentBeforeIt)
+{
+    MetricSample sample;
+    sample.seq = 1;
+    sample.stats.push_back(
+        {"a.counter", StatKind::Counter, 1, 0, 1, 0});
+    const std::string text = renderExposition(sample);
+
+    // Walk line-by-line: any sample line must have been preceded by a
+    // "# TYPE <name> ..." comment for exactly its series name.
+    std::istringstream is(text);
+    std::string line;
+    std::set<std::string> typed;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line.rfind("# TYPE ", 0) == 0) {
+            const std::string rest = line.substr(7);
+            typed.insert(rest.substr(0, rest.find(' ')));
+            continue;
+        }
+        ASSERT_NE(line[0], '#');
+        const std::string name = line.substr(0, line.find(' '));
+        EXPECT_TRUE(typed.count(name)) << "untyped series " << name;
+    }
+}
+
+TEST(Exposition, ParserRejectsGarbage)
+{
+    EXPECT_THROW(parseExposition("name_without_value\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseExposition("name not-a-number\n"),
+                 std::runtime_error);
+    EXPECT_TRUE(parseExposition("# only a comment\n\n").empty());
+}
+
+TEST(MetricsEndpoint, ServesExpositionOverUnixSocket)
+{
+    StatRegistry registry;
+    registry.counter("served.requests").add(42);
+    MetricsSampler sampler(registry, {});
+
+    char pathTemplate[] = "/tmp/xbsp-live-test-XXXXXX";
+    const int fd = mkstemp(pathTemplate);
+    ASSERT_GE(fd, 0);
+    close(fd);
+    const std::string socketPath = pathTemplate;
+
+    MetricsEndpoint endpoint(
+        {socketPath, -1}, [&sampler] {
+            sampler.sampleOnce();
+            return renderExposition(*sampler.latest());
+        });
+    endpoint.start();
+    EXPECT_TRUE(endpoint.running());
+
+    const std::string body = httpGetUnix(socketPath);
+    const auto series = parseExposition(body);
+    EXPECT_DOUBLE_EQ(series.at("xbsp_served_requests_total"), 42.0);
+
+    // Scrape again: the tick counter advances per request.
+    const auto again = parseExposition(httpGetUnix(socketPath));
+    EXPECT_GT(again.at("xbsp_sampler_samples_total"),
+              series.at("xbsp_sampler_samples_total"));
+
+    endpoint.stop();
+    EXPECT_FALSE(endpoint.running());
+    // Socket unlinked on stop.
+    EXPECT_NE(access(socketPath.c_str(), F_OK), 0);
+}
+
+TEST(MetricsEndpoint, ServesOnEphemeralTcpPort)
+{
+    StatRegistry registry;
+    registry.counter("tcp.hits").add(5);
+    MetricsSampler sampler(registry, {});
+
+    MetricsEndpoint endpoint({"", 0}, [&sampler] {
+        sampler.sampleOnce();
+        return renderExposition(*sampler.latest());
+    });
+    endpoint.start();
+    const int port = endpoint.boundTcpPort();
+    ASSERT_GT(port, 0);
+
+    const auto series = parseExposition(httpGetTcp(port));
+    EXPECT_DOUBLE_EQ(series.at("xbsp_tcp_hits_total"), 5.0);
+    endpoint.stop();
+}
+
+TEST(LiveTelemetry, SamplerAndTraceInterleaveCleanly)
+{
+    // Satellite coverage: a 1 ms sampler hammering the global
+    // registry while TraceSession records pipeline spans, at 1 and 8
+    // jobs.  The trace must stay valid JSON and the deterministic
+    // stats sections must be byte-identical across job counts.
+    //
+    // One throwaway run first: process-lifetime caches (the engine's
+    // compiled-trace cache, the one-shot SIMD dispatch fact) warm up
+    // on the first study in a process, and this test compares runs
+    // *within* one process — both measured runs must be equally warm.
+    renderedFigures({"gzip"});
+
+    auto runTraced = [](u64 jobs) {
+        StatRegistry::global().reset();
+        TraceSession::global().clear();
+        TraceSession::global().enable();
+        MetricsSampler sampler(StatRegistry::global(), {1, 64});
+        sampler.start();
+        setGlobalJobs(jobs);
+        renderedFigures({"gzip"});
+        setGlobalJobs(0);
+        sampler.stop();
+        TraceSession::global().disable();
+
+        std::ostringstream trace;
+        TraceSession::global().writeJson(trace);
+        return std::make_pair(
+            StatRegistry::global().jsonString(false), trace.str());
+    };
+
+    const auto [stats1, trace1] = runTraced(1);
+    const auto [stats8, trace8] = runTraced(8);
+    TraceSession::global().clear();
+
+    EXPECT_EQ(stats1, stats8);
+    EXPECT_NO_THROW(parseJson(trace1));
+    EXPECT_NO_THROW(parseJson(trace8));
+    EXPECT_NE(trace1.find("\"pipeline\""), std::string::npos);
+}
+
+TEST(LiveTelemetry, SamplingDoesNotPerturbSuiteReports)
+{
+    // The acceptance contract in miniature: figure tables and the
+    // deterministic stats sections are byte-identical with a 1 ms
+    // sampler attached and without one.  Warm-up run first, for the
+    // same reason as above: both measured runs must see the same
+    // process-lifetime cache state.
+    renderedFigures({"eon"});
+
+    StatRegistry::global().reset();
+    const std::string plainFigures = renderedFigures({"eon"});
+    const std::string plainStats =
+        StatRegistry::global().jsonString(false);
+
+    StatRegistry::global().reset();
+    MetricsSampler sampler(StatRegistry::global(), {1, 64});
+    sampler.start();
+    const std::string sampledFigures = renderedFigures({"eon"});
+    sampler.stop();
+    const std::string sampledStats =
+        StatRegistry::global().jsonString(false);
+    EXPECT_GE(sampler.ticks(), 1u);
+
+    EXPECT_EQ(plainFigures, sampledFigures);
+    EXPECT_EQ(plainStats, sampledStats);
+}

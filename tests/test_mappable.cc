@@ -216,8 +216,9 @@ TEST(Mappable, SingleBinaryMatchesItself)
         const bool hasDebugInfo =
             binary.markers[m].kind == bin::MarkerKind::ProcEntry ||
             binary.markers[m].line != 0;
-        if (profile.counts[m] > 0 && hasDebugInfo)
+        if (profile.counts[m] > 0 && hasDebugInfo) {
             EXPECT_NE(set.pointFor(0, m), invalidId);
+        }
     }
 }
 

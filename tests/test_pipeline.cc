@@ -107,8 +107,10 @@ TEST(TaskGraph, CommitsAndResultsIdenticalAcrossJobCounts)
             // Fan-in chains: even nodes are roots, odd nodes depend
             // on all earlier even nodes.
             std::vector<NodeId> d = (i % 2 == 1) ? deps : std::vector<NodeId>{};
+            std::string label = "n";
+            label += std::to_string(i);
             const NodeId id = graph.add(
-                "n" + std::to_string(i), "s", d,
+                std::move(label), "s", d,
                 [&results, i] { results[i] = 1000u + 7u * i; });
             if (i % 2 == 0)
                 deps.push_back(id);

@@ -82,8 +82,9 @@ TEST(FliCollector, IntervalsPartitionTheRun)
     InstrCount sum = 0;
     for (std::size_t i = 0; i < fvs.size(); ++i) {
         sum += fvs.lengths[i];
-        if (i + 1 < fvs.size())
+        if (i + 1 < fvs.size()) {
             EXPECT_GE(fvs.lengths[i], 5000u);
+        }
     }
     EXPECT_EQ(sum, pass.totalInstructions);
 

@@ -299,8 +299,9 @@ TEST(SimPointPick, FindsPhasesAndWeights)
         // Members all share the label and are ascending.
         for (std::size_t m = 0; m < phase.members.size(); ++m) {
             EXPECT_EQ(result.labels[phase.members[m]], phase.id);
-            if (m > 0)
+            if (m > 0) {
                 EXPECT_GT(phase.members[m], phase.members[m - 1]);
+            }
         }
     }
     EXPECT_NEAR(totalWeight, 1.0, 1e-9);

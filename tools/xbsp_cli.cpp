@@ -26,6 +26,17 @@
  *   xbsp cache stats|gc|clear         inspect / collect / wipe the
  *                                     artifact cache (--cache-dir or
  *                                     XBSP_CACHE_DIR)
+ *   xbsp top       --metrics-socket S [--interval-ms N] [--count N]
+ *                  [--plain]          live view of a running study:
+ *                                     scheduler utilization, per-stage
+ *                                     node counts, store hit rate,
+ *                                     E-step throughput, progress ETA
+ *                                     (scrapes the exposition endpoint
+ *                                     another xbsp process serves via
+ *                                     --metrics-socket / XBSP_METRICS)
+ *   xbsp manifest  [file]             pretty-print a provenance
+ *                                     manifest.json written by
+ *                                     --manifest-out / --stats-out
  *
  * Every command that runs pipeline stages honours --cache-dir (or the
  * XBSP_CACHE_DIR environment variable) to memoize compile, profile,
@@ -33,13 +44,20 @@
  * --no-cache to force full recomputation.
  */
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <thread>
 
 #include "binary/binary.hh"
 #include "core/regionspec.hh"
 #include "exec/compiled.hh"
 #include "harness/experiments.hh"
+#include "obs/live/endpoint.hh"
+#include "obs/live/exposition.hh"
 #include "obs/setup.hh"
 #include "pipeline/taskgraph.hh"
 #include "profile/profile.hh"
@@ -289,6 +307,217 @@ cmdCache(const Options& options)
           action);
 }
 
+/** Gauge/counter by exposition series name; 0 when absent. */
+double
+seriesValue(const std::map<std::string, double>& series,
+            const std::string& name)
+{
+    const auto it = series.find(name);
+    return it == series.end() ? 0.0 : it->second;
+}
+
+/** One rendered frame of the live view. */
+std::string
+renderTopFrame(const std::map<std::string, double>& series)
+{
+    std::string out;
+    char line[256];
+    auto add = [&out, &line] { out += line; };
+
+    const double workers =
+        std::max(1.0, seriesValue(series, "xbsp_pool_workers"));
+    const double busyRatio = seriesValue(
+        series, "xbsp_scheduler_nodeBusy_busy_ratio");
+    const double done = seriesValue(series, "xbsp_progress_done");
+    const double total = seriesValue(series, "xbsp_progress_steps");
+    const double eta =
+        seriesValue(series, "xbsp_progress_eta_seconds");
+    const double elapsed =
+        seriesValue(series, "xbsp_progress_elapsed_seconds");
+
+    std::snprintf(line, sizeof(line),
+                  "xbsp top — sample %.0f, period %.0f ms, "
+                  "%.0f workers\n",
+                  seriesValue(series, "xbsp_sampler_samples_total"),
+                  seriesValue(series, "xbsp_sample_delta_seconds") *
+                      1e3,
+                  workers);
+    add();
+    std::snprintf(line, sizeof(line),
+                  "progress  %.0f/%.0f steps   elapsed %6.1fs   ",
+                  done, total, elapsed);
+    add();
+    if (eta >= 0.0)
+        std::snprintf(line, sizeof(line), "eta %6.1fs\n", eta);
+    else
+        std::snprintf(line, sizeof(line), "eta    n/a\n");
+    add();
+    std::snprintf(line, sizeof(line),
+                  "scheduler %5.1f%% utilized (worker-busy ratio "
+                  "%.2f over %.0f workers)\n",
+                  100.0 * busyRatio / workers, busyRatio, workers);
+    add();
+
+    // Per-stage table from the scheduler.stage.<stage>.<what>
+    // counters: running = started - settled.
+    out += "\n  stage      running     done    cache  skipped\n";
+    const std::string prefix = "xbsp_scheduler_stage_";
+    std::vector<std::string> stages;
+    for (const auto& [name, value] : series) {
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        const std::string suffix = "_started_total";
+        if (name.size() <= prefix.size() + suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        stages.push_back(name.substr(
+            prefix.size(),
+            name.size() - prefix.size() - suffix.size()));
+    }
+    for (const std::string& stage : stages) {
+        const std::string base = prefix + stage;
+        const double started =
+            seriesValue(series, base + "_started_total");
+        const double settled =
+            seriesValue(series, base + "_settled_total");
+        const double cache =
+            seriesValue(series, base + "_cache_total");
+        const double skipped =
+            seriesValue(series, base + "_skipped_total");
+        std::snprintf(line, sizeof(line),
+                      "  %-9s %8.0f %8.0f %8.0f %8.0f\n",
+                      stage.c_str(), started - settled, settled,
+                      cache, skipped);
+        add();
+    }
+
+    const double hits = seriesValue(series, "xbsp_store_hits_total");
+    const double misses =
+        seriesValue(series, "xbsp_store_misses_total");
+    const double probes = hits + misses;
+    std::snprintf(line, sizeof(line),
+                  "\nstore     %.0f hits / %.0f misses (%5.1f%% hit "
+                  "rate)\n",
+                  hits, misses,
+                  probes > 0.0 ? 100.0 * hits / probes : 0.0);
+    add();
+    std::snprintf(
+        line, sizeof(line),
+        "e-step    %.2f Mdist/s (%.0f distances total)\n",
+        seriesValue(series, "xbsp_kmeans_estep_distances_rate") / 1e6,
+        seriesValue(series, "xbsp_kmeans_estep_distances_total"));
+    add();
+    return out;
+}
+
+int
+cmdTop(const Options& options)
+{
+    std::string socketPath = options.getString("metrics-socket");
+    if (socketPath.empty()) {
+        if (const char* env = std::getenv("XBSP_METRICS"))
+            socketPath = env;
+    }
+    std::string tcpSpec = options.getString("metrics-tcp");
+    if (tcpSpec.empty()) {
+        if (const char* env = std::getenv("XBSP_METRICS_TCP"))
+            tcpSpec = env;
+    }
+    const int tcpPort =
+        tcpSpec.empty() ? -1 : std::atoi(tcpSpec.c_str());
+    if (socketPath.empty() && tcpPort < 0)
+        fatal("top needs --metrics-socket PATH (or --metrics-tcp "
+              "PORT) pointing at a run started with the same flag");
+
+    const u64 intervalMs =
+        std::max<u64>(1, options.getUint("interval-ms"));
+    const u64 frames = options.getUint("count");  // 0 = until gone
+    const bool plain = options.getBool("plain");
+
+    for (u64 frame = 0; frames == 0 || frame < frames; ++frame) {
+        std::string body;
+        try {
+            body = socketPath.empty()
+                       ? obs::httpGetTcp(tcpPort)
+                       : obs::httpGetUnix(socketPath);
+        } catch (const std::exception& e) {
+            if (frame == 0)
+                fatal("cannot scrape metrics endpoint: {}", e.what());
+            inform("metrics endpoint gone ({}); run finished?",
+                   e.what());
+            return 0;
+        }
+        const std::map<std::string, double> series =
+            obs::parseExposition(body);
+        if (!plain)
+            std::fputs("\x1b[H\x1b[2J", stdout);
+        std::fputs(renderTopFrame(series).c_str(), stdout);
+        std::fflush(stdout);
+        if (frames == 0 || frame + 1 < frames)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(intervalMs));
+    }
+    return 0;
+}
+
+int
+cmdManifest(const Options& options)
+{
+    const std::string path = options.positional().size() > 1
+                                 ? options.positional()[1]
+                                 : std::string("manifest.json");
+    JsonValue doc;
+    try {
+        doc = parseJsonFile(path);
+    } catch (const std::exception& e) {
+        fatal("cannot read manifest '{}': {}", path, e.what());
+    }
+
+    const JsonValue* runs = doc.find("runs");
+    if (!runs || !runs->isArray())
+        fatal("'{}' is not a manifest (no \"runs\" array)", path);
+
+    for (std::size_t r = 0; r < runs->size(); ++r) {
+        const JsonValue& run = runs->at(r);
+        std::printf("run %zu: %s  (config %s, %llu workers, "
+                    "%.1f ms)\n",
+                    r, run.at("label").asString().c_str(),
+                    run.at("configDigest").asString().empty()
+                        ? "-"
+                        : run.at("configDigest").asString().c_str(),
+                    static_cast<unsigned long long>(
+                        run.at("workers").asU64()),
+                    static_cast<double>(run.at("wallNanos").asU64()) /
+                        1e6);
+        std::printf("  %4s  %-9s %-8s %-5s %10s %10s %3s  %s\n",
+                    "node", "stage", "status", "probe", "wall-ms",
+                    "busy-ms", "w", "label");
+        const JsonValue& nodes = run.at("nodes");
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const JsonValue& node = nodes.at(i);
+            const std::string& key = node.at("storeKey").asString();
+            std::printf(
+                "  %4llu  %-9s %-8s %-5s %10.2f %10.2f %3llu  %s%s%s\n",
+                static_cast<unsigned long long>(
+                    node.at("node").asU64()),
+                node.at("stage").asString().c_str(),
+                node.at("status").asString().c_str(),
+                node.at("probe").asString().c_str(),
+                static_cast<double>(node.at("wallNanos").asU64()) /
+                    1e6,
+                static_cast<double>(node.at("busyNanos").asU64()) /
+                    1e6,
+                static_cast<unsigned long long>(
+                    node.at("worker").asU64()),
+                node.at("label").asString().c_str(),
+                key.empty() ? "" : "  key=",
+                key.empty() ? "" : key.substr(0, 12).c_str());
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -296,7 +525,7 @@ main(int argc, char** argv)
 {
     Options options(
         "xbsp <command> [options] — commands: list, describe, bbv, "
-        "simpoints, study, graph, cache");
+        "simpoints, study, graph, cache, top, manifest");
     options.addString("workload", "workload name", "swim");
     options.addString("target", "binary target (32u/32o/64u/64o)",
                       "32u");
@@ -326,6 +555,12 @@ main(int argc, char** argv)
                     "recomputation)", true);
     options.addUint("budget-mb", "byte budget for `cache gc`, in MiB",
                     1024);
+    options.addUint("interval-ms", "refresh period for `top`", 1000);
+    options.addUint("count",
+                    "frames to render before exiting `top` (0 = "
+                    "until the endpoint goes away)", 0);
+    options.addBool("plain",
+                    "no screen clearing between `top` frames", false);
     options.addString("simd",
                       "kernel dispatch: off|scalar|auto|on|avx2|neon "
                       "(default: XBSP_SIMD, else best available; pure "
@@ -338,6 +573,19 @@ main(int argc, char** argv)
     obs::addCliOptions(options);
     if (!options.parse(argc, argv))
         return 0;
+
+    // Client-side commands: they attach to (or read the output of)
+    // another process and must not start an ObsSession of their own —
+    // --metrics-socket here names the endpoint to scrape, not one to
+    // serve.
+    if (!options.positional().empty()) {
+        const std::string& command = options.positional()[0];
+        if (command == "top")
+            return cmdTop(options);
+        if (command == "manifest")
+            return cmdManifest(options);
+    }
+
     options.applyJobs();
 
     // Explicit --simd wins over the XBSP_SIMD environment variable
