@@ -16,11 +16,15 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <thread>
 
 #include "bench_clustering_common.hh"
 #include "bench_common.hh"
 #include "bench_engine_common.hh"
 #include "bench_kernels_common.hh"
+#include "dist/client.hh"
+#include "dist/server.hh"
+#include "dist/spawn.hh"
 #include "obs/manifest/manifest.hh"
 #include "obs/setup.hh"
 #include "obs/stats.hh"
@@ -325,6 +329,117 @@ main(int argc, char** argv)
                "({:.2f}x over {} workloads)",
                barrierSeconds / std::max(graphSeconds, 1e-9),
                abNames.size());
+    }
+
+    // Local-vs-distributed benchmark: the same suite request rendered
+    // in-process and through an in-process `xbsp serve` executor
+    // backed by two spawned worker processes, both against cold
+    // scratch caches, with the reports byte-compared.  Measures what
+    // remote stage execution costs/buys on one machine; the multi-
+    // host win is the same protocol with real network latency.
+    {
+        namespace fs = std::filesystem;
+        using clock = std::chrono::steady_clock;
+
+        dist::SuiteRequest request;
+        request.figures = {"figure3"};
+        request.workloads.assign(
+            names.begin(),
+            names.begin() + static_cast<std::ptrdiff_t>(
+                                std::min<std::size_t>(names.size(), 2)));
+        request.workScale = config.workScale;
+        request.intervalTarget = config.study.intervalTarget;
+        request.maxK = config.study.simpoint.maxK;
+        request.seed = config.study.simpoint.seed;
+
+        const fs::path scratch = "BENCH_dist.cache";
+        std::error_code ec;
+
+        fs::remove_all(scratch, ec);
+        store::ArtifactStore::configureGlobal(
+            {(scratch / "local").string(), true});
+        auto start = clock::now();
+        const std::string localReport =
+            dist::renderSuiteReport(request, nullptr);
+        const double localSeconds =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+
+        store::ArtifactStore::configureGlobal(
+            {(scratch / "dist").string(), true});
+        obs::StatRegistry& registry = obs::StatRegistry::global();
+        const u64 completed0 =
+            registry.counterValue("dist.tasks.completed");
+        double distSeconds = 0.0;
+        std::string distReport;
+        std::size_t workerCount = 0;
+        {
+            dist::ServerOptions so;
+            so.unixPath = (scratch / "sock").string();
+            dist::Server server(so);
+            std::thread serveThread([&server] { server.serve(); });
+            std::vector<int> workerPids;
+            for (int i = 0; i < 2; ++i) {
+                const int pid = dist::spawnProcess(
+                    {XBSP_CLI_PATH, "work", "--connect",
+                     "unix:" + so.unixPath, "--worker-name",
+                     "bench-w" + std::to_string(i)});
+                if (pid > 0)
+                    workerPids.push_back(pid);
+            }
+            for (int i = 0;
+                 i < 200 && server.executor().workerCount() <
+                                workerPids.size();
+                 ++i)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(25));
+            workerCount = server.executor().workerCount();
+            if (workerCount == 0)
+                warn("dist bench: no workers joined (is {} runnable?);"
+                     " measuring the local-fallback path",
+                     XBSP_CLI_PATH);
+            start = clock::now();
+            distReport = dist::renderSuiteReport(request,
+                                                 &server.executor());
+            distSeconds =
+                std::chrono::duration<double>(clock::now() - start)
+                    .count();
+            server.stop();
+            serveThread.join();
+            for (const int pid : workerPids)
+                dist::waitProcess(pid);
+        }
+        const u64 tasksCompleted =
+            registry.counterValue("dist.tasks.completed") - completed0;
+        const bool identical = distReport == localReport;
+        if (!identical)
+            warn("dist bench: distributed report differs from the "
+                 "local run (this is a bug)");
+        store::ArtifactStore::configureGlobal({});
+        fs::remove_all(scratch, ec);
+
+        std::ofstream distJson("BENCH_dist.json");
+        if (!distJson)
+            fatal("cannot write 'BENCH_dist.json'");
+        JsonWriter w(distJson);
+        w.beginObject();
+        w.member("jobs", configuredJobs());
+        w.key("workloads").beginArray();
+        for (const std::string& name : request.workloads)
+            w.value(name);
+        w.endArray();
+        w.member("workers", workerCount);
+        w.member("local_seconds", localSeconds, 3);
+        w.member("dist_seconds", distSeconds, 3);
+        w.member("speedup",
+                 localSeconds / std::max(distSeconds, 1e-9), 2);
+        w.member("remote_tasks_completed", tasksCompleted);
+        w.member("identical_reports", identical);
+        w.endObject();
+        distJson << '\n';
+        inform("wrote local-vs-distributed summary to BENCH_dist.json"
+               " ({} workers, reports {})",
+               workerCount, identical ? "identical" : "DIFFER");
     }
     return 0;
 }

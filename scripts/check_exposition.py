@@ -17,7 +17,10 @@ emits -- # TYPE comments, bare `name value` samples, no labels:
 Exits 0 and prints a one-line summary on success; exits 1 with the
 offending line on the first violation.  Optional --require NAME flags
 assert that specific series are present (CI uses this to prove the
-scrape actually hit a live run).
+scrape actually hit a live run); --require-prefix PREFIX asserts that
+at least one series starts with the prefix (CI uses this to prove a
+whole subsystem — e.g. the xbsp_dist_* distributed executor — showed
+up without naming every series).
 """
 
 import argparse
@@ -35,7 +38,8 @@ def fail(lineno: int, line: str, why: str) -> None:
     sys.exit(1)
 
 
-def check(text: str, required: list[str]) -> int:
+def check(text: str, required: list[str],
+          required_prefixes: list[str]) -> int:
     typed: dict[str, str] = {}
     sampled: set[str] = set()
 
@@ -91,6 +95,14 @@ def check(text: str, required: list[str]) -> int:
             f"check_exposition: required series missing: "
             f"{', '.join(missing)}\n")
         sys.exit(1)
+    missing_prefixes = sorted(
+        p for p in set(required_prefixes)
+        if not any(name.startswith(p) for name in sampled))
+    if missing_prefixes:
+        sys.stderr.write(
+            f"check_exposition: no series with required prefix: "
+            f"{', '.join(missing_prefixes)}\n")
+        sys.exit(1)
     print(f"check_exposition: OK ({len(sampled)} series, "
           f"{sum(1 for k in typed.values() if k == 'counter')} "
           f"counters)")
@@ -106,6 +118,10 @@ def main() -> None:
                         metavar="NAME",
                         help="fail unless this series is present "
                              "(repeatable)")
+    parser.add_argument("--require-prefix", action="append",
+                        default=[], metavar="PREFIX",
+                        help="fail unless at least one series starts "
+                             "with this prefix (repeatable)")
     args = parser.parse_args()
     if args.path == "-":
         text = sys.stdin.read()
@@ -115,7 +131,7 @@ def main() -> None:
     if not text.strip():
         sys.stderr.write("check_exposition: empty document\n")
         sys.exit(1)
-    check(text, args.require)
+    check(text, args.require, args.require_prefix)
 
 
 if __name__ == "__main__":

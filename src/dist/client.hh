@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Client side of `xbsp submit`: one SuiteRequest in, one
+ * SuiteResponse out, over a single short-lived connection.
+ */
+
+#ifndef XBSP_DIST_CLIENT_HH
+#define XBSP_DIST_CLIENT_HH
+
+#include <string>
+
+#include "dist/wire.hh"
+
+namespace xbsp::dist
+{
+
+/**
+ * Send `request` to the daemon at `addressSpec` and wait for the
+ * report.  `timeoutMs` bounds the whole round-trip (suites can run
+ * for minutes; < 0 waits forever).  Throws std::runtime_error on
+ * connection or protocol failure; a server-side failure comes back
+ * as ok=false with the error text instead.
+ */
+SuiteResponse submitSuite(const std::string& addressSpec,
+                          const SuiteRequest& request,
+                          int timeoutMs = -1);
+
+} // namespace xbsp::dist
+
+#endif // XBSP_DIST_CLIENT_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Scheduler-side remote executor: the pipeline::RemoteBackend that
+ * ships probe-missed stage tasks to connected worker processes.
+ *
+ * Structure: one I/O thread per worker connection, all pulling from a
+ * shared FIFO of pending tasks.  Completions report back through the
+ * DoneFn the scheduler registered; the TaskGraph run loop remains the
+ * only merge point, so commit order (and therefore every figure and
+ * manifest byte) is identical to a purely local run.
+ *
+ * Robustness model:
+ *   - single-flight: tasks with equal spec keys coalesce; one flies,
+ *     all callbacks fire on its completion (dist.tasks.coalesced).
+ *   - per-task deadline: a worker that neither replies nor dies
+ *     within the timeout is declared dead and its connection closed.
+ *   - bounded retry: a task whose worker died is requeued up to
+ *     `maxRetries` times (dist.tasks.retries), then failed.
+ *   - fail fast: with zero live workers a submit fails immediately,
+ *     so the scheduler's local-pool fallback kicks in without delay.
+ *   - a worker-reported stage *error* (as opposed to worker death) is
+ *     deterministic and fails the task without retry.
+ *
+ * A failed task is never fatal: the scheduler reruns the stage on the
+ * local pool (see taskgraph.cc), so workers only ever accelerate.
+ */
+
+#ifndef XBSP_DIST_EXECUTOR_HH
+#define XBSP_DIST_EXECUTOR_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/taskgraph.hh"
+#include "util/types.hh"
+
+namespace xbsp::dist
+{
+
+class Executor : public pipeline::RemoteBackend
+{
+  public:
+    /**
+     * `taskTimeoutMs` bounds one stage round-trip (send to TaskDone);
+     * `maxRetries` bounds re-dispatches after worker death.
+     */
+    explicit Executor(int taskTimeoutMs = 120'000, int maxRetries = 2);
+    ~Executor() override;
+
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    /**
+     * Adopt an accepted, hello-complete worker connection.  The
+     * executor owns `fd` from here and services it on a dedicated
+     * thread until the worker dies or drain() runs.
+     */
+    void addWorker(int fd, const std::string& workerName);
+
+    /** Live (connected, not yet lost) worker count. */
+    std::size_t workerCount() const;
+
+    /**
+     * Stop accepting work, send Shutdown to every live worker, fail
+     * all queued/in-flight tasks, and join the I/O threads.  Called
+     * on SIGTERM-initiated server drain and from the destructor.
+     */
+    void drain();
+
+    // pipeline::RemoteBackend
+    void submit(const pipeline::RemoteSpec& spec,
+                DoneFn done) override;
+
+  private:
+    struct Flight
+    {
+        std::string key;
+        std::string payload;
+        std::vector<DoneFn> callbacks;
+        int retries = 0;
+    };
+
+    void serviceWorker(int fd, std::string workerName);
+    /** Fire a flight's callbacks (outside the lock). */
+    static void settle(Flight&& flight, bool ok,
+                       const std::string& workerName);
+    /** Requeue after worker death, or fail when retries exhausted. */
+    void requeueOrFail(Flight&& flight);
+
+    mutable std::mutex mutex;
+    std::condition_variable workAvailable;
+    std::deque<std::string> queue;  ///< keys with a pending Flight
+    std::unordered_map<std::string, Flight> flights;  ///< by key
+    std::vector<std::thread> threads;
+    std::vector<int> workerFds;
+    std::size_t liveWorkers = 0;
+    u64 nextTaskId = 1;
+    bool stopping = false;
+    const int taskTimeoutMs;
+    const int maxRetries;
+};
+
+} // namespace xbsp::dist
+
+#endif // XBSP_DIST_EXECUTOR_HH

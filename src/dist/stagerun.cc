@@ -1,0 +1,93 @@
+#include "dist/stagerun.hh"
+
+#include <stdexcept>
+
+#include "sim/serial.hh"
+#include "sim/stages.hh"
+#include "util/format.hh"
+#include "util/serial.hh"
+#include "workloads/workloads.hh"
+
+namespace xbsp::dist
+{
+
+std::string
+encodeStageTask(const StageTask& task)
+{
+    serial::Encoder e;
+    e.str(task.workload);
+    e.f64(task.workScale);
+    sim::encodeStudyConfig(e, task.config);
+    e.str(task.stage);
+    e.varint(task.index);
+    return e.take();
+}
+
+StageTask
+decodeStageTask(const std::string& payload)
+{
+    serial::Decoder d(payload);
+    StageTask task;
+    task.workload = d.str();
+    task.workScale = d.f64();
+    task.config = sim::decodeStudyConfig(d);
+    task.stage = d.str();
+    task.index = d.varint();
+    d.expectEnd();
+    return task;
+}
+
+std::string
+stageTaskKey(const StageTask& task)
+{
+    // The encoded payload already covers every field bit-exactly, so
+    // its digest is the canonical single-flight identity.
+    serial::Hasher h;
+    h.str(encodeStageTask(task));
+    return h.finish().hex();
+}
+
+void
+runStageTask(const StageTask& task)
+{
+    if (!workloads::findWorkload(task.workload))
+        throw std::runtime_error(
+            format("unknown workload '{}'", task.workload));
+
+    sim::StudyBuild build(
+        workloads::makeWorkload(task.workload, task.workScale),
+        task.config);
+
+    // Replay the dependency prefix; memoized prefix stages resolve
+    // from the shared store, so only the missed stage costs anything.
+    build.compile();
+    if (task.stage == "compile")
+        return;
+
+    if (task.stage == "profile") {
+        if (task.index >= build.binaryCount())
+            throw std::runtime_error(
+                format("profile index {} out of range", task.index));
+        build.profile(task.index);
+        return;
+    }
+
+    if (task.stage == "vli" || task.stage == "binary") {
+        for (std::size_t b = 0; b < build.binaryCount(); ++b)
+            build.profile(b);
+        build.match();
+        build.vliCluster();
+        if (task.stage == "vli")
+            return;
+        if (task.index >= build.binaryCount())
+            throw std::runtime_error(
+                format("binary index {} out of range", task.index));
+        build.binary(task.index);
+        return;
+    }
+
+    throw std::runtime_error(
+        format("unknown stage kind '{}'", task.stage));
+}
+
+} // namespace xbsp::dist

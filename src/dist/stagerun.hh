@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Stage-task payloads and their worker-side replay.
+ *
+ * A StageTask names one memoized pipeline stage by its full
+ * parameterization — workload name + scale (programs are rebuilt from
+ * the registry, never shipped), the complete StudyConfig, the stage
+ * kind, and the per-binary index where one applies.  Two processes
+ * holding the same StageTask compute the same artifact-store keys, so
+ * the worker's results land exactly where the scheduler's probe will
+ * look for them.
+ *
+ * runStageTask() replays the dependency prefix of the requested stage
+ * through a throwaway StudyBuild.  Every prefix stage is either
+ * memoized (compile, profile, the VLI build, detailed runs — all
+ * served from the shared store) or cheap (match), so replay cost is
+ * dominated by the one stage that actually missed.  Artifacts publish
+ * through the shared ArtifactStore as a side effect; the reply frame
+ * carries no data (see dist/wire).
+ */
+
+#ifndef XBSP_DIST_STAGERUN_HH
+#define XBSP_DIST_STAGERUN_HH
+
+#include <string>
+
+#include "sim/study.hh"
+
+namespace xbsp::dist
+{
+
+/** One remote-eligible stage, fully parameterized. */
+struct StageTask
+{
+    std::string workload;      ///< registry name (workloads::suite)
+    double workScale = 1.0;    ///< trip-count multiplier
+    sim::StudyConfig config;   ///< complete study parameterization
+    std::string stage;         ///< "compile" | "profile" | "vli" | "binary"
+    u64 index = 0;             ///< binary index (profile/binary only)
+};
+
+/** Serialize to the opaque Task.payload wire field. */
+std::string encodeStageTask(const StageTask& task);
+
+/** Inverse of encodeStageTask; throws serial::DecodeError. */
+StageTask decodeStageTask(const std::string& payload);
+
+/**
+ * Single-flight identity: a digest over every field.  Tasks with
+ * equal keys compute byte-identical artifacts, so the executor runs
+ * one and fans the completion out to all waiters.
+ */
+std::string stageTaskKey(const StageTask& task);
+
+/**
+ * Execute the stage (and its dependency prefix) in this process,
+ * publishing artifacts through the global ArtifactStore.  Throws on
+ * unknown workloads, malformed stage names, or stage failure.
+ */
+void runStageTask(const StageTask& task);
+
+} // namespace xbsp::dist
+
+#endif // XBSP_DIST_STAGERUN_HH

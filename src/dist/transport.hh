@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Stream-socket transport for the distributed executor: unix-domain
+ * sockets and loopback TCP, following the idioms of the metrics
+ * endpoint (src/obs/live/endpoint.cc), plus blocking frame I/O with
+ * deadlines on top of dist/wire framing.
+ *
+ * Addresses are strings: "unix:PATH" (or a bare path) for a
+ * unix-domain socket, "tcp:PORT" for 127.0.0.1:PORT.  Every call is
+ * synchronous; concurrency is the caller's business (the executor
+ * runs one I/O thread per worker connection).
+ */
+
+#ifndef XBSP_DIST_TRANSPORT_HH
+#define XBSP_DIST_TRANSPORT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace xbsp::dist
+{
+
+/** Parsed peer address. */
+struct Address
+{
+    bool tcp = false;
+    std::string path;  ///< unix socket path (when !tcp)
+    int port = 0;      ///< loopback TCP port (when tcp)
+
+    /** Render back to the canonical "unix:..."/"tcp:..." form. */
+    std::string text() const;
+};
+
+/**
+ * Parse "unix:PATH", "tcp:PORT", or a bare path (= unix).  Throws
+ * std::runtime_error on a malformed spec.
+ */
+Address parseAddress(const std::string& spec);
+
+/**
+ * Listening socket over one or both transports.  accept() is
+ * poll-driven so stop() (from any thread) interrupts it promptly.
+ */
+class Listener
+{
+  public:
+    /**
+     * Bind a unix-domain listener at `unixPath` (pre-unlinked, like
+     * the metrics endpoint) and/or a loopback TCP listener at
+     * `tcpPort` (0 picks an ephemeral port, readable via boundPort).
+     * Throws std::runtime_error when nothing could be bound.
+     */
+    Listener(const std::string& unixPath, int tcpPort);
+    ~Listener();
+
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    /**
+     * Wait for one connection; -1 when stop() was called (or the
+     * optional timeout expired).  Safe to call from one thread while
+     * another calls stop().
+     */
+    int accept(int timeoutMs = -1);
+
+    /** Unblock accept() permanently. */
+    void stop();
+
+    int boundPort() const { return tcpPortBound; }
+
+  private:
+    std::vector<int> fds;
+    std::string unixPath;
+    int tcpPortBound = -1;
+    int wakePipe[2] = {-1, -1};
+};
+
+/** Connect to `address`; throws std::runtime_error on failure. */
+int connectTo(const Address& address);
+
+/** Write one pre-framed message; false on any socket error. */
+bool sendFrame(int fd, const std::string& frame);
+
+/**
+ * Read one complete frame payload (header validated and stripped).
+ * nullopt on orderly EOF before any byte, on a deadline expiry
+ * (timeoutMs >= 0), or on any socket/framing error.
+ */
+std::optional<std::string> recvFrame(int fd, int timeoutMs = -1);
+
+/** Close a connection fd (idempotent for fd < 0). */
+void closeFd(int fd);
+
+} // namespace xbsp::dist
+
+#endif // XBSP_DIST_TRANSPORT_HH

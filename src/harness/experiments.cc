@@ -72,6 +72,9 @@ void
 buildSuiteGraph(SuiteGraph& out, const ExperimentConfig& config,
                 const std::vector<std::string>& workloads)
 {
+    const bool remote = config.remote && config.remoteSpec;
+    if (remote)
+        out.graph.setRemoteBackend(config.remote);
     serial::Hasher digest;
     for (const std::string& name : workloads) {
         if (!workloads::findWorkload(name))
@@ -80,8 +83,33 @@ buildSuiteGraph(SuiteGraph& out, const ExperimentConfig& config,
         out.builds.push_back(std::make_unique<sim::StudyBuild>(
             workloads::makeWorkload(name, config.workScale),
             config.study));
-        out.finishNodes.push_back(
-            sim::appendStudyGraph(out.graph, *out.builds.back()));
+        const sim::StudyNodes nodes =
+            sim::appendStudyGraphNodes(out.graph, *out.builds.back());
+        out.finishNodes.push_back(nodes.finish);
+        if (remote) {
+            // Every memoized stage is remote-eligible; match and
+            // finish stay local (cheap, and match has no store key).
+            // The non-detailed binary stage always runs an engine
+            // pass locally (see StudyBuild::binaryCached), so only
+            // detailed timing ships.
+            auto setSpec = [&](pipeline::NodeId id,
+                               const std::string& stage,
+                               std::size_t index) {
+                pipeline::RemoteSpec spec =
+                    config.remoteSpec(name, stage, index);
+                out.graph.setRemote(
+                    id, [spec = std::move(spec)] { return spec; });
+            };
+            setSpec(nodes.compile, "compile", 0);
+            for (std::size_t b = 0; b < nodes.profiles.size(); ++b)
+                setSpec(nodes.profiles[b], "profile", b);
+            setSpec(nodes.vli, "vli", 0);
+            if (config.study.detailed) {
+                for (std::size_t b = 0; b < nodes.binaries.size();
+                     ++b)
+                    setSpec(nodes.binaries[b], "binary", b);
+            }
+        }
         digest.str(sim::studyConfigDigest(name, config.study));
     }
     out.graph.setManifestInfo(format("suite[{}]", workloads.size()),

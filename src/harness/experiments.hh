@@ -19,6 +19,7 @@
 #ifndef XBSP_HARNESS_EXPERIMENTS_HH
 #define XBSP_HARNESS_EXPERIMENTS_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -50,6 +51,25 @@ struct ExperimentConfig
 
     /** Print progress as studies run. */
     bool verbose = true;
+
+    /**
+     * Remote dispatch backend for probe-missed stage nodes (null =
+     * run everything on the local pool).  Purely an accelerator:
+     * results are bit-identical either way, and a failed remote stage
+     * falls back to the pool (see pipeline::TaskGraph).
+     */
+    pipeline::RemoteBackend* remote = nullptr;
+
+    /**
+     * Spec factory for remote-eligible stages, set alongside
+     * `remote` (see dist::enableRemote — the harness itself never
+     * depends on the dist subsystem).  Called while the suite graph
+     * is wired, once per eligible (workload, stage, index) node.
+     */
+    std::function<pipeline::RemoteSpec(const std::string& workload,
+                                       const std::string& stage,
+                                       std::size_t index)>
+        remoteSpec;
 };
 
 /** Runs and caches studies; renders paper tables/figures. */

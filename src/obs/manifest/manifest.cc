@@ -76,6 +76,8 @@ RunManifest::writeJson(JsonWriter& w) const
             w.member("busyNanos", entry.busyNanos);
             w.member("worker", entry.worker);
             w.member("storeKey", entry.storeKey);
+            if (!entry.remoteWorker.empty())
+                w.member("remoteWorker", entry.remoteWorker);
             w.endObject();
         }
         w.endArray();

@@ -53,6 +53,14 @@ struct ManifestEntry
     u64 busyNanos = 0;        ///< work-function execution time
     u64 worker = 0;           ///< pool worker id (0 = scheduler)
     std::string storeKey;     ///< stage key hex ("" when none)
+
+    /**
+     * Name of the remote worker process that computed this node's
+     * artifacts ("" for locally executed nodes).  Emitted into the
+     * JSON only when set, so manifests of purely local runs are
+     * byte-identical to pre-distribution ones.
+     */
+    std::string remoteWorker;
 };
 
 /** One TaskGraph execution's worth of entries. */

@@ -86,6 +86,18 @@ TaskGraph::setManifestInfo(std::string label, std::string configDigest)
     manifestDigest = std::move(configDigest);
 }
 
+void
+TaskGraph::setRemote(NodeId id, std::function<RemoteSpec()> spec)
+{
+    nodes.at(id).remote = std::move(spec);
+}
+
+void
+TaskGraph::setRemoteBackend(RemoteBackend* backend)
+{
+    remoteBackend = backend;
+}
+
 namespace
 {
 
@@ -133,6 +145,10 @@ TaskGraph::run(ThreadPool& pool)
     const obs::Counter failCount = reg.counter("scheduler.nodes.failed");
     const obs::Counter skipCount =
         reg.counter("scheduler.nodes.skipped");
+    const obs::Counter remoteCount =
+        reg.counter("scheduler.nodes.remote");
+    const obs::Counter remoteFallbackCount =
+        reg.counter("scheduler.nodes.remoteFallback");
     const obs::Timer busyTimer = reg.timer("scheduler.nodeBusy");
     obs::ScopedTimer wallTimer(reg.timer("scheduler.wall"));
 
@@ -165,6 +181,20 @@ TaskGraph::run(ThreadPool& pool)
     std::vector<std::chrono::steady_clock::time_point> dispatched(
         nodes.size());
 
+    // Remote in-flight bookkeeping.  Backend completion callbacks may
+    // fire from any thread; they only enqueue an outcome under the
+    // graph mutex — the scheduling thread drains the queue, so the
+    // post-remote inline replay (and the local-pool fallback) always
+    // run in scheduler context.
+    struct RemoteOutcome
+    {
+        NodeId id = 0;
+        bool ok = false;
+        std::string worker;
+    };
+    std::size_t remoteActive = 0;  // specs in flight at the backend
+    std::vector<RemoteOutcome> remoteSettled;
+
     // Settle a node (lock held): record status, release dependents.
     auto settle = [this, &ready](NodeId id, NodeStatus status,
                                  std::exception_ptr error,
@@ -179,14 +209,20 @@ TaskGraph::run(ThreadPool& pool)
         }
     };
 
+    // How a node's work is being run: on a pool worker, inline after
+    // a probe hit, or inline after a remote worker published the
+    // stage's artifacts.  Probe hits settle CacheResolved; remote
+    // replays settle Done — the work computed, just not here.
+    enum class ExecVia { Pool, Probe, Remote };
+
     // Run a node's work (no lock held), then settle it.  Exceptions
     // are captured here — pool futures are discarded, so nothing may
     // escape into them.
     auto execute = [this, &settle, &active, &busyTimer, &failCount,
-                    &stageTally, &dispatched](NodeId id,
-                                              bool viaProbe) {
-        NodeStatus status =
-            viaProbe ? NodeStatus::CacheResolved : NodeStatus::Done;
+                    &stageTally, &dispatched](NodeId id, ExecVia via) {
+        NodeStatus status = via == ExecVia::Probe
+                                ? NodeStatus::CacheResolved
+                                : NodeStatus::Done;
         std::exception_ptr error;
         std::string errorText;
         nodes[id].worker = currentWorkerId();
@@ -214,15 +250,50 @@ TaskGraph::run(ThreadPool& pool)
         std::lock_guard guard(mutex);
         nodes[id].wallNanos = nanosSince(dispatched[id]);
         settle(id, status, std::move(error), std::move(errorText));
-        if (!viaProbe)
+        if (via == ExecVia::Pool)
             --active;
         wake.notify_all();
     };
 
     while (true) {
-        wake.wait(lock, [&] { return !ready.empty() || active == 0; });
+        wake.wait(lock, [&] {
+            return !remoteSettled.empty() || !ready.empty() ||
+                   (active == 0 && remoteActive == 0);
+        });
+
+        // Remote outcomes first: a settled remote node either replays
+        // inline (its artifacts are in the shared store now) or falls
+        // back to the local pool.  Either way dependents release only
+        // through the regular settle path.
+        if (!remoteSettled.empty()) {
+            RemoteOutcome outcome = std::move(remoteSettled.back());
+            remoteSettled.pop_back();
+            --remoteActive;
+            lock.unlock();
+            if (outcome.ok) {
+                nodes[outcome.id].remoteWorker =
+                    std::move(outcome.worker);
+                // The worker published every artifact this node
+                // computes; the inline replay only decodes them, so
+                // its progress steps are zero-cost for the ETA.
+                obs::Progress::ZeroCostScope zeroCost;
+                execute(outcome.id, ExecVia::Remote);
+            } else {
+                remoteFallbackCount.add();
+                runCount.add();
+                {
+                    std::lock_guard guard(mutex);
+                    ++active;
+                }
+                pool.submit([&execute, id = outcome.id] {
+                    execute(id, ExecVia::Pool);
+                });
+            }
+            lock.lock();
+            continue;
+        }
         if (ready.empty()) {
-            if (active == 0)
+            if (active == 0 && remoteActive == 0)
                 break;  // every node settled
             continue;
         }
@@ -258,14 +329,33 @@ TaskGraph::run(ThreadPool& pool)
             cacheCount.add();
             stageTally(node.stage, "cache");
             obs::Progress::ZeroCostScope zeroCost;
-            execute(id, true);
+            execute(id, ExecVia::Probe);
+        } else if (node.remote && remoteBackend) {
+            // Probe missed and the node is remote-eligible: ship it.
+            // The spec generator runs here, after dependencies have
+            // settled — some stage keys only exist by then.
+            remoteCount.add();
+            stageTally(node.stage, "remote");
+            const RemoteSpec spec = node.remote();
+            {
+                std::lock_guard guard(mutex);
+                ++remoteActive;
+            }
+            remoteBackend->submit(
+                spec, [this, id, &remoteSettled](
+                          bool ok, const std::string& workerName) {
+                    std::lock_guard guard(mutex);
+                    remoteSettled.push_back({id, ok, workerName});
+                    wake.notify_all();
+                });
         } else {
             runCount.add();
             {
                 std::lock_guard guard(mutex);
                 ++active;
             }
-            pool.submit([&execute, id] { execute(id, false); });
+            pool.submit(
+                [&execute, id] { execute(id, ExecVia::Pool); });
         }
         lock.lock();
     }
@@ -310,6 +400,7 @@ TaskGraph::run(ThreadPool& pool)
         entry.wallNanos = node.wallNanos;
         entry.busyNanos = node.busyNanos;
         entry.worker = node.worker;
+        entry.remoteWorker = node.remoteWorker;
         if (node.provenance &&
             (node.status == NodeStatus::Done ||
              node.status == NodeStatus::CacheResolved))

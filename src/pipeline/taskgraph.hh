@@ -27,6 +27,13 @@
  *  - **Failure isolates, never poisons.**  A failed node marks its
  *    transitive dependents Skipped; unrelated subgraphs still run to
  *    completion.  Commit hooks of failed/skipped nodes do not run.
+ *  - **Remote dispatch is an accelerator, never a dependency.**  A
+ *    node carrying a RemoteSpec whose probe missed is shipped to the
+ *    attached RemoteBackend (worker processes publishing artifacts
+ *    into the shared store); on success its work still runs inline on
+ *    the scheduling thread, decoding what the worker stored, so
+ *    results and commit order are bit-identical to a local run.  Any
+ *    remote failure falls back to the local pool.
  *
  * Scheduling is observable: every node runs under a TraceSpan
  * (category "pipeline"), and run() reports scheduler.* counters —
@@ -77,6 +84,38 @@ enum class NodeStatus
 
 /** Display name: "pending", "running", "done", "cache", ... */
 std::string nodeStatusName(NodeStatus status);
+
+/**
+ * A stage shipped to a remote worker: `key` is the node's
+ * artifact-store key digest (the single-flight identity — two nodes
+ * with equal keys compute the same artifacts), `payload` an opaque
+ * serialized description a worker can recompute the stage from.
+ */
+struct RemoteSpec
+{
+    std::string key;
+    std::string payload;
+};
+
+/**
+ * Where remote-eligible nodes are shipped.  submit() must not block:
+ * it enqueues the spec and returns; `done` is invoked exactly once,
+ * from any thread, with ok=true when the stage's artifacts have been
+ * published to the shared store (workerName identifies the executing
+ * worker) or ok=false when remote execution failed and the scheduler
+ * should fall back to running the node locally.  Implementations
+ * outlive every graph run they are attached to.
+ */
+class RemoteBackend
+{
+  public:
+    virtual ~RemoteBackend() = default;
+
+    using DoneFn =
+        std::function<void(bool ok, const std::string& workerName)>;
+
+    virtual void submit(const RemoteSpec& spec, DoneFn done) = 0;
+};
 
 /** See the file comment for the full contract. */
 class TaskGraph
@@ -131,6 +170,27 @@ class TaskGraph
     void setManifestInfo(std::string label, std::string configDigest);
 
     /**
+     * Mark a node remote-eligible: when a backend is attached and the
+     * node's cache probe misses at dispatch time, the scheduler ships
+     * `spec()` to the backend instead of the local pool.  The spec
+     * generator runs on the scheduling thread after the node's
+     * dependencies settled (some store keys only exist by then).  On
+     * remote success the node's work function still runs inline on
+     * the scheduling thread — it decodes the artifacts the worker
+     * published to the shared store, so results and commit order are
+     * bit-identical to a local run.  On any remote failure the node
+     * falls back to the local pool; remote execution can slow a run
+     * down, never break it.
+     */
+    void setRemote(NodeId id, std::function<RemoteSpec()> spec);
+
+    /**
+     * Attach the backend remote-eligible nodes are shipped to (null
+     * detaches).  Must outlive run().
+     */
+    void setRemoteBackend(RemoteBackend* backend);
+
+    /**
      * Execute the graph on `pool` (inline when it has no workers).
      * Blocks until every node settles, runs commit hooks in node-id
      * order, then rethrows the exception of the lowest-id failed
@@ -168,6 +228,7 @@ class TaskGraph
         std::function<bool()> probe;
         std::function<void()> commit;
         std::function<std::string()> provenance;
+        std::function<RemoteSpec()> remote;
         NodeStatus status = NodeStatus::Pending;
         std::size_t remaining = 0;  ///< unsettled deps during run()
         std::exception_ptr error;
@@ -178,6 +239,7 @@ class TaskGraph
         u64 wallNanos = 0;     ///< dispatch -> settled
         u64 busyNanos = 0;     ///< work-function execution time
         u64 worker = 0;        ///< pool worker id (0 = scheduler)
+        std::string remoteWorker;  ///< executing remote worker ("")
     };
 
     std::vector<Node> nodes;
@@ -185,6 +247,7 @@ class TaskGraph
     bool ran = false;
     std::string manifestLabel;
     std::string manifestDigest;
+    RemoteBackend* remoteBackend = nullptr;
 
     mutable std::mutex mutex;       ///< guards node status during run
     std::condition_variable wake;   ///< completions -> scheduler loop

@@ -87,4 +87,91 @@ hashHierarchy(serial::Hasher& h, const cache::HierarchyConfig& config)
     h.u64v(config.dramLatency);
 }
 
+namespace
+{
+
+void
+encodeLevel(serial::Encoder& e, const cache::LevelConfig& level)
+{
+    e.str(level.name);
+    e.varint(level.capacityBytes);
+    e.varint(level.associativity);
+    e.varint(level.lineSize);
+    e.varint(level.hitLatency);
+}
+
+cache::LevelConfig
+decodeLevel(serial::Decoder& d)
+{
+    cache::LevelConfig level;
+    level.name = d.str();
+    level.capacityBytes = d.varint();
+    level.associativity = static_cast<u32>(d.varint());
+    level.lineSize = static_cast<u32>(d.varint());
+    level.hitLatency = d.varint();
+    return level;
+}
+
+} // namespace
+
+void
+encodeStudyConfig(serial::Encoder& e, const StudyConfig& c)
+{
+    e.varint(c.intervalTarget);
+    e.varint(c.simpoint.maxK);
+    e.varint(c.simpoint.projectedDims);
+    e.varint(c.simpoint.seedsPerK);
+    e.f64(c.simpoint.bicThreshold);
+    e.varint(c.simpoint.seed);
+    e.varint(static_cast<u64>(c.simpoint.init));
+    e.varint(c.simpoint.maxIterations);
+    e.boolean(c.simpoint.earlyPoints);
+    e.f64(c.simpoint.earlyTolerance);
+    e.boolean(c.simpoint.accelerate);
+    e.f64(c.simpoint.dedupQuantum);
+    e.varint(c.primaryIdx);
+    encodeLevel(e, c.memory.l1);
+    encodeLevel(e, c.memory.l2);
+    encodeLevel(e, c.memory.l3);
+    e.varint(c.memory.dramLatency);
+    e.boolean(c.compileOptions.enableInlining);
+    e.boolean(c.compileOptions.enableUnrolling);
+    e.boolean(c.compileOptions.enableLoopSplitting);
+    e.varint(c.compileOptions.unrollFactor);
+    e.varint(c.compileOptions.jitterSeed);
+    e.varint(c.engineSeed);
+    e.boolean(c.detailed);
+}
+
+StudyConfig
+decodeStudyConfig(serial::Decoder& d)
+{
+    StudyConfig c;
+    c.intervalTarget = d.varint();
+    c.simpoint.maxK = static_cast<u32>(d.varint());
+    c.simpoint.projectedDims = static_cast<u32>(d.varint());
+    c.simpoint.seedsPerK = static_cast<u32>(d.varint());
+    c.simpoint.bicThreshold = d.f64();
+    c.simpoint.seed = d.varint();
+    c.simpoint.init = static_cast<sp::InitMethod>(d.varint());
+    c.simpoint.maxIterations = static_cast<u32>(d.varint());
+    c.simpoint.earlyPoints = d.boolean();
+    c.simpoint.earlyTolerance = d.f64();
+    c.simpoint.accelerate = d.boolean();
+    c.simpoint.dedupQuantum = d.f64();
+    c.primaryIdx = static_cast<std::size_t>(d.varint());
+    c.memory.l1 = decodeLevel(d);
+    c.memory.l2 = decodeLevel(d);
+    c.memory.l3 = decodeLevel(d);
+    c.memory.dramLatency = d.varint();
+    c.compileOptions.enableInlining = d.boolean();
+    c.compileOptions.enableUnrolling = d.boolean();
+    c.compileOptions.enableLoopSplitting = d.boolean();
+    c.compileOptions.unrollFactor = static_cast<u32>(d.varint());
+    c.compileOptions.jitterSeed = d.varint();
+    c.engineSeed = d.varint();
+    c.detailed = d.boolean();
+    return c;
+}
+
 } // namespace xbsp::sim

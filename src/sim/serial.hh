@@ -2,7 +2,9 @@
  * @file
  * Artifact-store codec for detailed (timing) runs — the most
  * expensive stage in the pipeline — plus hashing of the memory
- * hierarchy configuration that parameterizes them.
+ * hierarchy configuration that parameterizes them, and a wire codec
+ * for StudyConfig so the distributed executor can ship a stage's
+ * full parameterization to a worker process (see src/dist).
  */
 
 #ifndef XBSP_SIM_SERIAL_HH
@@ -10,6 +12,7 @@
 
 #include "cache/hierarchy.hh"
 #include "sim/detailed.hh"
+#include "sim/study.hh"
 #include "util/serial.hh"
 
 namespace xbsp::sim
@@ -17,6 +20,15 @@ namespace xbsp::sim
 
 void encodeDetailedRun(serial::Encoder& e, const DetailedRunResult& r);
 DetailedRunResult decodeDetailedRun(serial::Decoder& d);
+
+/**
+ * Round-trip every field of a StudyConfig bit-exactly (doubles travel
+ * as IEEE-754 patterns).  Two processes that exchange a config this
+ * way compute identical stage keys and identical artifacts — the
+ * invariant the remote-worker protocol rests on.
+ */
+void encodeStudyConfig(serial::Encoder& e, const StudyConfig& c);
+StudyConfig decodeStudyConfig(serial::Decoder& d);
 
 /** Fold the full memory-hierarchy configuration into `h`. */
 void hashHierarchy(serial::Hasher& h,

@@ -297,59 +297,67 @@ studyConfigDigest(std::string_view workload, const StudyConfig& config)
     return h.finish().hex();
 }
 
-pipeline::NodeId
-appendStudyGraph(pipeline::TaskGraph& graph, StudyBuild& build)
+StudyNodes
+appendStudyGraphNodes(pipeline::TaskGraph& graph, StudyBuild& build)
 {
     const std::string& name = build.workload();
     const std::vector<bin::Target> targets = compile::standardTargets();
+    StudyNodes nodes;
 
-    const pipeline::NodeId compileNode = graph.add(
+    nodes.compile = graph.add(
         format("study.{}.compile", name), "compile", {},
         [&build] { build.compile(); });
-    graph.setProbe(compileNode,
+    graph.setProbe(nodes.compile,
                    [&build] { return build.compileCached(); });
-    graph.setProvenance(compileNode,
+    graph.setProvenance(nodes.compile,
                         [&build] { return build.compileKeyHex(); });
 
-    std::vector<pipeline::NodeId> profiles;
     for (std::size_t b = 0; b < build.binaryCount(); ++b) {
         const pipeline::NodeId id = graph.add(
             format("study.{}.profile.{}", name,
                    bin::targetName(targets[b])),
-            "profile", {compileNode}, [&build, b] { build.profile(b); });
+            "profile", {nodes.compile},
+            [&build, b] { build.profile(b); });
         graph.setProbe(id,
                        [&build, b] { return build.profileCached(b); });
         graph.setProvenance(
             id, [&build, b] { return build.profileKeyHex(b); });
-        profiles.push_back(id);
+        nodes.profiles.push_back(id);
     }
 
-    const pipeline::NodeId matchNode = graph.add(
-        format("study.{}.match", name), "match", profiles,
+    nodes.match = graph.add(
+        format("study.{}.match", name), "match", nodes.profiles,
         [&build] { build.match(); });
 
-    const pipeline::NodeId vliNode = graph.add(
+    nodes.vli = graph.add(
         format("study.{}.cluster", name), "vli",
-        {compileNode, matchNode}, [&build] { build.vliCluster(); });
-    graph.setProvenance(vliNode,
+        {nodes.compile, nodes.match}, [&build] { build.vliCluster(); });
+    graph.setProvenance(nodes.vli,
                         [&build] { return build.vliKeyHex(); });
 
-    std::vector<pipeline::NodeId> binaries;
     for (std::size_t b = 0; b < build.binaryCount(); ++b) {
         const pipeline::NodeId id = graph.add(
             format("study.{}.binary.{}", name,
                    bin::targetName(targets[b])),
-            "binary", {profiles[b], matchNode, vliNode},
+            "binary", {nodes.profiles[b], nodes.match, nodes.vli},
             [&build, b] { build.binary(b); });
         graph.setProbe(id,
                        [&build, b] { return build.binaryCached(b); });
         graph.setProvenance(
             id, [&build, b] { return build.binaryKeyHex(b); });
-        binaries.push_back(id);
+        nodes.binaries.push_back(id);
     }
 
-    return graph.add(format("study.{}.finish", name), "finish",
-                     binaries, [&build] { build.finish(); });
+    nodes.finish = graph.add(format("study.{}.finish", name),
+                             "finish", nodes.binaries,
+                             [&build] { build.finish(); });
+    return nodes;
+}
+
+pipeline::NodeId
+appendStudyGraph(pipeline::TaskGraph& graph, StudyBuild& build)
+{
+    return appendStudyGraphNodes(graph, build).finish;
 }
 
 } // namespace xbsp::sim

@@ -98,12 +98,29 @@ class StudyBuild
     bool finished = false;
 };
 
+/** Node ids of one study's stages within a graph. */
+struct StudyNodes
+{
+    pipeline::NodeId compile{};
+    std::vector<pipeline::NodeId> profiles;  ///< one per binary
+    pipeline::NodeId match{};
+    pipeline::NodeId vli{};
+    std::vector<pipeline::NodeId> binaries;  ///< one per binary
+    pipeline::NodeId finish{};
+};
+
 /**
  * Append one study's stage nodes to `graph`, with dependencies and
- * cache probes wired; returns the finish node (attach a commit hook
- * there to consume the study in deterministic order).  `build` must
- * outlive the graph run.
+ * cache probes wired; returns every node id so callers can attach
+ * extra per-node policy (the harness wires remote-dispatch specs onto
+ * the memoized stages; see harness::buildSuiteGraph).  Attach a
+ * commit hook to `finish` to consume the study in deterministic
+ * order.  `build` must outlive the graph run.
  */
+StudyNodes appendStudyGraphNodes(pipeline::TaskGraph& graph,
+                                 StudyBuild& build);
+
+/** Convenience wrapper returning only the finish node. */
 pipeline::NodeId appendStudyGraph(pipeline::TaskGraph& graph,
                                   StudyBuild& build);
 

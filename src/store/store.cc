@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <unordered_set>
 #include <vector>
 
 #include "obs/stats.hh"
@@ -206,21 +207,32 @@ ArtifactStore::contains(const serial::Hash128& key, u32 typeTag,
     if (dir.empty())
         return false;
     counter("store.probes").add();
-    std::ifstream in(entryPath(key), std::ios::binary);
+    const std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         return false;
     char header[headerBytes];
     in.read(header, headerBytes);
     if (!in)
         return false;  // truncated; readEntry will evict it
+    bool valid = false;
     try {
         serial::Decoder d(std::string_view(header, headerBytes));
-        return d.fixed32() == entryMagic &&
-               d.fixed32() == storeFormatVersion &&
-               d.fixed32() == typeTag && d.fixed32() == typeVersion;
+        valid = d.fixed32() == entryMagic &&
+                d.fixed32() == storeFormatVersion &&
+                d.fixed32() == typeTag && d.fixed32() == typeVersion;
     } catch (const serial::DecodeError&) {
         return false;
     }
+    if (valid) {
+        // Remember the positive answer: gc() grants probed entries a
+        // grace window so a concurrent collection cannot evict what a
+        // scheduler was just promised (probes never bump mtimes, so
+        // LRU alone would see them as cold).
+        std::lock_guard guard(probeMutex);
+        recentProbes[path] = std::chrono::steady_clock::now();
+    }
+    return valid;
 }
 
 std::optional<std::string>
@@ -360,12 +372,31 @@ ArtifactStore::scan() const
 }
 
 GcResult
-ArtifactStore::gc(u64 byteBudget)
+ArtifactStore::gc(u64 byteBudget, u64 probeGraceSeconds)
 {
     GcResult result;
     const std::string dir = directory();
     if (dir.empty())
         return result;
+
+    // Snapshot the paths inside their probe grace window (and drop
+    // expired records while at it — the map stays bounded by the set
+    // of entries touched per window).
+    std::unordered_set<std::string> graced;
+    {
+        const auto now = std::chrono::steady_clock::now();
+        const auto grace = std::chrono::seconds(probeGraceSeconds);
+        std::lock_guard guard(probeMutex);
+        for (auto it = recentProbes.begin();
+             it != recentProbes.end();) {
+            if (now - it->second <= grace) {
+                graced.insert(it->first);
+                ++it;
+            } else {
+                it = recentProbes.erase(it);
+            }
+        }
+    }
 
     // Stray temp files are always garbage (crashed writers).
     std::vector<fs::path> temps;
@@ -386,7 +417,8 @@ ArtifactStore::gc(u64 byteBudget)
                                             : a.path < b.path;
               });
     for (const EntryInfo& e : entries) {
-        if (total <= byteBudget) {
+        if (total <= byteBudget ||
+            graced.contains(e.path.string())) {
             ++result.keptEntries;
             result.keptBytes += e.bytes;
             continue;

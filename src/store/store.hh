@@ -36,10 +36,12 @@
 #define XBSP_STORE_STORE_HH
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "obs/trace.hh"
 #include "util/serial.hh"
@@ -178,8 +180,17 @@ class ArtifactStore
      * LRU garbage collection: delete stray temp files, then delete
      * the least-recently-used entries until the total is within
      * `byteBudget` bytes.
+     *
+     * Entries probed via contains() within the last
+     * `probeGraceSeconds` are exempt: a probe promises the scheduler
+     * "this stage will be served from the cache", and an eviction
+     * between that probe and the stage's readEntry would turn the
+     * promise into a recompute mid-run (probes deliberately don't
+     * bump mtimes, so plain LRU sees probed entries as cold).  Pass 0
+     * to force unconditional collection (tests, `cache clear`-like
+     * maintenance).
      */
-    GcResult gc(u64 byteBudget);
+    GcResult gc(u64 byteBudget, u64 probeGraceSeconds = 300);
 
     /** Delete every entry and temp file; returns files removed. */
     u64 clear();
@@ -190,6 +201,12 @@ class ArtifactStore
     std::atomic<bool> on{false};
     std::atomic<bool> writeWarned{false};
     std::atomic<u64> tempSeq{0};
+
+    /** Paths positively probed, by probe time (guards gc eviction). */
+    mutable std::mutex probeMutex;
+    mutable std::unordered_map<std::string,
+                               std::chrono::steady_clock::time_point>
+        recentProbes;
 
     void countHit(const char* stage) const;
     void countMiss(const char* stage) const;

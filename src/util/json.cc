@@ -698,4 +698,49 @@ parseJsonFile(const std::string& path)
     return parseJson(buffer.str());
 }
 
+void
+writeJsonValue(JsonWriter& w, const JsonValue& value)
+{
+    switch (value.kind()) {
+      case JsonValue::Kind::Null:
+        w.null();
+        break;
+      case JsonValue::Kind::Bool:
+        w.value(value.asBool());
+        break;
+      case JsonValue::Kind::Number: {
+        // Integral doubles render through the integer path: every
+        // integer this repo emits fits the 53-bit mantissa, and
+        // "%.17g" would be a lossy-looking way to print them.
+        const double n = value.asNumber();
+        if (n == std::floor(n) && std::abs(n) <= 9.007199254740992e15) {
+            if (n < 0)
+                w.value(static_cast<long long>(n));
+            else
+                w.value(static_cast<unsigned long long>(n));
+        } else {
+            w.value(n);
+        }
+        break;
+      }
+      case JsonValue::Kind::String:
+        w.value(value.asString());
+        break;
+      case JsonValue::Kind::Array:
+        w.beginArray();
+        for (const JsonValue& item : value.items())
+            writeJsonValue(w, item);
+        w.endArray();
+        break;
+      case JsonValue::Kind::Object:
+        w.beginObject();
+        for (const auto& [name, member] : value.members()) {
+            w.key(name);
+            writeJsonValue(w, member);
+        }
+        w.endObject();
+        break;
+    }
+}
+
 } // namespace xbsp

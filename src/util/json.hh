@@ -176,6 +176,15 @@ class JsonValue
 };
 
 /**
+ * Re-emit a parsed document through a writer, preserving member
+ * order.  Lets tools that post-process our JSON (e.g. `xbsp manifest
+ * --json`) round-trip documents through the one escaping/formatting
+ * path instead of hand-printing.  `w` must be positioned where a
+ * value is legal (fresh writer, after key(), or inside an array).
+ */
+void writeJsonValue(JsonWriter& w, const JsonValue& value);
+
+/**
  * Parse one complete JSON document (trailing whitespace allowed,
  * trailing garbage is an error).  Throws JsonParseError with an
  * offset-bearing message on malformed input.

@@ -330,6 +330,36 @@ TEST_F(StoreTest, GcEvictsOldestFirstUnderByteBudget)
     EXPECT_TRUE(fs::exists(store.entryPath(newKey)));
 }
 
+TEST_F(StoreTest, GcSparesRecentlyProbedEntries)
+{
+    // Regression: the scheduler's contains() probe promises "this
+    // stage will be served from the cache", but probes deliberately
+    // don't bump mtimes — so before the grace window, a concurrent
+    // gc could evict a just-probed entry and break the promise
+    // mid-run (recompute where the scheduler planned a cache hit).
+    const serial::Hash128 probed = keyOf("probed");
+    const serial::Hash128 cold = keyOf("cold");
+    store.getOrCompute<StringCodec>(probed, "test",
+                                    [] { return std::string("p"); });
+    store.getOrCompute<StringCodec>(cold, "test",
+                                    [] { return std::string("c"); });
+
+    ASSERT_TRUE(store.contains(probed, StringCodec::tag,
+                               StringCodec::version));
+
+    // Budget 0 would evict everything; the probed entry must survive
+    // inside its grace window.
+    const store::GcResult graced = store.gc(0);
+    EXPECT_EQ(graced.removedEntries, 1u);
+    EXPECT_TRUE(fs::exists(store.entryPath(probed)));
+    EXPECT_FALSE(fs::exists(store.entryPath(cold)));
+
+    // Grace 0 disables the exemption (maintenance mode).
+    const store::GcResult forced = store.gc(0, 0);
+    EXPECT_EQ(forced.removedEntries, 1u);
+    EXPECT_FALSE(fs::exists(store.entryPath(probed)));
+}
+
 TEST_F(StoreTest, GcRemovesStrayTempFiles)
 {
     store.getOrCompute<StringCodec>(keyOf("k"), "test",

@@ -34,9 +34,28 @@
  *                                     (scrapes the exposition endpoint
  *                                     another xbsp process serves via
  *                                     --metrics-socket / XBSP_METRICS)
- *   xbsp manifest  [file]             pretty-print a provenance
+ *   xbsp manifest  [file] [--json]    pretty-print a provenance
  *                                     manifest.json written by
  *                                     --manifest-out / --stats-out
+ *   xbsp serve     --serve-socket S [--serve-tcp P] --cache-dir D
+ *                                     long-lived daemon: accepts
+ *                                     workers (`xbsp work`) and suite
+ *                                     requests (`xbsp submit`) on one
+ *                                     listener; identical in-flight
+ *                                     stages single-flight and the
+ *                                     artifact store stays warm
+ *                                     across requests
+ *   xbsp work      --connect A [--worker-name N]
+ *                                     remote worker: executes stage
+ *                                     tasks for a daemon, publishing
+ *                                     artifacts through the shared
+ *                                     cache directory
+ *   xbsp submit    [figures...] --connect A [--workloads W,...]
+ *                  [--local]          request figure reports from a
+ *                                     daemon (default figure3); with
+ *                                     --local, render in-process
+ *                                     through the identical code path
+ *                                     (the byte-compare baseline)
  *
  * Every command that runs pipeline stages honours --cache-dir (or the
  * XBSP_CACHE_DIR environment variable) to memoize compile, profile,
@@ -46,14 +65,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <thread>
 
 #include "binary/binary.hh"
 #include "core/regionspec.hh"
+#include "dist/client.hh"
+#include "dist/server.hh"
+#include "dist/stagerun.hh"
+#include "dist/worker.hh"
 #include "exec/compiled.hh"
 #include "harness/experiments.hh"
 #include "obs/live/endpoint.hh"
@@ -274,6 +299,17 @@ cmdCache(const Options& options)
 
     if (action == "stats") {
         const store::CacheScan scan = store.scan();
+        if (options.getBool("json")) {
+            JsonWriter w(std::cout);
+            w.beginObject();
+            w.member("dir", store.directory());
+            w.member("entries", scan.entries);
+            w.member("bytes", scan.bytes);
+            w.member("tempFiles", scan.tempFiles);
+            w.endObject();
+            std::cout << '\n';
+            return 0;
+        }
         std::printf("cache %s: %llu entries, %llu bytes"
                     " (%.1f MiB), %llu stray temp files\n",
                     store.directory().c_str(),
@@ -408,6 +444,33 @@ renderTopFrame(const std::map<std::string, double>& series)
         seriesValue(series, "xbsp_kmeans_estep_distances_rate") / 1e6,
         seriesValue(series, "xbsp_kmeans_estep_distances_total"));
     add();
+
+    // Distributed executor, shown only when a serve daemon has ever
+    // seen a worker or shipped a task (the series exist but are all
+    // zero in plain local runs).
+    const double distConnected =
+        seriesValue(series, "xbsp_dist_workers_connected_total");
+    const double distSubmitted =
+        seriesValue(series, "xbsp_dist_tasks_submitted_total");
+    if (distConnected > 0.0 || distSubmitted > 0.0) {
+        const double distLost =
+            seriesValue(series, "xbsp_dist_workers_lost_total");
+        std::snprintf(line, sizeof(line),
+                      "dist      %.0f workers (%.0f lost)   tasks "
+                      "%.0f sent / %.0f done / %.0f failed / "
+                      "%.0f retried / %.0f joined\n",
+                      distConnected - distLost, distLost,
+                      distSubmitted,
+                      seriesValue(series,
+                                  "xbsp_dist_tasks_completed_total"),
+                      seriesValue(series,
+                                  "xbsp_dist_tasks_failed_total"),
+                      seriesValue(series,
+                                  "xbsp_dist_tasks_retries_total"),
+                      seriesValue(series,
+                                  "xbsp_dist_tasks_coalesced_total"));
+        add();
+    }
     return out;
 }
 
@@ -478,6 +541,16 @@ cmdManifest(const Options& options)
     if (!runs || !runs->isArray())
         fatal("'{}' is not a manifest (no \"runs\" array)", path);
 
+    if (options.getBool("json")) {
+        // Machine-readable mode: round-trip the parsed document
+        // through the one canonical emitter (normalized whitespace,
+        // member order preserved).
+        JsonWriter w(std::cout);
+        writeJsonValue(w, doc);
+        std::cout << '\n';
+        return 0;
+    }
+
     for (std::size_t r = 0; r < runs->size(); ++r) {
         const JsonValue& run = runs->at(r);
         std::printf("run %zu: %s  (config %s, %llu workers, "
@@ -497,8 +570,14 @@ cmdManifest(const Options& options)
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             const JsonValue& node = nodes.at(i);
             const std::string& key = node.at("storeKey").asString();
+            // Present only when the node executed on a remote worker
+            // (xbsp serve + xbsp work).
+            const JsonValue* remote = node.find("remoteWorker");
+            const std::string via =
+                remote ? "  via=" + remote->asString() : "";
             std::printf(
-                "  %4llu  %-9s %-8s %-5s %10.2f %10.2f %3llu  %s%s%s\n",
+                "  %4llu  %-9s %-8s %-5s %10.2f %10.2f %3llu  "
+                "%s%s%s%s\n",
                 static_cast<unsigned long long>(
                     node.at("node").asU64()),
                 node.at("stage").asString().c_str(),
@@ -512,9 +591,161 @@ cmdManifest(const Options& options)
                     node.at("worker").asU64()),
                 node.at("label").asString().c_str(),
                 key.empty() ? "" : "  key=",
-                key.empty() ? "" : key.substr(0, 12).c_str());
+                key.empty() ? "" : key.substr(0, 12).c_str(),
+                via.c_str());
         }
     }
+    return 0;
+}
+
+/** Split a comma-separated list, skipping empty segments. */
+std::vector<std::string>
+splitList(const std::string& text)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(text);
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** SuiteRequest from the submit flags + positional figure names. */
+dist::SuiteRequest
+suiteRequestFromOptions(const Options& options)
+{
+    dist::SuiteRequest request;
+    request.figures.assign(options.positional().begin() + 1,
+                           options.positional().end());
+    request.workloads = splitList(options.getString("workloads"));
+    request.workScale = options.getDouble("scale");
+    request.intervalTarget = options.getUint("interval");
+    request.maxK = options.getUint("maxk");
+    request.seed = options.getUint("seed");
+    return request;
+}
+
+// serve() blocks inside accept(); SIGTERM/SIGINT must reach the
+// server object to end the loop and drain the workers gracefully.
+dist::Server* activeServer = nullptr;
+
+void
+onServeSignal(int)
+{
+    if (activeServer)
+        activeServer->stop();
+}
+
+int
+cmdServe(const Options& options)
+{
+    dist::ServerOptions so;
+    so.unixPath = options.getString("serve-socket");
+    const std::string tcp = options.getString("serve-tcp");
+    so.tcpPort = tcp.empty() ? -1 : std::atoi(tcp.c_str());
+    if (so.unixPath.empty() && tcp.empty())
+        fatal("serve needs --serve-socket PATH and/or "
+              "--serve-tcp PORT");
+    so.name = options.getString("worker-name");
+    so.taskTimeoutMs =
+        static_cast<int>(options.getUint("task-timeout-ms"));
+
+    dist::Server server(so);
+    activeServer = &server;
+    struct sigaction sa = {};
+    sa.sa_handler = onServeSignal;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+
+    if (so.tcpPort >= 0)
+        inform("serving on tcp:{}{}", server.boundPort(),
+               so.unixPath.empty() ? ""
+                                   : " and unix:" + so.unixPath);
+    else
+        inform("serving on unix:{}", so.unixPath);
+    server.serve();
+    activeServer = nullptr;
+    return 0;
+}
+
+int
+cmdWork(const Options& options)
+{
+    dist::WorkerOptions wo;
+    wo.connect = options.getString("connect");
+    if (wo.connect.empty())
+        fatal("work needs --connect unix:PATH or tcp:PORT");
+    wo.name = options.getString("worker-name");
+    return dist::runWorker(wo);
+}
+
+int
+cmdSubmit(const Options& options)
+{
+    const dist::SuiteRequest request = suiteRequestFromOptions(options);
+    if (options.getBool("local")) {
+        // Same rendering path the daemon uses — the byte-compare
+        // baseline for distributed runs.
+        try {
+            std::cout << dist::renderSuiteReport(request, nullptr);
+        } catch (const std::exception& e) {
+            fatal("{}", e.what());
+        }
+        return 0;
+    }
+    const std::string address = options.getString("connect");
+    if (address.empty())
+        fatal("submit needs --connect unix:PATH or tcp:PORT "
+              "(or --local)");
+    dist::SuiteResponse response;
+    try {
+        response = dist::submitSuite(address, request);
+    } catch (const std::exception& e) {
+        fatal("submit to {} failed: {}", address, e.what());
+    }
+    if (!response.ok)
+        fatal("server error: {}", response.error);
+    std::cout << response.report;
+    return 0;
+}
+
+/**
+ * Hidden helper for the cross-process codec test: decode a
+ * serialized StageTask from the given file, re-encode it through
+ * this process's codecs, write the bytes to <file>.rt and print
+ * "<stage-key> match|MISMATCH".  A parent test process encodes in
+ * one address space and byte-compares what a fresh exec'd process
+ * produces — the strongest form of the codec round-trip guarantee.
+ */
+int
+cmdCodecRoundtrip(const Options& options)
+{
+    if (options.positional().size() < 2)
+        fatal("usage: xbsp codec-roundtrip <payload-file>");
+    const std::string& path = options.positional()[1];
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '{}'", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string original = buf.str();
+
+    dist::StageTask task;
+    try {
+        task = dist::decodeStageTask(original);
+    } catch (const serial::DecodeError& e) {
+        fatal("decode '{}': {}", path, e.what());
+    }
+    const std::string reencoded = dist::encodeStageTask(task);
+    std::ofstream out(path + ".rt", std::ios::binary);
+    out.write(reencoded.data(),
+              static_cast<std::streamsize>(reencoded.size()));
+    if (!out)
+        fatal("cannot write '{}'", path + ".rt");
+    out.close();
+    std::printf("%s %s\n", dist::stageTaskKey(task).c_str(),
+                reencoded == original ? "match" : "MISMATCH");
     return 0;
 }
 
@@ -525,7 +756,8 @@ main(int argc, char** argv)
 {
     Options options(
         "xbsp <command> [options] — commands: list, describe, bbv, "
-        "simpoints, study, graph, cache, top, manifest");
+        "simpoints, study, graph, cache, top, manifest, serve, "
+        "work, submit");
     options.addString("workload", "workload name", "swim");
     options.addString("target", "binary target (32u/32o/64u/64o)",
                       "32u");
@@ -561,6 +793,31 @@ main(int argc, char** argv)
                     "until the endpoint goes away)", 0);
     options.addBool("plain",
                     "no screen clearing between `top` frames", false);
+    options.addBool("json",
+                    "machine-readable output (`cache stats`, "
+                    "`manifest`)", false);
+    options.addString("serve-socket",
+                      "unix socket the daemon listens on (`serve`)",
+                      "");
+    options.addString("serve-tcp",
+                      "loopback TCP port the daemon listens on "
+                      "(`serve`; 0 = ephemeral, printed at startup)",
+                      "");
+    options.addString("connect",
+                      "daemon address for `work`/`submit`: unix:PATH "
+                      "or tcp:PORT", "");
+    options.addString("worker-name",
+                      "self-reported identity (`serve`/`work`; "
+                      "default: pid)", "");
+    options.addString("workloads",
+                      "comma-separated workload subset for `submit` "
+                      "(empty = full suite)", "");
+    options.addBool("local",
+                    "render `submit` in-process through the daemon's "
+                    "exact code path (byte-compare baseline)", false);
+    options.addUint("task-timeout-ms",
+                    "per-stage deadline before a worker is declared "
+                    "dead (`serve`)", 120000);
     options.addString("simd",
                       "kernel dispatch: off|scalar|auto|on|avx2|neon "
                       "(default: XBSP_SIMD, else best available; pure "
@@ -628,5 +885,13 @@ main(int argc, char** argv)
         return cmdGraph(options);
     if (command == "cache")
         return cmdCache(options);
+    if (command == "serve")
+        return cmdServe(options);
+    if (command == "work")
+        return cmdWork(options);
+    if (command == "submit")
+        return cmdSubmit(options);
+    if (command == "codec-roundtrip")  // hidden; cross-process tests
+        return cmdCodecRoundtrip(options);
     fatal("unknown command '{}'", command);
 }
