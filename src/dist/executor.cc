@@ -196,10 +196,16 @@ Executor::serviceWorker(int fd, std::string workerName)
         // Worker death: retire this connection, give the task back.
         counter("dist.workers.lost").add();
         std::vector<Flight> orphans;
+        bool ownClose = false;
         {
             std::lock_guard lock(mutex);
             --liveWorkers;
-            std::erase(workerFds, fd);  // this thread owns the close
+            // Whoever removes the fd from workerFds owns the close.
+            // If drain() already claimed the whole set, it is still
+            // writing Shutdown/shutdown(2) to this fd and will close
+            // it after joining us — closing here would race a reused
+            // fd number.
+            ownClose = std::erase(workerFds, fd) > 0;
             if (liveWorkers == 0 && !stopping) {
                 // Nobody left to run the queue: fail it all now so
                 // the scheduler's pool fallback proceeds.
@@ -209,7 +215,8 @@ Executor::serviceWorker(int fd, std::string workerName)
                 queue.clear();
             }
         }
-        closeFd(fd);
+        if (ownClose)
+            closeFd(fd);
         if (haveFlight)
             requeueOrFail(std::move(flight));
         for (Flight& orphan : orphans) {
@@ -230,7 +237,12 @@ Executor::drain()
         if (stopping && threads.empty())
             return;
         stopping = true;
-        fds = workerFds;
+        // Claim every live fd: once out of workerFds, a service
+        // thread that detects its worker's death will not close it
+        // (see serviceWorker), so writing to these outside the lock
+        // cannot hit a closed-and-reused descriptor.
+        fds = std::move(workerFds);
+        workerFds.clear();
         for (auto& [key, flight] : flights)
             orphans.push_back(std::move(flight));
         flights.clear();
@@ -248,11 +260,11 @@ Executor::drain()
             t.join();
     }
     threads.clear();
+    // Claimed fds close only after every service thread is gone.
+    for (const int fd : fds)
+        closeFd(fd);
     {
         std::lock_guard lock(mutex);
-        for (const int fd : workerFds)
-            closeFd(fd);
-        workerFds.clear();
         liveWorkers = 0;
     }
     for (Flight& orphan : orphans) {

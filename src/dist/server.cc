@@ -129,10 +129,22 @@ Server::~Server()
 {
     stop();
     std::lock_guard lock(handlersMutex);
-    for (std::thread& handler : handlers) {
-        if (handler.joinable())
-            handler.join();
+    for (Handler& handler : handlers) {
+        if (handler.thread.joinable())
+            handler.thread.join();
     }
+}
+
+void
+Server::reapFinishedHandlers()
+{
+    std::erase_if(handlers, [](Handler& handler) {
+        if (!handler.done->load(std::memory_order_acquire))
+            return false;
+        if (handler.thread.joinable())
+            handler.thread.join();
+        return true;
+    });
 }
 
 void
@@ -153,15 +165,25 @@ Server::serve()
             closeFd(fd);
             break;
         }
-        handlers.emplace_back(
-            [this, fd] { handleConnection(fd); });
+        // A long-lived daemon serves unbounded requests; reap the
+        // threads of finished ones instead of hoarding them until
+        // serve() exits.
+        reapFinishedHandlers();
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        Handler handler;
+        handler.done = done;
+        handler.thread = std::thread([this, fd, done] {
+            handleConnection(fd);
+            done->store(true, std::memory_order_release);
+        });
+        handlers.push_back(std::move(handler));
     }
     // Loop over: settle clients, then drain workers.
     {
         std::lock_guard lock(handlersMutex);
-        for (std::thread& handler : handlers) {
-            if (handler.joinable())
-                handler.join();
+        for (Handler& handler : handlers) {
+            if (handler.thread.joinable())
+                handler.thread.join();
         }
         handlers.clear();
     }

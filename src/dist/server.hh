@@ -26,6 +26,7 @@
 #define XBSP_DIST_SERVER_HH
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -72,8 +73,20 @@ class Server
     void stop();
 
   private:
+    /** A client-connection thread plus a flag it raises on exit, so
+     *  the accept loop can reap finished handlers without joining
+     *  (and thus blocking on) live ones. */
+    struct Handler
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
     void handleConnection(int fd);
     void handleSuite(int fd, const SuiteRequest& request);
+    /** Join and drop every handler whose done flag is set.  Caller
+     *  holds handlersMutex. */
+    void reapFinishedHandlers();
 
     ServerOptions opts;
     std::string serverName;
@@ -81,7 +94,7 @@ class Server
     Executor exec;
     std::atomic<bool> stopping{false};
     std::mutex handlersMutex;
-    std::vector<std::thread> handlers;
+    std::vector<Handler> handlers;
 };
 
 /**

@@ -301,8 +301,11 @@ sendFrame(int fd, const std::string& frame)
 {
     std::size_t off = 0;
     while (off < frame.size()) {
-        const ssize_t n =
-            ::write(fd, frame.data() + off, frame.size() - off);
+        // MSG_NOSIGNAL: a peer that reset the connection (killed
+        // worker, disconnected client) must surface as EPIPE, not a
+        // process-killing SIGPIPE in the serve daemon.
+        const ssize_t n = ::send(fd, frame.data() + off,
+                                 frame.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

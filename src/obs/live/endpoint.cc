@@ -19,14 +19,16 @@ namespace xbsp::obs
 namespace
 {
 
-/** Write all of `data`, tolerating short writes; false on error. */
+/** Write all of `data`, tolerating short writes; false on error.
+ *  MSG_NOSIGNAL: a scraper that hung up mid-response must surface as
+ *  EPIPE, not a SIGPIPE that kills the instrumented process. */
 bool
 writeAll(int fd, std::string_view data)
 {
     std::size_t off = 0;
     while (off < data.size()) {
-        const ssize_t n =
-            ::write(fd, data.data() + off, data.size() - off);
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

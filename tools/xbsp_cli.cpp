@@ -643,7 +643,17 @@ cmdServe(const Options& options)
     dist::ServerOptions so;
     so.unixPath = options.getString("serve-socket");
     const std::string tcp = options.getString("serve-tcp");
-    so.tcpPort = tcp.empty() ? -1 : std::atoi(tcp.c_str());
+    if (!tcp.empty()) {
+        // Validate like parseAddress does client-side; atoi would
+        // turn "abc" into 0 and silently bind an ephemeral port.
+        // 0 stays legal here: it means "pick a port" (tests use it).
+        char* end = nullptr;
+        const long port = std::strtol(tcp.c_str(), &end, 10);
+        if (end == tcp.c_str() || *end != '\0' || port < 0 ||
+            port > 65535)
+            fatal("bad --serve-tcp port '{}' (want 0-65535)", tcp);
+        so.tcpPort = static_cast<int>(port);
+    }
     if (so.unixPath.empty() && tcp.empty())
         fatal("serve needs --serve-socket PATH and/or "
               "--serve-tcp PORT");
