@@ -34,13 +34,18 @@ main(int argc, char** argv)
         const sim::CrossBinaryStudy& s = suite.study(name);
         for (std::size_t b = 0; b < s.binaries().size(); ++b) {
             const sim::BinaryStudy& bs = s.perBinary()[b];
-            // Rebuild the estimate with cold region replays.
+            // Rebuild the estimate with cold region replays,
+            // through the same request a full detailed run uses.
+            sim::DetailedRunRequest request =
+                sim::makeRunRequest(config.study);
+            request.mappable = &s.mappable();
+            request.binaryIdx = b;
+            request.partition = &s.partition();
             double coldCpi = 0.0;
             for (const auto& phase : bs.vliEstimate.phases) {
                 const sim::IntervalStats cold = sim::simulateVliRegion(
-                    s.binaries()[b], config.study.memory, s.mappable(),
-                    b, s.partition(), phase.representative,
-                    sim::RegionWarming::Cold, config.study.engineSeed);
+                    s.binaries()[b], request, phase.representative,
+                    sim::RegionWarming::Cold);
                 coldCpi += phase.weight * cold.cpi();
             }
             table.startRow();

@@ -441,5 +441,50 @@ main(int argc, char** argv)
                " ({} workers, reports {})",
                workerCount, identical ? "identical" : "DIFFER");
     }
+
+    // Cross-microarchitecture benchmark: the same binaries studied
+    // under every timing core (in-order and decoupled-frontend),
+    // reporting per-binary CPI error and per-pair speedup error for
+    // FLI vs VLI under each.  The timing-independent artifacts
+    // (compiles, profiles, clusterings) are shared through the
+    // store, so the second core re-runs only the detailed stages.
+    {
+        using clock = std::chrono::steady_clock;
+        const auto start = clock::now();
+        const harness::CrossCoreReport cores =
+            harness::crossCoreComparison(config);
+        const double coresSeconds =
+            std::chrono::duration<double>(clock::now() - start)
+                .count();
+        bench::emit(cores.cpi, options);
+        bench::emit(cores.speedup, options);
+
+        std::ofstream coresJson("BENCH_cores.json");
+        if (!coresJson)
+            fatal("cannot write 'BENCH_cores.json'");
+        JsonWriter w(coresJson);
+        w.beginObject();
+        w.member("jobs", configuredJobs());
+        w.member("seconds", coresSeconds, 3);
+        const auto writeTable = [&w](const char* key,
+                                     const Table& table) {
+            w.key(key).beginArray();
+            for (std::size_t r = 0; r < table.rowCount(); ++r) {
+                w.beginObject();
+                for (std::size_t c = 0; c < table.columnCount(); ++c)
+                    w.member(table.header(c), table.cell(r, c));
+                w.endObject();
+            }
+            w.endArray();
+        };
+        writeTable("cpi_error", cores.cpi);
+        writeTable("speedup_error", cores.speedup);
+        w.endObject();
+        coresJson << '\n';
+        inform("wrote cross-core summary to BENCH_cores.json "
+               "({} CPI rows, {} speedup rows, {:.1f}s)",
+               cores.cpi.rowCount(), cores.speedup.rowCount(),
+               coresSeconds);
+    }
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/core.hh"
 #include "exec/compiled.hh"
 #include "harness/experiments.hh"
 #include "util/format.hh"
@@ -50,6 +51,10 @@ makeOptions(const std::string& description)
                       "execution engine: interp|compiled (default: "
                       "XBSP_ENGINE, else compiled; pure speed knob — "
                       "results are bit-identical)", "");
+    options.addString("core",
+                      "timing core: inorder|decoupled (default: "
+                      "XBSP_CORE, else inorder; a model knob — "
+                      "changes results and store keys)", "");
     options.addJobs();
     options.addString("json",
                       "write a machine-readable timing summary to "
@@ -84,6 +89,10 @@ makeConfig(const Options& options)
     if (const std::string mode = options.getString("engine");
         !mode.empty())
         exec::selectEngineMode(mode);
+    // A model knob: defaultStudyConfig() below reads the selection.
+    if (const std::string mode = options.getString("core");
+        !mode.empty())
+        cpu::selectCore(mode);
     config.workloads = splitList(options.getString("workloads"));
     config.workScale = options.getDouble("scale");
     config.study = harness::defaultStudyConfig();

@@ -32,6 +32,7 @@
 #include "cache/hierarchy.hh"
 #include "cache/reference.hh"
 #include "cpu/core.hh"
+#include "cpu/inorder.hh"
 #include "exec/compiled.hh"
 #include "exec/engine.hh"
 #include "exec/trace.hh"

@@ -15,6 +15,7 @@
 #include "cache/hierarchy.hh"
 #include "compile/compiler.hh"
 #include "cpu/core.hh"
+#include "cpu/inorder.hh"
 #include "exec/engine.hh"
 #include "mem/pattern.hh"
 #include "simpoint/simpoint.hh"

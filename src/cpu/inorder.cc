@@ -1,0 +1,10 @@
+#include "cpu/inorder.hh"
+
+namespace xbsp::cpu
+{
+
+InOrderCore::InOrderCore(cache::Hierarchy& hierarchy) : Core(hierarchy)
+{
+}
+
+} // namespace xbsp::cpu

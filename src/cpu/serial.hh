@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Serialization and content hashing of the CPU-backend
+ * parameterization.  CoreConfig is a *model* knob: it must reach
+ * every artifact-store key that depends on timing (detailedRunKey,
+ * the study config digest) and travel bit-exactly inside StudyConfig
+ * over the dist wire, so two processes agree on stage keys.
+ */
+
+#ifndef XBSP_CPU_SERIAL_HH
+#define XBSP_CPU_SERIAL_HH
+
+#include "cpu/core.hh"
+#include "util/serial.hh"
+
+namespace xbsp::cpu
+{
+
+/** Round-trip every CoreConfig field bit-exactly. */
+void encodeCoreConfig(serial::Encoder& e, const CoreConfig& c);
+CoreConfig decodeCoreConfig(serial::Decoder& d);
+
+/** Fold every CoreConfig field into `h` (store-key identity). */
+void hashCoreConfig(serial::Hasher& h, const CoreConfig& c);
+
+/** Round-trip the full counter set (DetailedRunCodec payload). */
+void encodeCoreStats(serial::Encoder& e, const CoreStats& s);
+CoreStats decodeCoreStats(serial::Decoder& d);
+
+} // namespace xbsp::cpu
+
+#endif // XBSP_CPU_SERIAL_HH

@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include "cpu/core.hh"
 #include "dist/stagerun.hh"
 #include "store/store.hh"
 #include "util/format.hh"
@@ -26,6 +27,14 @@ suiteConfig(const SuiteRequest& request)
     config.study.intervalTarget = request.intervalTarget;
     config.study.simpoint.maxK = static_cast<u32>(request.maxK);
     config.study.simpoint.seed = request.seed;
+    if (!request.core.empty()) {
+        const auto kind = cpu::parseCoreKind(request.core);
+        if (!kind) {
+            throw std::runtime_error("unknown core '" + request.core +
+                                     "' (want inorder|decoupled)");
+        }
+        config.study.core = cpu::coreConfigFor(*kind);
+    }
     // The report is the deliverable; progress chatter stays off so
     // serve-mode and --local runs print through one code path only.
     config.verbose = false;

@@ -97,6 +97,7 @@ frameSuiteRequest(const SuiteRequest& m)
     e.varint(m.intervalTarget);
     e.varint(m.maxK);
     e.varint(m.seed);
+    e.str(m.core);
     return frame(std::move(e));
 }
 
@@ -192,6 +193,7 @@ decodeSuiteRequest(serial::Decoder& d)
     m.intervalTarget = d.varint();
     m.maxK = d.varint();
     m.seed = d.varint();
+    m.core = d.str();
     d.expectEnd();
     return m;
 }

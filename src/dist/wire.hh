@@ -46,8 +46,12 @@ namespace xbsp::dist
 /** Frame magic ("XBSD" = xbsp distributed). */
 constexpr u32 frameMagic = serial::fourcc("XBSD");
 
-/** Protocol version; peers with a different version are rejected. */
-constexpr u32 protocolVersion = 1;
+/**
+ * Protocol version; peers with a different version are rejected.
+ * Version 2: SuiteRequest carries the timing-core selection and
+ * StageTask's embedded StudyConfig grew the CoreConfig fields.
+ */
+constexpr u32 protocolVersion = 2;
 
 /** Largest accepted frame payload (a malformed length cannot OOM). */
 constexpr u64 maxFrameBytes = 16ull * 1024 * 1024;
@@ -101,6 +105,13 @@ struct SuiteRequest
     u64 intervalTarget = 250'000;
     u64 maxK = 10;
     u64 seed = 42;
+
+    /**
+     * Timing core ("inorder"/"decoupled"; "" = server default).
+     * Clients resolve --core/XBSP_CORE before submitting, so the
+     * rendered report never depends on the daemon's environment.
+     */
+    std::string core;
 };
 
 struct SuiteResponse

@@ -32,6 +32,9 @@ defaultStudyConfig()
     // engine for cross-checking.
     config.simpoint.accelerate = true;
     config.primaryIdx = 0;            // 32-bit unoptimized
+    // The timing backend honours --core / XBSP_CORE; the default
+    // (in-order) keeps every pre-existing report byte-identical.
+    config.core = cpu::defaultCoreConfig();
     return config;
 }
 
@@ -328,6 +331,68 @@ ExperimentSuite::figure5()
         "Figure 5: Speedup error, cross platform (FLI = per-binary "
         "SimPoint, VLI = mappable SimPoint)",
         sim::crossPlatformPairs(), names, *this);
+}
+
+CrossCoreReport
+crossCoreComparison(const ExperimentConfig& config)
+{
+    static constexpr cpu::CoreKind kinds[] = {
+        cpu::CoreKind::InOrder, cpu::CoreKind::Decoupled};
+
+    // One suite per backend over the same workloads and binaries;
+    // only study.core.kind differs, so the studies share every
+    // timing-independent artifact (compiles, profiles, clusterings)
+    // through the store.
+    std::vector<std::unique_ptr<ExperimentSuite>> suites;
+    for (const cpu::CoreKind kind : kinds) {
+        ExperimentConfig c = config;
+        c.study.core.kind = kind;
+        suites.push_back(std::make_unique<ExperimentSuite>(c));
+        suites.back()->precompute();
+    }
+
+    Table cpi("Cross-microarchitecture CPI error (same binaries, "
+              "both timing cores)",
+              {"benchmark", "binary", "core", "true CPI", "FLI",
+               "VLI"});
+    Table speedup("Cross-microarchitecture speedup error (FLI = "
+                  "per-binary SimPoint, VLI = mappable SimPoint)",
+                  {"benchmark", "pair", "core", "true spd", "FLI",
+                   "VLI"});
+
+    std::vector<sim::SpeedupPair> pairs = sim::samePlatformPairs();
+    for (sim::SpeedupPair& pair : sim::crossPlatformPairs())
+        pairs.push_back(std::move(pair));
+
+    for (const std::string& name : suites[0]->workloads()) {
+        for (std::size_t k = 0; k < suites.size(); ++k) {
+            const sim::CrossBinaryStudy& s = suites[k]->study(name);
+            const std::string core{cpu::coreKindName(kinds[k])};
+            for (const sim::BinaryStudy& bs : s.perBinary()) {
+                cpi.startRow();
+                cpi.addCell(name);
+                cpi.addCell(bin::targetName(bs.target));
+                cpi.addCell(core);
+                cpi.addNumber(bs.vliEstimate.trueCpi, 3);
+                cpi.addPercent(bs.fliEstimate.cpiError, 2);
+                cpi.addPercent(bs.vliEstimate.cpiError, 2);
+            }
+            for (const sim::SpeedupPair& pair : pairs) {
+                speedup.startRow();
+                speedup.addCell(name);
+                speedup.addCell(pair.label);
+                speedup.addCell(core);
+                speedup.addNumber(s.trueSpeedup(pair.a, pair.b), 3);
+                speedup.addPercent(
+                    s.speedupError(sim::Method::PerBinaryFli, pair.a,
+                                   pair.b), 2);
+                speedup.addPercent(
+                    s.speedupError(sim::Method::MappableVli, pair.a,
+                                   pair.b), 2);
+            }
+        }
+    }
+    return CrossCoreReport{std::move(cpi), std::move(speedup)};
 }
 
 Table

@@ -171,6 +171,30 @@ void buildSuiteGraph(SuiteGraph& out, const ExperimentConfig& config,
 /** Default study configuration used by all benches. */
 sim::StudyConfig defaultStudyConfig();
 
+/**
+ * The cross-*microarchitecture* experiment: the same binaries studied
+ * under every timing backend (in-order and decoupled), extending the
+ * paper's cross-ISA/opt-level axis with the machine-model axis its
+ * method claims to survive.
+ */
+struct CrossCoreReport
+{
+    /** Per (workload, binary, core): true CPI + FLI/VLI CPI error. */
+    Table cpi;
+
+    /** Per (workload, pair, core): FLI/VLI speedup error over the
+        same-platform and cross-platform pairs of Figures 4–5. */
+    Table speedup;
+};
+
+/**
+ * Run (or fetch from the artifact store) one study per workload per
+ * core kind — config.study.core supplies the non-kind knobs — and
+ * render both tables.  Row order is deterministic: workloads in
+ * config order, cores in CoreKind order.
+ */
+CrossCoreReport crossCoreComparison(const ExperimentConfig& config);
+
 } // namespace xbsp::harness
 
 #endif // XBSP_HARNESS_EXPERIMENTS_HH

@@ -4,6 +4,9 @@
 
 #include "binary/serial.hh"
 #include "core/serial.hh"
+#include "cpu/decoupled.hh"
+#include "cpu/inorder.hh"
+#include "cpu/serial.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "sim/serial.hh"
@@ -38,6 +41,7 @@ detailedRunKey(const bin::Binary& binary,
         core::hashPartition(h, *req.partition);
     }
     hashHierarchy(h, req.memory);
+    cpu::hashCoreConfig(h, req.core);
     h.u64v(req.seed);
     return h.finish();
 }
@@ -56,25 +60,26 @@ namespace
 {
 
 /**
- * Concrete sink for the detailed run, specialized over which
- * snapshot collectors are attached.  Memory references and block
- * events hit the core first, then the FLI snapshotter (the "core is
- * registered first" contract: snapshotters read fully updated
- * counters); markers only exist for the VLI tracker; run-end order
- * matches the legacy registration (core has no run-end hook, then
- * fli, then vli).  All three observer classes are final, so the
- * whole hot path devirtualizes.
+ * Concrete sink for the detailed run, specialized over the timing
+ * backend and over which snapshot collectors are attached.  Memory
+ * references and block events hit the core first, then the FLI
+ * snapshotter (the "core is registered first" contract: snapshotters
+ * read fully updated counters); markers go to the core (when its
+ * model consumes them) before the VLI tracker; run-end order matches
+ * the legacy registration (core has no run-end hook, then fli, then
+ * vli).  Core and observer classes are final, so the whole hot path
+ * devirtualizes per backend.
  */
-template <bool HasFli, bool HasVli>
+template <typename CoreT, bool HasFli, bool HasVli>
 struct DetailedSink
 {
-    cpu::InOrderCore& core;
+    CoreT& core;
     FliSnapshotter* fli;
     VliSnapshotter* vli;
 
     bool wantsBlocks() const { return true; }
     bool wantsMems() const { return true; }
-    bool wantsMarkers() const { return HasVli; }
+    bool wantsMarkers() const { return HasVli || CoreT::usesMarkers; }
 
     void
     onBlock(u32 blockId, u32 instrs)
@@ -93,9 +98,11 @@ struct DetailedSink
     void
     onMarker(u32 markerId)
     {
+        if constexpr (CoreT::usesMarkers)
+            core.onMarker(markerId);
         if constexpr (HasVli)
             vli->onMarker(markerId);
-        else
+        else if constexpr (!CoreT::usesMarkers)
             (void)markerId;
     }
 
@@ -109,25 +116,23 @@ struct DetailedSink
     }
 };
 
-template <bool HasFli, bool HasVli>
+template <typename CoreT, bool HasFli, bool HasVli>
 void
-runDetailedWith(exec::Engine& engine, cpu::InOrderCore& core,
+runDetailedWith(exec::Engine& engine, CoreT& core,
                 FliSnapshotter* fli, VliSnapshotter* vli)
 {
-    DetailedSink<HasFli, HasVli> sink{core, fli, vli};
+    DetailedSink<CoreT, HasFli, HasVli> sink{core, fli, vli};
     engine.runWith(sink);
 }
 
+/** One full run over a concrete (devirtualized) backend. */
+template <typename CoreT>
 DetailedRunResult
-runDetailedUncached(const bin::Binary& binary,
-                    const DetailedRunRequest& req)
+runDetailedOn(const bin::Binary& binary,
+              const DetailedRunRequest& req, CoreT& core,
+              cache::Hierarchy& hierarchy)
 {
-    obs::TraceSpan span(
-        format("detailed {}", binary.displayName()), "sim");
-    obs::StatRegistry::global().counter("sim.detailedRuns").add();
     exec::Engine engine(binary, req.seed);
-    cache::Hierarchy hierarchy(req.memory);
-    cpu::InOrderCore core(hierarchy);
 
     std::unique_ptr<FliSnapshotter> fli;
     if (!req.fliBoundaries.empty()) {
@@ -142,14 +147,20 @@ runDetailedUncached(const bin::Binary& binary,
             *req.partition);
     }
 
-    if (fli && vli)
-        runDetailedWith<true, true>(engine, core, fli.get(), vli.get());
-    else if (fli)
-        runDetailedWith<true, false>(engine, core, fli.get(), nullptr);
-    else if (vli)
-        runDetailedWith<false, true>(engine, core, nullptr, vli.get());
-    else
-        runDetailedWith<false, false>(engine, core, nullptr, nullptr);
+    if (fli && vli) {
+        runDetailedWith<CoreT, true, true>(engine, core, fli.get(),
+                                           vli.get());
+    } else if (fli) {
+        runDetailedWith<CoreT, true, false>(engine, core, fli.get(),
+                                            nullptr);
+    } else if (vli) {
+        runDetailedWith<CoreT, false, true>(engine, core, nullptr,
+                                            vli.get());
+    } else {
+        runDetailedWith<CoreT, false, false>(engine, core, nullptr,
+                                             nullptr);
+    }
+    core.flushStats();
 
     DetailedRunResult result;
     result.totals = core.totals();
@@ -165,6 +176,24 @@ runDetailedUncached(const bin::Binary& binary,
     if (vli)
         result.vliIntervals = vli->intervals();
     return result;
+}
+
+DetailedRunResult
+runDetailedUncached(const bin::Binary& binary,
+                    const DetailedRunRequest& req)
+{
+    obs::TraceSpan span(
+        format("detailed {}", binary.displayName()), "sim");
+    obs::StatRegistry::global().counter("sim.detailedRuns").add();
+    cache::Hierarchy hierarchy(req.memory);
+    // Dispatch on the backend once, here, so every event of the run
+    // flows through a concrete core type.
+    if (req.core.kind == cpu::CoreKind::Decoupled) {
+        cpu::DecoupledCore core(hierarchy, req.core);
+        return runDetailedOn(binary, req, core, hierarchy);
+    }
+    cpu::InOrderCore core(hierarchy);
+    return runDetailedOn(binary, req, core, hierarchy);
 }
 
 } // namespace

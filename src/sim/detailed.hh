@@ -63,6 +63,10 @@ struct DetailedRunRequest
     const core::VliPartition* partition = nullptr;
 
     cache::HierarchyConfig memory;
+
+    /** Timing backend (a model knob: part of the run's identity). */
+    cpu::CoreConfig core;
+
     u64 seed = 0x5EEDull;
 };
 

@@ -14,7 +14,7 @@ namespace
  */
 struct RegionGate
 {
-    cpu::InOrderCore& core;
+    cpu::Core& core;
     cache::Hierarchy& hierarchy;
     RegionWarming warming;
     IntervalStats startSnap;
@@ -132,51 +132,72 @@ class VliRegionObserver : public exec::Observer
     core::BoundaryTracker tracker;
 };
 
+/**
+ * Common machinery of both flavours: engine + hierarchy + the
+ * backend request.core describes, with the core registered first
+ * (snapshotting observers read fully updated counters) and
+ * subscribed per its own hooks so marker-fed frontends see their
+ * training events.
+ */
+struct RegionRun
+{
+    exec::Engine engine;
+    cache::Hierarchy hierarchy;
+    std::unique_ptr<cpu::Core> core;
+    RegionGate gate;
+
+    RegionRun(const bin::Binary& binary,
+              const DetailedRunRequest& request, RegionWarming warming)
+        : engine(binary, request.seed), hierarchy(request.memory),
+          core(cpu::makeCore(request.core, hierarchy)),
+          gate{*core, hierarchy, warming, {}, {}, false, false}
+    {
+        engine.addObserver(core.get(), core->hooks());
+    }
+
+    IntervalStats
+    run(exec::Observer* observer, const exec::ObserverHooks& hooks)
+    {
+        engine.addObserver(observer, hooks);
+        engine.run();
+        core->flushStats();
+        return gate.stats();
+    }
+};
+
 } // namespace
 
 IntervalStats
 simulateFliRegion(const bin::Binary& binary,
-                  const cache::HierarchyConfig& memory,
-                  const std::vector<InstrCount>& boundaries,
-                  std::size_t index, RegionWarming warming, u64 seed)
+                  const DetailedRunRequest& request, std::size_t index,
+                  RegionWarming warming)
 {
+    const std::vector<InstrCount>& boundaries = request.fliBoundaries;
     if (index >= boundaries.size())
         fatal("FLI region index {} out of range ({} intervals)",
               index, boundaries.size());
-    exec::Engine engine(binary, seed);
-    cache::Hierarchy hierarchy(memory);
-    cpu::InOrderCore core(hierarchy);
-    RegionGate gate{core, hierarchy, warming, {}, {}, false, false};
+    RegionRun run(binary, request, warming);
     const InstrCount startAt = index == 0 ? 0 : boundaries[index - 1];
-    FliRegionObserver observer(engine, gate, startAt,
+    FliRegionObserver observer(run.engine, run.gate, startAt,
                                boundaries[index]);
-    engine.addObserver(&core, {true, true, false});
-    engine.addObserver(&observer, {true, false, false});
-    engine.run();
-    return gate.stats();
+    return run.run(&observer, {true, false, false});
 }
 
 IntervalStats
 simulateVliRegion(const bin::Binary& binary,
-                  const cache::HierarchyConfig& memory,
-                  const core::MappableSet& mappable,
-                  std::size_t binaryIdx,
-                  const core::VliPartition& partition,
-                  std::size_t index, RegionWarming warming, u64 seed)
+                  const DetailedRunRequest& request, std::size_t index,
+                  RegionWarming warming)
 {
-    if (index >= partition.intervalCount())
+    if (request.partition == nullptr)
+        fatal("VLI region simulation needs request.partition");
+    if (index >= request.partition->intervalCount())
         fatal("VLI region index {} out of range ({} intervals)",
-              index, partition.intervalCount());
-    exec::Engine engine(binary, seed);
-    cache::Hierarchy hierarchy(memory);
-    cpu::InOrderCore core(hierarchy);
-    RegionGate gate{core, hierarchy, warming, {}, {}, false, false};
-    VliRegionObserver observer(engine, gate, mappable, binaryIdx,
-                               partition, index);
-    engine.addObserver(&core, {true, true, false});
-    engine.addObserver(&observer, {false, false, true});
-    engine.run();
-    return gate.stats();
+              index, request.partition->intervalCount());
+    RegionRun run(binary, request, warming);
+    VliRegionObserver observer(run.engine, run.gate, *request.mappable,
+                               request.binaryIdx, *request.partition,
+                               index);
+    return run.run(&observer, {false, false, true});
 }
 
 } // namespace xbsp::sim

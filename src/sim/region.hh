@@ -5,6 +5,13 @@
  * cold (caches flushed at region start) initial state.  Used by the
  * warming ablation bench and by integration tests that validate the
  * snapshot-gating fast path against an explicit region run.
+ *
+ * Both flavours consume the same DetailedRunRequest a full detailed
+ * run does (build it with makeRunRequest so memory/core/seed cannot
+ * diverge from the study configuration): simulateFliRegion reads
+ * request.fliBoundaries, simulateVliRegion reads request.mappable /
+ * binaryIdx / partition, and both build the timing backend that
+ * request.core describes.
  */
 
 #ifndef XBSP_SIM_REGION_HH
@@ -12,6 +19,7 @@
 
 #include "cache/hierarchy.hh"
 #include "core/vli.hh"
+#include "sim/detailed.hh"
 #include "sim/snapshots.hh"
 
 namespace xbsp::sim
@@ -25,29 +33,23 @@ enum class RegionWarming
 };
 
 /**
- * Simulate interval `index` of a binary's FLI partition.
- * `boundaries` are the cumulative interval ends (incl. final) from
- * the binary's profile pass.
+ * Simulate interval `index` of the binary's FLI partition
+ * (request.fliBoundaries: cumulative interval ends incl. final, from
+ * the binary's profile pass; must be non-empty).
  */
 IntervalStats simulateFliRegion(const bin::Binary& binary,
-                                const cache::HierarchyConfig& memory,
-                                const std::vector<InstrCount>& boundaries,
+                                const DetailedRunRequest& request,
                                 std::size_t index,
-                                RegionWarming warming,
-                                u64 seed = 0x5EEDull);
+                                RegionWarming warming);
 
 /**
- * Simulate interval `index` of the mapped VLI partition in any
- * binary of the mappable set.
+ * Simulate interval `index` of the mapped VLI partition
+ * (request.mappable / binaryIdx / partition; partition must be set).
  */
 IntervalStats simulateVliRegion(const bin::Binary& binary,
-                                const cache::HierarchyConfig& memory,
-                                const core::MappableSet& mappable,
-                                std::size_t binaryIdx,
-                                const core::VliPartition& partition,
+                                const DetailedRunRequest& request,
                                 std::size_t index,
-                                RegionWarming warming,
-                                u64 seed = 0x5EEDull);
+                                RegionWarming warming);
 
 } // namespace xbsp::sim
 

@@ -1,5 +1,7 @@
 #include "sim/serial.hh"
 
+#include "cpu/serial.hh"
+
 namespace xbsp::sim
 {
 
@@ -47,9 +49,7 @@ hashLevel(serial::Hasher& h, const cache::LevelConfig& level)
 void
 encodeDetailedRun(serial::Encoder& e, const DetailedRunResult& r)
 {
-    e.varint(r.totals.instructions);
-    e.varint(r.totals.cycles);
-    e.varint(r.totals.memRefs);
+    cpu::encodeCoreStats(e, r.totals);
     e.varint(r.memory.refs);
     e.varint(r.memory.l1Hits);
     e.varint(r.memory.l2Hits);
@@ -64,9 +64,7 @@ DetailedRunResult
 decodeDetailedRun(serial::Decoder& d)
 {
     DetailedRunResult r;
-    r.totals.instructions = d.varint();
-    r.totals.cycles = d.varint();
-    r.totals.memRefs = d.varint();
+    r.totals = cpu::decodeCoreStats(d);
     r.memory.refs = d.varint();
     r.memory.l1Hits = d.varint();
     r.memory.l2Hits = d.varint();
@@ -141,6 +139,7 @@ encodeStudyConfig(serial::Encoder& e, const StudyConfig& c)
     e.varint(c.compileOptions.jitterSeed);
     e.varint(c.engineSeed);
     e.boolean(c.detailed);
+    cpu::encodeCoreConfig(e, c.core);
 }
 
 StudyConfig
@@ -171,6 +170,7 @@ decodeStudyConfig(serial::Decoder& d)
     c.compileOptions.jitterSeed = d.varint();
     c.engineSeed = d.varint();
     c.detailed = d.boolean();
+    c.core = cpu::decodeCoreConfig(d);
     return c;
 }
 

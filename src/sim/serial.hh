@@ -34,12 +34,17 @@ StudyConfig decodeStudyConfig(serial::Decoder& d);
 void hashHierarchy(serial::Hasher& h,
                    const cache::HierarchyConfig& config);
 
-/** Artifact-store codec for runDetailed results. */
+/**
+ * Artifact-store codec for runDetailed results.  Version 2: the
+ * CoreStats payload grew the frontend counters (branches,
+ * mispredicts, flushes, fetch bubbles) of the pluggable CPU-backend
+ * layer; version-1 artifacts are simply recomputed.
+ */
 struct DetailedRunCodec
 {
     using Value = DetailedRunResult;
     static constexpr u32 tag = serial::fourcc("DETR");
-    static constexpr u32 version = 1;
+    static constexpr u32 version = 2;
 
     static void
     encode(serial::Encoder& e, const DetailedRunResult& r)

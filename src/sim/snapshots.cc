@@ -45,7 +45,7 @@ SnapshotSeries::intervals() const
 }
 
 FliSnapshotter::FliSnapshotter(const exec::Engine& eng,
-                               const cpu::InOrderCore& c,
+                               const cpu::Core& c,
                                std::vector<InstrCount> boundaries)
     : engine(eng), core(c), bounds(std::move(boundaries))
 {
@@ -82,7 +82,7 @@ FliSnapshotter::onRunEnd()
 }
 
 VliSnapshotter::VliSnapshotter(const exec::Engine& eng,
-                               const cpu::InOrderCore& c,
+                               const cpu::Core& c,
                                const core::MappableSet& mappable,
                                std::size_t binaryIdx,
                                const core::VliPartition& partition)

@@ -72,7 +72,7 @@ class FliSnapshotter final : public exec::Observer
      * prof::FliBbvCollector::boundaries()).
      */
     FliSnapshotter(const exec::Engine& engine,
-                   const cpu::InOrderCore& core,
+                   const cpu::Core& core,
                    std::vector<InstrCount> boundaries);
 
     exec::ObserverHooks
@@ -88,7 +88,7 @@ class FliSnapshotter final : public exec::Observer
 
   private:
     const exec::Engine& engine;
-    const cpu::InOrderCore& core;
+    const cpu::Core& core;
     std::vector<InstrCount> bounds;
     std::size_t next = 0;
     SnapshotSeries series;
@@ -99,7 +99,7 @@ class VliSnapshotter final : public exec::Observer
 {
   public:
     VliSnapshotter(const exec::Engine& engine,
-                   const cpu::InOrderCore& core,
+                   const cpu::Core& core,
                    const core::MappableSet& mappable,
                    std::size_t binaryIdx,
                    const core::VliPartition& partition);
@@ -117,7 +117,7 @@ class VliSnapshotter final : public exec::Observer
 
   private:
     const exec::Engine& engine;
-    const cpu::InOrderCore& core;
+    const cpu::Core& core;
     core::BoundaryTracker tracker;
     SnapshotSeries series;
 };

@@ -4,6 +4,7 @@
 
 #include "binary/serial.hh"
 #include "core/serial.hh"
+#include "cpu/serial.hh"
 #include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "profile/serial.hh"
@@ -135,13 +136,11 @@ StudyBuild::binary(std::size_t b)
         return;
     }
 
-    DetailedRunRequest req;
+    DetailedRunRequest req = makeRunRequest(config);
     req.fliBoundaries = bs.fliBoundaries;
     req.mappable = &study.mappableSet;
     req.binaryIdx = b;
     req.partition = &study.vliPartition;
-    req.memory = config.memory;
-    req.seed = config.engineSeed;
     bs.detailedRun = runDetailed(study.bins[b], req);
 
     bs.fliEstimate = estimateSampled(bs.fliClustering,
@@ -211,13 +210,11 @@ StudyBuild::binaryCached(std::size_t b) const
                             study.cfg.simpoint),
             sp::SimPointCodec::tag, sp::SimPointCodec::version))
         return false;
-    DetailedRunRequest req;
+    DetailedRunRequest req = makeRunRequest(study.cfg);
     req.fliBoundaries = passes[b].fliBoundaries;
     req.mappable = &study.mappableSet;
     req.binaryIdx = b;
     req.partition = &study.vliPartition;
-    req.memory = study.cfg.memory;
-    req.seed = study.cfg.engineSeed;
     return store.contains(detailedRunKey(study.bins[b], req),
                           DetailedRunCodec::tag,
                           DetailedRunCodec::version);
@@ -268,13 +265,11 @@ StudyBuild::binaryKeyHex(std::size_t b) const
     if (!study.cfg.detailed || b >= study.bins.size() ||
         b >= study.studies.size())
         return {};
-    DetailedRunRequest req;
+    DetailedRunRequest req = makeRunRequest(study.cfg);
     req.fliBoundaries = study.studies[b].fliBoundaries;
     req.mappable = &study.mappableSet;
     req.binaryIdx = b;
     req.partition = &study.vliPartition;
-    req.memory = study.cfg.memory;
-    req.seed = study.cfg.engineSeed;
     return detailedRunKey(study.bins[b], req).hex();
 }
 
@@ -287,6 +282,7 @@ studyConfigDigest(std::string_view workload, const StudyConfig& config)
     sp::hashSimPointOptions(h, config.simpoint);
     h.u64v(config.primaryIdx);
     hashHierarchy(h, config.memory);
+    cpu::hashCoreConfig(h, config.core);
     h.boolean(config.compileOptions.enableInlining);
     h.boolean(config.compileOptions.enableUnrolling);
     h.boolean(config.compileOptions.enableLoopSplitting);

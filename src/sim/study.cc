@@ -166,4 +166,14 @@ crossPlatformPairs(std::size_t binaryCount)
     return {{0, 2, "32u64u"}, {1, 3, "32o64o"}};
 }
 
+DetailedRunRequest
+makeRunRequest(const StudyConfig& config)
+{
+    DetailedRunRequest request;
+    request.memory = config.memory;
+    request.core = config.core;
+    request.seed = config.engineSeed;
+    return request;
+}
+
 } // namespace xbsp::sim

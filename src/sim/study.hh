@@ -61,6 +61,14 @@ struct StudyConfig
     /** Memory system (paper Table 1 by default). */
     cache::HierarchyConfig memory;
 
+    /**
+     * Timing backend (in-order by default).  A model knob like
+     * `memory`: it parameterizes every detailed run, flows into the
+     * detailed-run store key and the study config digest, and ships
+     * inside StageTask over the dist wire.
+     */
+    cpu::CoreConfig core;
+
     /** Model-compiler pass toggles. */
     compile::CompileOptions compileOptions;
 
@@ -180,6 +188,15 @@ struct SpeedupPair
  */
 std::vector<SpeedupPair> samePlatformPairs(std::size_t binaryCount = 4);
 std::vector<SpeedupPair> crossPlatformPairs(std::size_t binaryCount = 4);
+
+/**
+ * The one place a DetailedRunRequest is derived from a StudyConfig:
+ * memory, core and seed are copied here and nowhere else, so the
+ * FLI, VLI and region-replay call sites cannot silently diverge.
+ * Scheme fields (fliBoundaries / mappable / partition) start empty;
+ * callers fill in the ones they need.
+ */
+DetailedRunRequest makeRunRequest(const StudyConfig& config);
 
 } // namespace xbsp::sim
 

@@ -49,6 +49,12 @@ class Table
     /** Read a cell back (row-major), for tests and post-processing. */
     const std::string& cell(std::size_t row, std::size_t col) const;
 
+    /** Read a column header back. */
+    const std::string& header(std::size_t col) const
+    {
+        return headers.at(col);
+    }
+
     /** The caption supplied at construction. */
     const std::string& caption() const { return title; }
 

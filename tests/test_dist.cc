@@ -17,6 +17,7 @@
 #include <sstream>
 #include <thread>
 
+#include "cpu/core.hh"
 #include "dist/client.hh"
 #include "dist/server.hh"
 #include "dist/spawn.hh"
@@ -104,6 +105,7 @@ TEST(DistWire, SuiteRequestFrameRoundTrip)
     request.intervalTarget = 123'456;
     request.maxK = 7;
     request.seed = 99;
+    request.core = "decoupled";
 
     const std::string frame = dist::frameSuiteRequest(request);
     // Strip the 8-byte frame header (magic + size); the payload is
@@ -118,6 +120,23 @@ TEST(DistWire, SuiteRequestFrameRoundTrip)
     EXPECT_EQ(back.intervalTarget, request.intervalTarget);
     EXPECT_EQ(back.maxK, request.maxK);
     EXPECT_EQ(back.seed, request.seed);
+    EXPECT_EQ(back.core, request.core);
+}
+
+TEST(DistWire, SuiteConfigRejectsUnknownCore)
+{
+    dist::SuiteRequest request = smallRequest();
+    request.core = "tomasulo";
+    EXPECT_THROW((void)dist::suiteConfig(request),
+                 std::runtime_error);
+    request.core = "decoupled";
+    const harness::ExperimentConfig config =
+        dist::suiteConfig(request);
+    EXPECT_EQ(config.study.core.kind, cpu::CoreKind::Decoupled);
+    // "" keeps the server's default model.
+    request.core.clear();
+    EXPECT_EQ(dist::suiteConfig(request).study.core,
+              harness::defaultStudyConfig().core);
 }
 
 TEST(DistWire, StageTaskCodecRoundTrip)
@@ -126,6 +145,8 @@ TEST(DistWire, StageTaskCodecRoundTrip)
     task.workload = "gzip";
     task.workScale = 0.375;
     task.config = harness::defaultStudyConfig();
+    task.config.core = cpu::coreConfigFor(cpu::CoreKind::Decoupled);
+    task.config.core.predictorBits = 9;
     task.stage = "profile";
     task.index = 2;
 
@@ -135,6 +156,7 @@ TEST(DistWire, StageTaskCodecRoundTrip)
     EXPECT_EQ(back.workScale, task.workScale);
     EXPECT_EQ(back.stage, task.stage);
     EXPECT_EQ(back.index, task.index);
+    EXPECT_EQ(back.config.core, task.config.core);
     // The single-flight key is a pure function of the spec bytes.
     EXPECT_EQ(dist::stageTaskKey(back), dist::stageTaskKey(task));
     EXPECT_EQ(dist::encodeStageTask(back), payload);
@@ -151,6 +173,14 @@ TEST_F(DistTest, CrossProcessCodecRoundTrip)
     task.workScale = 0.25;
     task.config = harness::defaultStudyConfig();
     task.config.intervalTarget = 50'000;
+    // A thoroughly non-default core: every CoreConfig field must
+    // survive the exec boundary bit-exactly, or remote workers would
+    // silently simulate a different machine.
+    task.config.core.kind = cpu::CoreKind::Decoupled;
+    task.config.core.fetchWidth = 8;
+    task.config.core.ftqDepth = 32;
+    task.config.core.predictorBits = 10;
+    task.config.core.mispredictPenalty = 7;
     task.stage = "vli";
     task.index = 0;
     const std::string payload = dist::encodeStageTask(task);
@@ -175,10 +205,19 @@ TEST_F(DistTest, CrossProcessCodecRoundTrip)
     EXPECT_EQ(buf.str(), payload);
 }
 
-TEST_F(DistTest, SuiteByteIdenticalUnderWorkerDeath)
+namespace
 {
-    const dist::SuiteRequest request = smallRequest();
 
+/**
+ * The serve-mode acceptance run: render `request` locally, then
+ * through an in-process daemon backed by two spawned workers (one
+ * rigged to die after its first task), and require byte-identical
+ * reports.  Shared by the default-core and decoupled-core variants.
+ */
+void
+checkSuiteByteIdenticalUnderWorkerDeath(const fs::path& base,
+                                        const dist::SuiteRequest& request)
+{
     // Local baseline: the daemon's exact rendering path, no backend,
     // its own cache directory.
     store::ArtifactStore::configureGlobal(
@@ -232,4 +271,23 @@ TEST_F(DistTest, SuiteByteIdenticalUnderWorkerDeath)
     serveThread.join();
     EXPECT_EQ(dist::waitProcess(w2), 3);  // injected _exit(3)
     EXPECT_EQ(dist::waitProcess(w1), 0);  // drained via Shutdown
+}
+
+} // namespace
+
+TEST_F(DistTest, SuiteByteIdenticalUnderWorkerDeath)
+{
+    checkSuiteByteIdenticalUnderWorkerDeath(base, smallRequest());
+}
+
+TEST_F(DistTest, DecoupledSuiteByteIdenticalUnderWorkerDeath)
+{
+    // Same acceptance run with the non-default timing core riding in
+    // the request: the workers must simulate the decoupled machine
+    // (CoreConfig travels inside every StageTask), or the reports
+    // diverge.
+    dist::SuiteRequest request = smallRequest();
+    request.workloads = {"swim"};
+    request.core = "decoupled";
+    checkSuiteByteIdenticalUnderWorkerDeath(base, request);
 }

@@ -9,6 +9,7 @@
 #include "cache/hierarchy.hh"
 #include "cache/reference.hh"
 #include "cpu/core.hh"
+#include "cpu/inorder.hh"
 
 using namespace xbsp;
 using cache::Hierarchy;

@@ -3,6 +3,9 @@
  * Integration tests: standalone region simulation must agree exactly
  * with the snapshot-gated statistics of a full detailed run (warm
  * sampling), and cold sampling must differ in the expected direction.
+ * Region replay consumes the same DetailedRunRequest a full run does,
+ * so every test exercises the one request-construction path under
+ * both timing cores.
  */
 
 #include <gtest/gtest.h>
@@ -23,7 +26,6 @@ struct Fixture
     std::vector<prof::ProfilePass> passes;
     core::MappableSet set;
     core::VliBuild build;
-    cache::HierarchyConfig memory;
 
     explicit Fixture(InstrCount target)
     {
@@ -39,7 +41,30 @@ struct Fixture
         set = core::findMappablePoints(bins, profs);
         build = core::buildVliPartition(binaries[0], set, 0, target);
     }
+
+    sim::DetailedRunRequest fliRequest(std::size_t binaryIdx,
+                                       cpu::CoreKind kind) const
+    {
+        sim::DetailedRunRequest request;
+        request.fliBoundaries = passes[binaryIdx].fliBoundaries;
+        request.core = cpu::coreConfigFor(kind);
+        return request;
+    }
+
+    sim::DetailedRunRequest vliRequest(std::size_t binaryIdx,
+                                       cpu::CoreKind kind) const
+    {
+        sim::DetailedRunRequest request;
+        request.mappable = &set;
+        request.binaryIdx = binaryIdx;
+        request.partition = &build.partition;
+        request.core = cpu::coreConfigFor(kind);
+        return request;
+    }
 };
+
+const cpu::CoreKind bothCores[] = {cpu::CoreKind::InOrder,
+                                   cpu::CoreKind::Decoupled};
 
 } // namespace
 
@@ -47,50 +72,62 @@ TEST(RegionSim, WarmFliRegionsMatchGatedFullRun)
 {
     Fixture f(5000);
     const std::size_t binaryIdx = 0;
-    sim::DetailedRunRequest request;
-    request.fliBoundaries = f.passes[binaryIdx].fliBoundaries;
-    const auto detailed =
-        sim::runDetailed(f.binaries[binaryIdx], request);
+    for (const cpu::CoreKind kind : bothCores) {
+        const sim::DetailedRunRequest request =
+            f.fliRequest(binaryIdx, kind);
+        const auto detailed =
+            sim::runDetailed(f.binaries[binaryIdx], request);
 
-    for (std::size_t region : {std::size_t(0), std::size_t(2),
-                               detailed.fliIntervals.size() - 1}) {
-        const sim::IntervalStats standalone = sim::simulateFliRegion(
-            f.binaries[binaryIdx], f.memory,
-            f.passes[binaryIdx].fliBoundaries, region,
-            sim::RegionWarming::Warm);
-        EXPECT_EQ(standalone.instrs,
-                  detailed.fliIntervals[region].instrs);
-        EXPECT_EQ(standalone.cycles,
-                  detailed.fliIntervals[region].cycles);
+        for (std::size_t region :
+             {std::size_t(0), std::size_t(2),
+              detailed.fliIntervals.size() - 1}) {
+            const sim::IntervalStats standalone =
+                sim::simulateFliRegion(f.binaries[binaryIdx], request,
+                                       region,
+                                       sim::RegionWarming::Warm);
+            EXPECT_EQ(standalone.instrs,
+                      detailed.fliIntervals[region].instrs)
+                << "core " << cpu::coreKindName(kind) << " region "
+                << region;
+            EXPECT_EQ(standalone.cycles,
+                      detailed.fliIntervals[region].cycles)
+                << "core " << cpu::coreKindName(kind) << " region "
+                << region;
+        }
     }
 }
 
 TEST(RegionSim, WarmVliRegionsMatchGatedFullRun)
 {
     Fixture f(5000);
-    for (std::size_t binaryIdx : {std::size_t(0), std::size_t(3)}) {
-        sim::DetailedRunRequest request;
-        request.mappable = &f.set;
-        request.binaryIdx = binaryIdx;
-        request.partition = &f.build.partition;
-        const auto detailed =
-            sim::runDetailed(f.binaries[binaryIdx], request);
-        ASSERT_EQ(detailed.vliIntervals.size(),
-                  f.build.partition.intervalCount());
+    for (const cpu::CoreKind kind : bothCores) {
+        for (std::size_t binaryIdx :
+             {std::size_t(0), std::size_t(3)}) {
+            const sim::DetailedRunRequest request =
+                f.vliRequest(binaryIdx, kind);
+            const auto detailed =
+                sim::runDetailed(f.binaries[binaryIdx], request);
+            ASSERT_EQ(detailed.vliIntervals.size(),
+                      f.build.partition.intervalCount());
 
-        for (std::size_t region :
-             {std::size_t(0), std::size_t(1),
-              f.build.partition.intervalCount() - 1}) {
-            const sim::IntervalStats standalone =
-                sim::simulateVliRegion(
-                    f.binaries[binaryIdx], f.memory, f.set, binaryIdx,
-                    f.build.partition, region,
-                    sim::RegionWarming::Warm);
-            EXPECT_EQ(standalone.instrs,
-                      detailed.vliIntervals[region].instrs)
-                << "binary " << binaryIdx << " region " << region;
-            EXPECT_EQ(standalone.cycles,
-                      detailed.vliIntervals[region].cycles);
+            for (std::size_t region :
+                 {std::size_t(0), std::size_t(1),
+                  f.build.partition.intervalCount() - 1}) {
+                const sim::IntervalStats standalone =
+                    sim::simulateVliRegion(f.binaries[binaryIdx],
+                                           request, region,
+                                           sim::RegionWarming::Warm);
+                EXPECT_EQ(standalone.instrs,
+                          detailed.vliIntervals[region].instrs)
+                    << "core " << cpu::coreKindName(kind)
+                    << " binary " << binaryIdx << " region "
+                    << region;
+                EXPECT_EQ(standalone.cycles,
+                          detailed.vliIntervals[region].cycles)
+                    << "core " << cpu::coreKindName(kind)
+                    << " binary " << binaryIdx << " region "
+                    << region;
+            }
         }
     }
 }
@@ -101,12 +138,12 @@ TEST(RegionSim, ColdStartCostsMoreCycles)
     // A middle region: cold caches force extra misses, so the cold
     // replay takes at least as many cycles over the same work.
     const std::size_t region = 2;
+    const sim::DetailedRunRequest request =
+        f.vliRequest(0, cpu::CoreKind::InOrder);
     const sim::IntervalStats warm = sim::simulateVliRegion(
-        f.binaries[0], f.memory, f.set, 0, f.build.partition, region,
-        sim::RegionWarming::Warm);
+        f.binaries[0], request, region, sim::RegionWarming::Warm);
     const sim::IntervalStats cold = sim::simulateVliRegion(
-        f.binaries[0], f.memory, f.set, 0, f.build.partition, region,
-        sim::RegionWarming::Cold);
+        f.binaries[0], request, region, sim::RegionWarming::Cold);
     EXPECT_EQ(warm.instrs, cold.instrs);
     EXPECT_GT(cold.cycles, warm.cycles);
 }
@@ -115,12 +152,12 @@ TEST(RegionSim, FirstRegionWarmEqualsCold)
 {
     Fixture f(5000);
     // Region 0 starts at program start where caches are cold anyway.
+    const sim::DetailedRunRequest request =
+        f.fliRequest(0, cpu::CoreKind::InOrder);
     const sim::IntervalStats warm = sim::simulateFliRegion(
-        f.binaries[0], f.memory, f.passes[0].fliBoundaries, 0,
-        sim::RegionWarming::Warm);
+        f.binaries[0], request, 0, sim::RegionWarming::Warm);
     const sim::IntervalStats cold = sim::simulateFliRegion(
-        f.binaries[0], f.memory, f.passes[0].fliBoundaries, 0,
-        sim::RegionWarming::Cold);
+        f.binaries[0], request, 0, sim::RegionWarming::Cold);
     EXPECT_EQ(warm.instrs, cold.instrs);
     EXPECT_EQ(warm.cycles, cold.cycles);
 }
@@ -129,13 +166,13 @@ TEST(RegionSim, OutOfRangeIndexFatal)
 {
     Fixture f(5000);
     EXPECT_EXIT((void)sim::simulateFliRegion(
-                    f.binaries[0], f.memory,
-                    f.passes[0].fliBoundaries, 9999,
+                    f.binaries[0],
+                    f.fliRequest(0, cpu::CoreKind::InOrder), 9999,
                     sim::RegionWarming::Warm),
                 ::testing::ExitedWithCode(1), "out of range");
     EXPECT_EXIT((void)sim::simulateVliRegion(
-                    f.binaries[0], f.memory, f.set, 0,
-                    f.build.partition, 9999,
+                    f.binaries[0],
+                    f.vliRequest(0, cpu::CoreKind::InOrder), 9999,
                     sim::RegionWarming::Warm),
                 ::testing::ExitedWithCode(1), "out of range");
 }

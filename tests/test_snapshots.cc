@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cpu/core.hh"
 #include "sim/detailed.hh"
 #include "test_support.hh"
 
@@ -25,6 +26,42 @@ TEST(SnapshotSeries, DeltasFromAbsoluteCuts)
     EXPECT_EQ(intervals[2].instrs, 150u);
     EXPECT_EQ(intervals[2].cycles, 100u);
     EXPECT_DOUBLE_EQ(intervals[0].cpi(), 3.0);
+}
+
+TEST(SnapshotSeries, ZeroInstructionIntervalsPassThrough)
+{
+    // Consecutive cuts at the same instruction count are legal (two
+    // interval boundaries with no committed work between them, e.g.
+    // back-to-back markers) and must yield explicit zero-length
+    // intervals rather than panic or merge.
+    sim::SnapshotSeries series;
+    series.snapshot(100, 300);
+    series.snapshot(100, 300);
+    series.snapshot(200, 500);
+    series.finish(250, 600);
+    const auto& intervals = series.intervals();
+    ASSERT_EQ(intervals.size(), 4u);
+    EXPECT_EQ(intervals[1].instrs, 0u);
+    EXPECT_EQ(intervals[1].cycles, 0u);
+    EXPECT_DOUBLE_EQ(intervals[1].cpi(), 0.0);
+    EXPECT_EQ(intervals[2].instrs, 100u);
+    EXPECT_EQ(intervals[3].instrs, 50u);
+}
+
+TEST(SnapshotSeries, TrailingCutKeepsLateCycles)
+{
+    // A final cut at the end-of-run instruction count is dropped,
+    // but cycles charged after it (e.g. a mispredict penalty on the
+    // last block) must land in the merged final interval, keeping
+    // interval sums equal to run totals.
+    sim::SnapshotSeries series;
+    series.snapshot(100, 300);
+    series.snapshot(200, 700);
+    series.finish(200, 750);
+    const auto& intervals = series.intervals();
+    ASSERT_EQ(intervals.size(), 2u);
+    EXPECT_EQ(intervals[1].instrs, 100u);
+    EXPECT_EQ(intervals[1].cycles, 450u);
 }
 
 TEST(SnapshotSeries, TrailingCutAtEndIsMerged)
@@ -85,6 +122,67 @@ TEST(DetailedRun, FliIntervalsMatchProfileBoundaries)
         totalCycles += result.fliIntervals[i].cycles;
     }
     EXPECT_EQ(totalCycles, result.totals.cycles);
+}
+
+TEST(DetailedRun, FinalPartialIntervalUnderBothCores)
+{
+    // Drop the last FLI boundary: the run now ends mid-interval and
+    // the snapshotter must emit a final partial interval whose sums
+    // still equal the run totals — under both timing backends.
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    const prof::ProfilePass pass = prof::runProfilePass(binary, 5000);
+    ASSERT_GT(pass.fliBoundaries.size(), 1u);
+
+    for (const cpu::CoreKind kind :
+         {cpu::CoreKind::InOrder, cpu::CoreKind::Decoupled}) {
+        sim::DetailedRunRequest request;
+        request.fliBoundaries = pass.fliBoundaries;
+        request.fliBoundaries.pop_back();
+        request.core = cpu::coreConfigFor(kind);
+        const sim::DetailedRunResult result =
+            sim::runDetailed(binary, request);
+
+        // One fewer interval: the last profile interval has no
+        // closing cut, so its work lands in the final (merged)
+        // partial interval emitted at run end.
+        ASSERT_EQ(result.fliIntervals.size(),
+                  pass.fliIntervals.size() - 1)
+            << "core " << cpu::coreKindName(kind);
+        InstrCount instrs = 0;
+        Cycles cycles = 0;
+        for (const sim::IntervalStats& interval :
+             result.fliIntervals) {
+            instrs += interval.instrs;
+            cycles += interval.cycles;
+        }
+        EXPECT_EQ(instrs, result.totals.instructions)
+            << "core " << cpu::coreKindName(kind);
+        EXPECT_EQ(cycles, result.totals.cycles)
+            << "core " << cpu::coreKindName(kind);
+    }
+}
+
+TEST(DetailedRun, DecoupledIntervalSumsMatchTotals)
+{
+    // The decoupled frontend charges bubbles and penalties between
+    // block events; the snapshot gating must still partition every
+    // cycle into exactly one interval.
+    const bin::Binary binary =
+        compile::compileProgram(test::tinyProgram(), bin::target32u);
+    const prof::ProfilePass pass = prof::runProfilePass(binary, 5000);
+
+    sim::DetailedRunRequest request;
+    request.fliBoundaries = pass.fliBoundaries;
+    request.core = cpu::coreConfigFor(cpu::CoreKind::Decoupled);
+    const sim::DetailedRunResult result =
+        sim::runDetailed(binary, request);
+
+    EXPECT_GT(result.totals.mispredicts, 0u);
+    Cycles cycles = 0;
+    for (const sim::IntervalStats& interval : result.fliIntervals)
+        cycles += interval.cycles;
+    EXPECT_EQ(cycles, result.totals.cycles);
 }
 
 TEST(DetailedRun, WrongBoundariesPanic)

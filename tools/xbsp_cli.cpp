@@ -56,6 +56,14 @@
  *                                     --local, render in-process
  *                                     through the identical code path
  *                                     (the byte-compare baseline)
+ *   xbsp cores     [--workloads W,...] [--scale S]
+ *                                     cross-microarchitecture
+ *                                     experiment: the same binaries
+ *                                     studied under every timing
+ *                                     core (inorder and decoupled),
+ *                                     reporting per-binary CPI error
+ *                                     and per-pair speedup error
+ *                                     under each
  *
  * Every command that runs pipeline stages honours --cache-dir (or the
  * XBSP_CACHE_DIR environment variable) to memoize compile, profile,
@@ -75,6 +83,7 @@
 
 #include "binary/binary.hh"
 #include "core/regionspec.hh"
+#include "cpu/core.hh"
 #include "dist/client.hh"
 #include "dist/server.hh"
 #include "dist/stagerun.hh"
@@ -623,7 +632,34 @@ suiteRequestFromOptions(const Options& options)
     request.intervalTarget = options.getUint("interval");
     request.maxK = options.getUint("maxk");
     request.seed = options.getUint("seed");
+    // Resolved client-side (--core already applied in main) so the
+    // report never depends on the daemon's environment.
+    request.core =
+        std::string(cpu::coreKindName(cpu::activeCoreKind()));
     return request;
+}
+
+int
+cmdCores(const Options& options)
+{
+    harness::ExperimentConfig config;
+    config.workScale = options.getDouble("scale");
+    config.study = harness::defaultStudyConfig();
+    config.study.intervalTarget = options.getUint("interval");
+    config.study.simpoint.maxK =
+        static_cast<u32>(options.getUint("maxk"));
+    config.study.simpoint.seed = options.getUint("seed");
+    config.study.simpoint.accelerate = options.getBool("accel");
+    config.workloads = splitList(options.getString("workloads"));
+    if (config.workloads.empty())
+        config.workloads.push_back(options.getString("workload"));
+
+    const harness::CrossCoreReport report =
+        harness::crossCoreComparison(config);
+    report.cpi.print(std::cout);
+    std::cout << "\n";
+    report.speedup.print(std::cout);
+    return 0;
 }
 
 // serve() blocks inside accept(); SIGTERM/SIGINT must reach the
@@ -767,7 +803,7 @@ main(int argc, char** argv)
     Options options(
         "xbsp <command> [options] — commands: list, describe, bbv, "
         "simpoints, study, graph, cache, top, manifest, serve, "
-        "work, submit");
+        "work, submit, cores");
     options.addString("workload", "workload name", "swim");
     options.addString("target", "binary target (32u/32o/64u/64o)",
                       "32u");
@@ -836,6 +872,10 @@ main(int argc, char** argv)
                       "execution engine: interp|compiled (default: "
                       "XBSP_ENGINE, else compiled; pure speed knob — "
                       "results are bit-identical)", "");
+    options.addString("core",
+                      "timing core: inorder|decoupled (default: "
+                      "XBSP_CORE, else inorder; a model knob — "
+                      "changes results and store keys)", "");
     options.addJobs();
     obs::addCliOptions(options);
     if (!options.parse(argc, argv))
@@ -864,6 +904,11 @@ main(int argc, char** argv)
     if (const std::string mode = options.getString("engine");
         !mode.empty())
         exec::selectEngineMode(mode);
+    // --core wins over XBSP_CORE the same way; unlike the two above
+    // it changes results, so it must land before any stage runs.
+    if (const std::string mode = options.getString("core");
+        !mode.empty() && !cpu::selectCore(mode))
+        fatal("unknown --core '{}' (want inorder|decoupled)", mode);
 
     // Resolve the artifact store before any stage can run: an
     // explicit --cache-dir wins over XBSP_CACHE_DIR (which global()
@@ -901,6 +946,8 @@ main(int argc, char** argv)
         return cmdWork(options);
     if (command == "submit")
         return cmdSubmit(options);
+    if (command == "cores")
+        return cmdCores(options);
     if (command == "codec-roundtrip")  // hidden; cross-process tests
         return cmdCodecRoundtrip(options);
     fatal("unknown command '{}'", command);
